@@ -1,0 +1,60 @@
+"""Figure 2(a): SkNN_b computation time vs. n and m, for k=5 and K=512.
+
+Paper observation to reproduce: the cost of SkNN_b grows linearly with both
+the number of records ``n`` and the number of attributes ``m`` (e.g. 44.08 s
+at n=2000, m=6 growing to 87.91 s at n=4000, m=6 on the authors' machine).
+
+Measured here: real SkNN_b runs at reduced scale (n in {30, 60}, m in {3, 6},
+256-bit keys) demonstrating the same linear scaling.  Projected: the full
+paper grid (n = 2000..10000, m = 6/12/18) at K = 512.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import (
+    MEASURED_KEY_BITS,
+    PAPER_M_VALUES,
+    PAPER_N_VALUES,
+    deploy_measured_system,
+    write_result,
+)
+from benchmarks.projections import figure_2a_series
+from repro.analysis.reporting import ascii_plot
+from repro.core.sknn_basic import SkNNBasic
+
+import pytest
+
+MEASURED_CONFIGS = [(30, 3), (30, 6), (60, 3), (60, 6)]
+
+
+@pytest.mark.parametrize("n_records,dimensions", MEASURED_CONFIGS)
+def test_fig2a_measured_sknnb(benchmark, measured_keypair, n_records, dimensions):
+    """Measured SkNN_b query time at reduced scale (shape check for Fig 2a)."""
+    cloud, client, _ = deploy_measured_system(
+        measured_keypair, n_records=n_records, dimensions=dimensions,
+        distance_bits=10, seed=n_records + dimensions)
+    protocol = SkNNBasic(cloud)
+    encrypted_query = client.encrypt_query([1] * dimensions)
+
+    benchmark.extra_info.update({
+        "figure": "2a", "protocol": "SkNNb", "n": n_records, "m": dimensions,
+        "k": 5, "key_size": MEASURED_KEY_BITS, "kind": "measured",
+    })
+    benchmark.pedantic(lambda: protocol.run(encrypted_query, 5),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_fig2a_projected_paper_scale(benchmark, calibrator, results_dir):
+    """Projected Figure 2(a): full paper grid at K=512 via the calibrated model."""
+    def build():
+        return figure_2a_series(calibrator, key_size=512,
+                                n_values=PAPER_N_VALUES, m_values=PAPER_M_VALUES)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = series.to_text() + "\n" + ascii_plot(series)
+    write_result(results_dir, "fig2a_sknnb_n_m_K512.txt", text)
+    benchmark.extra_info.update({"figure": "2a", "kind": "projected"})
+    # Shape assertions mirroring the paper's observations.
+    rows = series.rows()
+    assert rows[-1]["m=6"] > rows[0]["m=6"] * 4.0  # linear growth in n (5x range)
+    assert rows[0]["m=18"] > rows[0]["m=6"] * 2.5  # linear growth in m (3x range)

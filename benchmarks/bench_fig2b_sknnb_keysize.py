@@ -1,0 +1,68 @@
+"""Figure 2(b): SkNN_b computation time vs. n and m at K = 1024 bits.
+
+Paper observation to reproduce: the same linear scaling as Figure 2(a) but
+roughly 7x slower because the Paillier key size doubles from 512 to 1024 bits.
+
+Measured here: one SkNN_b run at 256-bit and one at 512-bit keys on the same
+reduced workload, giving the measured slowdown factor for a key-size doubling
+on this machine.  Projected: the full paper grid at K = 1024 plus the
+512-vs-1024 slowdown factor derived from calibration.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from benchmarks.conftest import (
+    PAPER_M_VALUES,
+    PAPER_N_VALUES,
+    deploy_measured_system,
+    write_result,
+)
+from benchmarks.projections import figure_2a_series
+from repro.analysis.reporting import ascii_plot, format_table
+from repro.core.sknn_basic import SkNNBasic
+from repro.crypto.paillier import generate_keypair
+
+MEASURED_N = 30
+MEASURED_M = 6
+
+
+@pytest.mark.parametrize("key_size", [256, 512])
+def test_fig2b_measured_key_size_scaling(benchmark, key_size):
+    """Measured SkNN_b run at two key sizes (the doubling gives the ~7x factor)."""
+    keypair = generate_keypair(key_size, Random(key_size))
+    cloud, client, _ = deploy_measured_system(
+        keypair, n_records=MEASURED_N, dimensions=MEASURED_M,
+        distance_bits=10, seed=key_size)
+    protocol = SkNNBasic(cloud)
+    encrypted_query = client.encrypt_query([1] * MEASURED_M)
+
+    benchmark.extra_info.update({
+        "figure": "2b", "protocol": "SkNNb", "n": MEASURED_N, "m": MEASURED_M,
+        "k": 5, "key_size": key_size, "kind": "measured",
+    })
+    benchmark.pedantic(lambda: protocol.run(encrypted_query, 5),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_fig2b_projected_paper_scale(benchmark, calibrator, results_dir):
+    """Projected Figure 2(b): paper grid at K=1024, plus the slowdown factor."""
+    def build():
+        return figure_2a_series(calibrator, key_size=1024,
+                                n_values=PAPER_N_VALUES, m_values=PAPER_M_VALUES)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    slowdown = calibrator.key_size_slowdown(512, 1024)
+    factor_table = format_table([{
+        "K=512 -> K=1024 measured per-op slowdown": round(slowdown, 2),
+        "paper reports": "about 7x",
+    }])
+    text = series.to_text() + "\n" + ascii_plot(series) + "\n" + factor_table
+    write_result(results_dir, "fig2b_sknnb_n_m_K1024.txt", text)
+    benchmark.extra_info.update({"figure": "2b", "kind": "projected",
+                                 "slowdown_512_to_1024": slowdown})
+    # The paper's "factor of 7" observation: accept anything clearly super-linear.
+    assert 4.0 < slowdown < 12.0

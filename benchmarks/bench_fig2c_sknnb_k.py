@@ -1,0 +1,61 @@
+"""Figure 2(c): SkNN_b computation time vs. k, for n=2000, m=6, K in {512, 1024}.
+
+Paper observation to reproduce: SkNN_b is essentially independent of k (44.08 s
+to 44.14 s as k goes from 5 to 25 at K=512), because the SSED distance phase
+dominates and does not depend on k.
+
+Measured here: real SkNN_b runs at reduced scale for k in {1, 5, 10} showing a
+flat curve.  Projected: the paper grid k = 5..25 for both key sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    MEASURED_KEY_BITS,
+    PAPER_K_VALUES,
+    PAPER_KEY_SIZES,
+    deploy_measured_system,
+    write_result,
+)
+from benchmarks.projections import figure_2c_series
+from repro.analysis.reporting import ascii_plot
+from repro.core.sknn_basic import SkNNBasic
+
+MEASURED_N = 40
+MEASURED_M = 6
+
+
+@pytest.mark.parametrize("k", [1, 5, 10])
+def test_fig2c_measured_sknnb_vs_k(benchmark, measured_keypair, k):
+    """Measured SkNN_b at several k values — the curve must stay flat."""
+    cloud, client, _ = deploy_measured_system(
+        measured_keypair, n_records=MEASURED_N, dimensions=MEASURED_M,
+        distance_bits=10, seed=900 + k)
+    protocol = SkNNBasic(cloud)
+    encrypted_query = client.encrypt_query([2] * MEASURED_M)
+
+    benchmark.extra_info.update({
+        "figure": "2c", "protocol": "SkNNb", "n": MEASURED_N, "m": MEASURED_M,
+        "k": k, "key_size": MEASURED_KEY_BITS, "kind": "measured",
+    })
+    benchmark.pedantic(lambda: protocol.run(encrypted_query, k),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_fig2c_projected_paper_scale(benchmark, calibrator, results_dir):
+    """Projected Figure 2(c): k sweep at n=2000, m=6 for K=512 and K=1024."""
+    def build():
+        return figure_2c_series(calibrator, key_sizes=PAPER_KEY_SIZES,
+                                k_values=PAPER_K_VALUES)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = series.to_text() + "\n" + ascii_plot(series)
+    write_result(results_dir, "fig2c_sknnb_k.txt", text)
+    benchmark.extra_info.update({"figure": "2c", "kind": "projected"})
+    rows = series.rows()
+    # Flatness in k: less than 1% change across the whole sweep.
+    assert rows[-1]["K=512"] / rows[0]["K=512"] < 1.01
+    # Key-size gap: K=1024 is several times slower at every k.
+    assert rows[0]["K=1024"] / rows[0]["K=512"] > 4.0

@@ -1,0 +1,68 @@
+"""Figure 2(d): SkNN_m computation time vs. k and l, for n=2000, m=6, K=512.
+
+Paper observation to reproduce: SkNN_m grows almost linearly with both k (the
+number of neighbors) and l (the bit length of the distance domain); e.g. at
+l=6 the time grows from 11.93 to 55.65 minutes as k goes from 5 to 25.
+
+Measured here: real SkNN_m runs at reduced scale (n=10, m=3) for two k values
+and two l values.  Projected: the paper grid k = 5..25, l in {6, 12} at K=512.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    MEASURED_KEY_BITS,
+    PAPER_K_VALUES,
+    PAPER_L_VALUES,
+    deploy_measured_system,
+    write_result,
+)
+from benchmarks.projections import figure_2d_series
+from repro.analysis.reporting import ascii_plot
+from repro.core.sknn_secure import SkNNSecure
+
+MEASURED_N = 10
+MEASURED_M = 3
+
+MEASURED_CONFIGS = [
+    (1, 8),   # k=1, l=8
+    (2, 8),   # k=2, l=8  — roughly double the iteration cost
+    (1, 10),  # k=1, l=10 — larger distance domain
+]
+
+
+@pytest.mark.parametrize("k,distance_bits", MEASURED_CONFIGS)
+def test_fig2d_measured_sknnm(benchmark, measured_keypair, k, distance_bits):
+    """Measured SkNN_m runs at reduced scale (shape check for Fig 2d)."""
+    cloud, client, _ = deploy_measured_system(
+        measured_keypair, n_records=MEASURED_N, dimensions=MEASURED_M,
+        distance_bits=distance_bits, seed=200 + k + distance_bits)
+    protocol = SkNNSecure(cloud, distance_bits=distance_bits)
+    encrypted_query = client.encrypt_query([1] * MEASURED_M)
+
+    benchmark.extra_info.update({
+        "figure": "2d", "protocol": "SkNNm", "n": MEASURED_N, "m": MEASURED_M,
+        "k": k, "l": distance_bits, "key_size": MEASURED_KEY_BITS,
+        "kind": "measured",
+    })
+    benchmark.pedantic(lambda: protocol.run(encrypted_query, k),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_fig2d_projected_paper_scale(benchmark, calibrator, results_dir):
+    """Projected Figure 2(d): k and l sweep at n=2000, m=6, K=512."""
+    def build():
+        return figure_2d_series(calibrator, key_size=512,
+                                k_values=PAPER_K_VALUES, l_values=PAPER_L_VALUES)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = series.to_text() + "\n" + ascii_plot(series)
+    write_result(results_dir, "fig2d_sknnm_k_l_K512.txt", text)
+    benchmark.extra_info.update({"figure": "2d", "kind": "projected"})
+    rows = series.rows()
+    # Roughly linear in k: the k=25 point is ~4-5x the k=5 point.
+    assert 3.5 < rows[-1]["l=6"] / rows[0]["l=6"] < 5.5
+    # Larger l costs more at every k.
+    assert all(row["l=12"] > row["l=6"] for row in rows)

@@ -1,0 +1,68 @@
+"""Figure 2(f): SkNN_b vs SkNN_m time vs. k, for n=2000, m=6, l=6, K=512.
+
+Paper observation to reproduce: SkNN_b stays flat at ~0.73 minutes regardless
+of k while SkNN_m grows from 11.93 to 55.65 minutes as k goes from 5 to 25 —
+the two protocols are a security/efficiency trade-off.
+
+Measured here: both protocols on the same reduced workload, showing the
+order-of-magnitude gap directly.  Projected: the paper's k sweep for both
+protocols at K=512.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    MEASURED_KEY_BITS,
+    PAPER_K_VALUES,
+    deploy_measured_system,
+    write_result,
+)
+from benchmarks.projections import figure_2f_series
+from repro.analysis.reporting import ascii_plot
+from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_secure import SkNNSecure
+
+MEASURED_N = 10
+MEASURED_M = 3
+MEASURED_L = 8
+MEASURED_K = 2
+
+
+@pytest.mark.parametrize("protocol_name", ["SkNNb", "SkNNm"])
+def test_fig2f_measured_basic_vs_secure(benchmark, measured_keypair, protocol_name):
+    """Measured head-to-head of the two protocols on one workload."""
+    cloud, client, _ = deploy_measured_system(
+        measured_keypair, n_records=MEASURED_N, dimensions=MEASURED_M,
+        distance_bits=MEASURED_L, seed=400)
+    if protocol_name == "SkNNb":
+        protocol = SkNNBasic(cloud)
+    else:
+        protocol = SkNNSecure(cloud, distance_bits=MEASURED_L)
+    encrypted_query = client.encrypt_query([2] * MEASURED_M)
+
+    benchmark.extra_info.update({
+        "figure": "2f", "protocol": protocol_name, "n": MEASURED_N,
+        "m": MEASURED_M, "k": MEASURED_K, "l": MEASURED_L,
+        "key_size": MEASURED_KEY_BITS, "kind": "measured",
+    })
+    benchmark.pedantic(lambda: protocol.run(encrypted_query, MEASURED_K),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_fig2f_projected_paper_scale(benchmark, calibrator, results_dir):
+    """Projected Figure 2(f): SkNN_b vs SkNN_m across k at n=2000, m=6, K=512."""
+    def build():
+        return figure_2f_series(calibrator, key_size=512, k_values=PAPER_K_VALUES)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    text = series.to_text() + "\n" + ascii_plot(series)
+    write_result(results_dir, "fig2f_basic_vs_secure_K512.txt", text)
+    benchmark.extra_info.update({"figure": "2f", "kind": "projected"})
+    rows = series.rows()
+    # SkNNb flat in k; SkNNm at least an order of magnitude above it everywhere.
+    assert rows[-1]["SkNNb"] / rows[0]["SkNNb"] < 1.01
+    assert all(row["SkNNm"] / row["SkNNb"] > 10 for row in rows)
+    # SkNNm grows several-fold over the k range.
+    assert rows[-1]["SkNNm"] / rows[0]["SkNNm"] > 3.5

@@ -1,0 +1,74 @@
+"""Figure 3: serial vs. parallel SkNN_b, for m=6, k=5, K=512.
+
+Paper observation to reproduce: because the per-record computations of SkNN_b
+are independent, a 6-thread OpenMP implementation is roughly 6x faster than
+the serial one (e.g. 40 s vs 215.59 s at n=10000).
+
+Measured here: the serial and process-pool backends of
+:class:`repro.core.parallel.ParallelSkNNBasic` on the same reduced workload;
+the speedup is bounded by the machine's core count and the pool start-up
+overhead at small n.  Projected: the paper's n sweep for serial and parallel
+(6 workers) at K=512.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import (
+    MEASURED_KEY_BITS,
+    PAPER_N_VALUES,
+    deploy_measured_system,
+    write_result,
+)
+from benchmarks.projections import figure_3_series
+from repro.analysis.reporting import ascii_plot, format_table
+from repro.core.parallel import ParallelSkNNBasic
+
+MEASURED_N = 60
+MEASURED_M = 6
+MEASURED_WORKERS = min(os.cpu_count() or 2, 4)
+
+
+@pytest.mark.parametrize("backend,workers", [
+    ("serial", 1),
+    ("process", MEASURED_WORKERS),
+])
+def test_fig3_measured_serial_vs_parallel(benchmark, measured_keypair, backend,
+                                          workers):
+    """Measured SkNN_b distance phase: serial vs process-pool execution."""
+    cloud, client, _ = deploy_measured_system(
+        measured_keypair, n_records=MEASURED_N, dimensions=MEASURED_M,
+        distance_bits=10, seed=500)
+    runner = ParallelSkNNBasic(cloud, workers=workers, backend=backend)
+    encrypted_query = client.encrypt_query([3] * MEASURED_M)
+
+    benchmark.extra_info.update({
+        "figure": "3", "protocol": "SkNNb-parallel", "backend": backend,
+        "workers": workers, "n": MEASURED_N, "m": MEASURED_M, "k": 5,
+        "key_size": MEASURED_KEY_BITS, "kind": "measured",
+    })
+    benchmark.pedantic(lambda: runner.run(encrypted_query, 5),
+                       rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_fig3_projected_paper_scale(benchmark, calibrator, results_dir):
+    """Projected Figure 3: serial vs 6-worker parallel SkNN_b across n."""
+    def build():
+        return figure_3_series(calibrator, key_size=512, n_values=PAPER_N_VALUES,
+                               workers=6)
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = series.rows()
+    comparison = format_table([{
+        "n": row["n"],
+        "serial (s)": row["serial"],
+        "parallel 6w (s)": row["parallel"],
+        "speedup": row["serial"] / row["parallel"],
+    } for row in rows])
+    text = series.to_text() + "\n" + ascii_plot(series) + "\n" + comparison
+    write_result(results_dir, "fig3_parallel_vs_serial_K512.txt", text)
+    benchmark.extra_info.update({"figure": "3", "kind": "projected"})
+    assert all(abs(row["serial"] / row["parallel"] - 6.0) < 0.01 for row in rows)

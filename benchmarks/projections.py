@@ -1,0 +1,25 @@
+"""Paper-scale projection builders (re-exported from the library).
+
+The series builders live in :mod:`repro.analysis.projections` so that the CLI
+(``python -m repro project --figure 2a``) and the benchmark harness share one
+implementation; this module keeps the original import path used by the bench
+modules.
+"""
+
+from repro.analysis.projections import (
+    figure_2a_series,
+    figure_2c_series,
+    figure_2d_series,
+    figure_2f_series,
+    figure_3_series,
+    sminn_share_series,
+)
+
+__all__ = [
+    "figure_2a_series",
+    "figure_2c_series",
+    "figure_2d_series",
+    "figure_2f_series",
+    "figure_3_series",
+    "sminn_share_series",
+]

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Secure kNN classification: predicting a diagnosis from encrypted records.
+
+The paper motivates its protocol with a physician estimating a patient's
+heart-disease risk from similar historical patients, and notes that an exact
+secure-kNN primitive directly enables secure classification.  This example
+does exactly that with the :class:`repro.extensions.SecureKNNClassifier`:
+
+* the hospital outsources the heart-disease table (including the diagnosis
+  column ``num``) in encrypted form,
+* the physician submits the encrypted patient features of Example 1, and
+* the diagnosis is predicted by a majority vote over the k nearest encrypted
+  records — the diagnosis labels never leave the ciphertext domain until they
+  reach the physician.
+
+Run it with::
+
+    python examples/secure_classification.py
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.db import heart_disease_table
+from repro.extensions import SecureKNNClassifier
+
+
+def main() -> None:
+    table = heart_disease_table(include_diagnosis=True)
+    print("Training data: the heart-disease sample with its diagnosis column "
+          f"('num', 0=no disease .. 4) — {len(table)} records.")
+
+    classifier = SecureKNNClassifier(table, label_column="num", key_size=256,
+                                     mode="basic", rng=Random(7))
+
+    patient = [58, 1, 4, 133, 196, 1, 2, 1, 6]
+    print(f"\nNew patient features (Example 1): {patient}")
+
+    for k in (1, 2, 3):
+        result = classifier.classify_with_details(patient, k=k)
+        print(f"\nk={k}: predicted diagnosis = {result.label} "
+              f"(confidence {result.confidence:.0%}, votes {result.votes})")
+        for rank, neighbor in enumerate(result.neighbors, start=1):
+            print(f"   neighbor {rank}: features={neighbor[:-1]}, "
+                  f"diagnosis={neighbor[-1]}")
+
+    print("\nThe k=2 neighbors are records t4 and t5 of the paper's Table 1,")
+    print("both with diagnosis 3 — so the physician learns that similar past")
+    print("patients had significant heart disease, while the cloud learned")
+    print("nothing about this patient or the historical records.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Allow ``python -m repro <subcommand>`` to invoke the CLI."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Analysis: analytic cost model, runtime calibration, experiment reporting."""
+
+from repro.analysis.calibration import Calibrator, PaillierTimings
+from repro.analysis.projections import (
+    figure_2a_series,
+    figure_2c_series,
+    figure_2d_series,
+    figure_2f_series,
+    figure_3_series,
+    sminn_share_series,
+)
+from repro.analysis.cost_model import (
+    OperationCounts,
+    sbd_counts,
+    sbor_counts,
+    sknn_basic_counts,
+    sknn_secure_breakdown,
+    sknn_secure_counts,
+    sm_counts,
+    smin_counts,
+    sminn_counts,
+    ssed_counts,
+)
+from repro.analysis.reporting import (
+    ExperimentSeries,
+    ascii_plot,
+    format_markdown_table,
+    format_table,
+)
+
+__all__ = [
+    "OperationCounts",
+    "sm_counts",
+    "ssed_counts",
+    "sbd_counts",
+    "smin_counts",
+    "sminn_counts",
+    "sbor_counts",
+    "sknn_basic_counts",
+    "sknn_secure_counts",
+    "sknn_secure_breakdown",
+    "Calibrator",
+    "PaillierTimings",
+    "ExperimentSeries",
+    "format_table",
+    "format_markdown_table",
+    "ascii_plot",
+    "figure_2a_series",
+    "figure_2c_series",
+    "figure_2d_series",
+    "figure_2f_series",
+    "figure_3_series",
+    "sminn_share_series",
+]

@@ -1,0 +1,157 @@
+"""Calibrated runtime prediction for paper-scale parameters.
+
+The paper's evaluation runs SkNN_b on up to 10,000 records and SkNN_m for tens
+of minutes per query on a C implementation.  A pure-Python re-implementation
+cannot rerun every such configuration in a reasonable benchmark budget, so the
+benchmark harness combines two sources of numbers:
+
+1. *Measured* runs at reduced scale (small ``n``, small key sizes), which
+   validate correctness and the constant factors, and
+2. *Projected* runs at the paper's scale, obtained by multiplying the exact
+   operation counts of :mod:`repro.analysis.cost_model` by per-operation
+   timings measured on this machine at the requested key size.
+
+The projection preserves exactly what the paper's figures are about — how the
+cost *scales* with ``n``, ``m``, ``k``, ``l`` and ``K`` — because those curves
+are determined by the operation counts, while the per-operation constant only
+moves the curves up or down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from random import Random
+
+from repro.analysis.cost_model import OperationCounts
+from repro.crypto.paillier import PaillierKeyPair, generate_keypair
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PaillierTimings", "Calibrator"]
+
+
+@dataclass(frozen=True)
+class PaillierTimings:
+    """Measured per-operation wall-clock costs at one key size (seconds)."""
+
+    key_size: int
+    encryption_seconds: float
+    decryption_seconds: float
+    exponentiation_seconds: float
+
+    def predict_seconds(self, counts: OperationCounts) -> float:
+        """Predicted runtime for a protocol with the given operation counts."""
+        return (
+            counts.encryptions * self.encryption_seconds
+            + counts.decryptions * self.decryption_seconds
+            + counts.exponentiations * self.exponentiation_seconds
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dictionary view for reporting."""
+        return {
+            "key_size": self.key_size,
+            "encryption_seconds": self.encryption_seconds,
+            "decryption_seconds": self.decryption_seconds,
+            "exponentiation_seconds": self.exponentiation_seconds,
+        }
+
+
+class Calibrator:
+    """Measures Paillier per-operation costs and caches them per key size."""
+
+    def __init__(self, samples: int = 20, rng_seed: int = 2014) -> None:
+        """Create a calibrator.
+
+        Args:
+            samples: number of operations timed per primitive; the median of
+                individual timings is robust against scheduler noise.
+            rng_seed: seed for the deterministic key generation used during
+                calibration (keys do not affect timing materially).
+        """
+        if samples < 3:
+            raise ConfigurationError("samples must be at least 3")
+        self.samples = samples
+        self.rng_seed = rng_seed
+        self._cache: dict[int, PaillierTimings] = {}
+        self._keypairs: dict[int, PaillierKeyPair] = {}
+
+    # -- measurement ---------------------------------------------------------------
+    def keypair_for(self, key_size: int) -> PaillierKeyPair:
+        """A cached key pair of the requested size (reused across calls)."""
+        if key_size not in self._keypairs:
+            self._keypairs[key_size] = generate_keypair(
+                key_size, Random(self.rng_seed + key_size)
+            )
+        return self._keypairs[key_size]
+
+    def timings_for(self, key_size: int) -> PaillierTimings:
+        """Measure (or return cached) per-operation timings at ``key_size`` bits."""
+        if key_size in self._cache:
+            return self._cache[key_size]
+
+        keypair = self.keypair_for(key_size)
+        public_key, private_key = keypair.public_key, keypair.private_key
+        rng = Random(self.rng_seed)
+        plaintexts = [rng.randrange(1, 2**32) for _ in range(self.samples)]
+
+        encryption_times = []
+        ciphertexts = []
+        for value in plaintexts:
+            started = time.perf_counter()
+            ciphertexts.append(public_key.encrypt(value))
+            encryption_times.append(time.perf_counter() - started)
+
+        decryption_times = []
+        for ciphertext in ciphertexts:
+            started = time.perf_counter()
+            private_key.decrypt(ciphertext)
+            decryption_times.append(time.perf_counter() - started)
+
+        exponentiation_times = []
+        for ciphertext in ciphertexts:
+            exponent = rng.randrange(1, public_key.n)
+            started = time.perf_counter()
+            _ = ciphertext * exponent
+            exponentiation_times.append(time.perf_counter() - started)
+
+        timings = PaillierTimings(
+            key_size=key_size,
+            encryption_seconds=_median(encryption_times),
+            decryption_seconds=_median(decryption_times),
+            exponentiation_seconds=_median(exponentiation_times),
+        )
+        self._cache[key_size] = timings
+        return timings
+
+    # -- prediction ------------------------------------------------------------------
+    def predict_seconds(self, counts: OperationCounts, key_size: int) -> float:
+        """Project the runtime of a protocol at the given key size."""
+        return self.timings_for(key_size).predict_seconds(counts)
+
+    def key_size_slowdown(self, small: int = 512, large: int = 1024) -> float:
+        """Measured cost ratio between two key sizes (the paper reports ~7x)."""
+        small_timings = self.timings_for(small)
+        large_timings = self.timings_for(large)
+        small_total = (
+            small_timings.encryption_seconds
+            + small_timings.decryption_seconds
+            + small_timings.exponentiation_seconds
+        )
+        large_total = (
+            large_timings.encryption_seconds
+            + large_timings.decryption_seconds
+            + large_timings.exponentiation_seconds
+        )
+        if small_total == 0:
+            raise ConfigurationError("calibration produced zero timings")
+        return large_total / small_total
+
+
+def _median(values: list[float]) -> float:
+    """Median of a non-empty list of floats."""
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0

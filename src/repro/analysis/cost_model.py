@@ -1,0 +1,227 @@
+"""Analytic operation-count model — Section 4.4 of the paper, made executable.
+
+The paper expresses protocol complexity as counts of Paillier *encryptions*,
+*decryptions* and *exponentiations*.  This module turns those asymptotic
+statements into exact per-protocol formulas derived from this repository's
+implementations, so that
+
+* tests can check the implementation against the model (the counters recorded
+  by the crypto layer must match the formulas), and
+* the calibrated runtime predictor (:mod:`repro.analysis.calibration`) can
+  project paper-scale running times (n = 2000..10000, K = 512/1024) that a
+  pure-Python single run could not measure in reasonable time.
+
+All formulas count the operations of both clouds together, matching the way
+the paper reports a single per-query time.
+
+Randomized branches (e.g. SBD flips an extra encryption only when its mask is
+odd) are counted at their expected value; the model therefore predicts the
+*expected* cost, and comparisons against measured counters use a small
+tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "OperationCounts",
+    "sm_counts",
+    "ssed_counts",
+    "sbd_counts",
+    "smin_counts",
+    "sminn_counts",
+    "sbor_counts",
+    "sknn_basic_counts",
+    "sknn_secure_counts",
+    "sknn_secure_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Expected numbers of primitive Paillier operations for one protocol run."""
+
+    encryptions: float = 0.0
+    decryptions: float = 0.0
+    exponentiations: float = 0.0
+
+    # -- algebra ------------------------------------------------------------------
+    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+        return OperationCounts(
+            self.encryptions + other.encryptions,
+            self.decryptions + other.decryptions,
+            self.exponentiations + other.exponentiations,
+        )
+
+    def __mul__(self, factor: float) -> "OperationCounts":
+        return OperationCounts(
+            self.encryptions * factor,
+            self.decryptions * factor,
+            self.exponentiations * factor,
+        )
+
+    __rmul__ = __mul__
+
+    @property
+    def total(self) -> float:
+        """Total primitive operations (all three kinds weighted equally)."""
+        return self.encryptions + self.decryptions + self.exponentiations
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dictionary view used by the reporting helpers."""
+        return {
+            "encryptions": self.encryptions,
+            "decryptions": self.decryptions,
+            "exponentiations": self.exponentiations,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Sub-protocol formulas (Section 3)
+# ---------------------------------------------------------------------------
+
+def sm_counts() -> OperationCounts:
+    """Secure Multiplication: 3 encryptions, 2 decryptions, 2 exponentiations."""
+    return OperationCounts(encryptions=3, decryptions=2, exponentiations=2)
+
+
+def ssed_counts(dimensions: int) -> OperationCounts:
+    """Secure Squared Euclidean Distance over ``m``-dimensional vectors.
+
+    One homomorphic subtraction (an exponentiation by ``N - 1``) plus one SM
+    per attribute.
+    """
+    _require_positive(dimensions, "dimensions")
+    per_attribute = sm_counts() + OperationCounts(exponentiations=1)
+    return per_attribute * dimensions
+
+
+def sbd_counts(bit_length: int) -> OperationCounts:
+    """Secure Bit Decomposition of an ``l``-bit value.
+
+    Per extracted bit: P1 encrypts its mask, P2 decrypts and encrypts the
+    parity, P1 flips the parity for odd masks (expected 0.5 extra encryptions
+    and exponentiations) and halves the value (2 exponentiations).
+    """
+    _require_positive(bit_length, "bit_length")
+    per_bit = OperationCounts(encryptions=2.5, decryptions=1, exponentiations=2.5)
+    return per_bit * bit_length
+
+
+def smin_counts(bit_length: int) -> OperationCounts:
+    """Secure Minimum of two ``l``-bit values (Algorithm 3).
+
+    Per bit: one SM plus the W/Gamma/G/H/Phi/L bookkeeping on P1's side
+    (6 exponentiations, 1 encryption), one decryption and one exponentiation
+    on P2's side for the permuted L and M' vectors, and one final
+    exponentiation by P1 to strip the Gamma mask.  Constant terms: the H_0
+    encryption and P2's encryption of alpha.
+    """
+    _require_positive(bit_length, "bit_length")
+    per_bit = (
+        sm_counts()
+        + OperationCounts(encryptions=1, exponentiations=6)   # W, Gamma, G, H, L
+        + OperationCounts(decryptions=1, exponentiations=1)   # P2: decrypt L', M'
+        + OperationCounts(exponentiations=1)                  # P1: strip Gamma mask
+    )
+    constant = OperationCounts(encryptions=2)                 # H_0 and E(alpha)
+    return per_bit * bit_length + constant
+
+
+def sminn_counts(count: int, bit_length: int) -> OperationCounts:
+    """Secure Minimum of ``n`` values: ``n - 1`` SMIN invocations."""
+    _require_positive(count, "count")
+    return smin_counts(bit_length) * max(count - 1, 0)
+
+
+def sbor_counts() -> OperationCounts:
+    """Secure Bit-OR: one SM plus one homomorphic subtraction."""
+    return sm_counts() + OperationCounts(exponentiations=1)
+
+
+# ---------------------------------------------------------------------------
+# Query-protocol formulas (Section 4)
+# ---------------------------------------------------------------------------
+
+def sknn_basic_counts(n_records: int, dimensions: int, k: int) -> OperationCounts:
+    """SkNN_b (Algorithm 5): ``O(n * m + k)`` operations.
+
+    The distance phase dominates: one SSED per record.  C2 additionally
+    decrypts the ``n`` distances, and the delivery phase costs one encryption
+    and one decryption per returned attribute.
+    """
+    _require_positive(n_records, "n_records")
+    _require_positive(dimensions, "dimensions")
+    _require_positive(k, "k")
+    distance_phase = ssed_counts(dimensions) * n_records
+    selection_phase = OperationCounts(decryptions=n_records)
+    delivery_phase = OperationCounts(encryptions=k * dimensions,
+                                     decryptions=k * dimensions)
+    return distance_phase + selection_phase + delivery_phase
+
+
+def sknn_secure_breakdown(n_records: int, dimensions: int, k: int,
+                          bit_length: int) -> dict[str, OperationCounts]:
+    """Per-phase operation counts of SkNN_m (Algorithm 6).
+
+    Returns a dictionary with one entry per phase so that the SMIN_n share of
+    the total (the paper reports 69.7%-75%) can be reproduced, plus the total
+    under the key ``"total"``.
+    """
+    _require_positive(n_records, "n_records")
+    _require_positive(dimensions, "dimensions")
+    _require_positive(k, "k")
+    _require_positive(bit_length, "bit_length")
+
+    distance_phase = ssed_counts(dimensions) * n_records
+    sbd_phase = sbd_counts(bit_length) * n_records
+    sminn_phase = sminn_counts(n_records, bit_length) * k
+
+    # Per iteration: recompose E(d_min) (l exponentiations), re-expand E(d_i)
+    # in iterations 2..k (n*l exponentiations each), randomize the n
+    # differences (2 exponentiations each), C2 decrypts n values and encrypts
+    # the n indicator bits.
+    localisation_per_iteration = OperationCounts(
+        encryptions=n_records,
+        decryptions=n_records,
+        exponentiations=bit_length + 2 * n_records,
+    )
+    reexpansion = OperationCounts(
+        exponentiations=n_records * bit_length
+    ) * max(k - 1, 0)
+    localisation_phase = localisation_per_iteration * k + reexpansion
+
+    extraction_phase = sm_counts() * (n_records * dimensions * k)
+    elimination_phase = sbor_counts() * (n_records * bit_length * max(k - 1, 0))
+    delivery_phase = OperationCounts(encryptions=k * dimensions,
+                                     decryptions=k * dimensions)
+
+    phases = {
+        "ssed": distance_phase,
+        "sbd": sbd_phase,
+        "sminn": sminn_phase,
+        "localisation": localisation_phase,
+        "extraction": extraction_phase,
+        "elimination": elimination_phase,
+        "delivery": delivery_phase,
+    }
+    total = OperationCounts()
+    for counts in phases.values():
+        total = total + counts
+    phases["total"] = total
+    return phases
+
+
+def sknn_secure_counts(n_records: int, dimensions: int, k: int,
+                       bit_length: int) -> OperationCounts:
+    """Total operation counts of SkNN_m (Algorithm 6)."""
+    return sknn_secure_breakdown(n_records, dimensions, k, bit_length)["total"]
+
+
+def _require_positive(value: int, name: str) -> None:
+    """Validate a positive integer parameter."""
+    if not isinstance(value, int) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")

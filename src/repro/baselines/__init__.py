@@ -1,0 +1,24 @@
+"""Baselines the paper compares against (conceptually or empirically).
+
+* :class:`PlaintextKNNSystem` — unencrypted kNN (linear scan / k-d tree).
+* :class:`ASPESystem` — Wong et al.'s scalar-product-preserving encryption,
+  together with :func:`known_plaintext_attack` demonstrating why the paper
+  considers it insecure.
+"""
+
+from repro.baselines.aspe import (
+    ASPEEncryptedDatabase,
+    ASPEKey,
+    ASPESystem,
+    known_plaintext_attack,
+)
+from repro.baselines.plaintext import PlaintextKNNSystem, PlaintextQueryReport
+
+__all__ = [
+    "PlaintextKNNSystem",
+    "PlaintextQueryReport",
+    "ASPESystem",
+    "ASPEKey",
+    "ASPEEncryptedDatabase",
+    "known_plaintext_attack",
+]

@@ -1,0 +1,181 @@
+"""ASPE baseline — Wong et al., "Secure kNN computation on encrypted
+databases" (SIGMOD 2009), the paper's reference [28].
+
+The paper's related-work section dismisses ASPE (and the privacy-homomorphism
+scheme of Hu et al.) because they are "vulnerable to chosen and known
+plaintext attacks".  To let users reproduce that argument — not just read it —
+this module implements:
+
+* the basic ASPE scheme (scalar-product-preserving matrix encryption) with
+  exact kNN query answering, and
+* the known-plaintext attack: an attacker who obtains enough
+  (plaintext tuple, encrypted tuple) pairs recovers the secret matrix by
+  solving a linear system and can then decrypt every remaining tuple.
+
+ASPE in brief
+-------------
+Each database point ``p`` (dimension ``d``) is extended to
+``p_hat = (p, -0.5 * |p|^2)`` and encrypted as ``p' = M^T @ p_hat`` with a
+secret invertible matrix ``M`` of size ``(d+1) x (d+1)``.  A query ``q`` is
+extended to ``q_hat = r * (q, 1)`` with a random ``r > 0`` and encrypted as
+``q' = M^{-1} @ q_hat``.  Then::
+
+    p' . q' = p_hat . q_hat = r * (p . q - 0.5 * |p|^2)
+
+which is a monotone transformation of ``-0.5 * |p - q|^2`` (up to the
+query-constant term ``|q|^2``), so comparing scalar products ranks points by
+their true distance to ``q`` — that is exactly what kNN needs, and it is also
+exactly the structural leak the attack exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.table import Table
+from repro.exceptions import ConfigurationError, QueryError
+
+__all__ = ["ASPEKey", "ASPEEncryptedDatabase", "ASPESystem", "known_plaintext_attack"]
+
+
+@dataclass
+class ASPEKey:
+    """The ASPE secret key: an invertible ``(d+1) x (d+1)`` matrix."""
+
+    matrix: np.ndarray
+
+    @classmethod
+    def generate(cls, dimensions: int, seed: int | None = None) -> "ASPEKey":
+        """Generate a random invertible key matrix for ``dimensions`` attributes."""
+        rng = np.random.default_rng(seed)
+        size = dimensions + 1
+        while True:
+            candidate = rng.uniform(-1.0, 1.0, size=(size, size))
+            if abs(np.linalg.det(candidate)) > 1e-6:
+                return cls(matrix=candidate)
+
+    @property
+    def dimensions(self) -> int:
+        """Number of data attributes supported by this key."""
+        return self.matrix.shape[0] - 1
+
+    @property
+    def inverse(self) -> np.ndarray:
+        """The inverse matrix used for query encryption."""
+        return np.linalg.inv(self.matrix)
+
+
+@dataclass
+class ASPEEncryptedDatabase:
+    """Encrypted tuples (one row per record) plus the record identifiers."""
+
+    encrypted_points: np.ndarray
+    record_ids: list[str]
+
+    def __len__(self) -> int:
+        return len(self.record_ids)
+
+
+class ASPESystem:
+    """The ASPE secure-kNN scheme of Wong et al. (comparator baseline)."""
+
+    def __init__(self, table: Table, seed: int | None = None) -> None:
+        self.table = table
+        self.key = ASPEKey.generate(table.dimensions, seed)
+        self._rng = np.random.default_rng(None if seed is None else seed + 1)
+        self.encrypted_database = self._encrypt_database()
+
+    # -- data owner side -----------------------------------------------------------
+    def _extend_point(self, values: Sequence[int]) -> np.ndarray:
+        """Extend a data point to ``(p, -0.5 * |p|^2)``."""
+        vector = np.asarray(values, dtype=float)
+        return np.concatenate([vector, [-0.5 * float(vector @ vector)]])
+
+    def _encrypt_database(self) -> ASPEEncryptedDatabase:
+        """Encrypt every record with ``p' = M^T @ p_hat``."""
+        encrypted_rows = []
+        record_ids = []
+        for record in self.table:
+            extended = self._extend_point(record.values)
+            encrypted_rows.append(self.key.matrix.T @ extended)
+            record_ids.append(record.record_id)
+        return ASPEEncryptedDatabase(
+            encrypted_points=np.vstack(encrypted_rows), record_ids=record_ids
+        )
+
+    # -- query user side --------------------------------------------------------------
+    def encrypt_query(self, query: Sequence[int]) -> np.ndarray:
+        """Encrypt a query with ``q' = M^{-1} @ (r * (q, 1))``, random ``r > 0``."""
+        if len(query) != self.table.dimensions:
+            raise QueryError(
+                f"query has {len(query)} attributes, table has {self.table.dimensions}"
+            )
+        scale = float(self._rng.uniform(0.5, 2.0))
+        extended = np.concatenate([np.asarray(query, dtype=float), [1.0]]) * scale
+        return self.key.inverse @ extended
+
+    # -- server side -------------------------------------------------------------------
+    def query(self, query_record: Sequence[int], k: int) -> list[tuple[int, ...]]:
+        """Answer a kNN query over the ASPE-encrypted database.
+
+        The server ranks records by the scalar product between the encrypted
+        query and each encrypted tuple (larger product = closer record) and
+        returns the plaintext values of the winners (in a real deployment the
+        server would return encrypted tuples; returning plaintext keeps the
+        comparison harness uniform).
+        """
+        if not isinstance(k, int) or k < 1 or k > len(self.table):
+            raise QueryError(f"invalid k: {k!r}")
+        encrypted_query = self.encrypt_query(query_record)
+        scores = self.encrypted_database.encrypted_points @ encrypted_query
+        order = np.argsort(-scores, kind="stable")[:k]
+        return [self.table.records[int(index)].values for index in order]
+
+
+def known_plaintext_attack(system: ASPESystem,
+                           known_indices: Sequence[int]) -> np.ndarray:
+    """Recover all plaintext tuples from a set of known (plaintext, ciphertext) pairs.
+
+    The attack the paper alludes to: ASPE encryption is the *linear* map
+    ``p' = M^T @ p_hat``, so an attacker holding ``d + 1`` linearly
+    independent known plaintext/ciphertext pairs can solve for ``M^T`` exactly
+    and invert it to decrypt every other tuple in the database.
+
+    Args:
+        system: a deployed ASPE system (the attacker sees its encrypted
+            database; the secret key is *not* read — it is reconstructed).
+        known_indices: indices of records whose plaintext the attacker knows
+            (at least ``d + 1`` and they must span the extended space).
+
+    Returns:
+        The recovered plaintext attribute matrix for *all* records
+        (shape ``n x d``), which callers can compare to the true table.
+
+    Raises:
+        ConfigurationError: if too few known pairs are supplied or they are
+            linearly dependent.
+    """
+    dimensions = system.table.dimensions
+    if len(known_indices) < dimensions + 1:
+        raise ConfigurationError(
+            f"the known-plaintext attack needs at least {dimensions + 1} pairs, "
+            f"got {len(known_indices)}"
+        )
+    known_extended = np.vstack([
+        system._extend_point(system.table.records[index].values)
+        for index in known_indices
+    ])
+    known_encrypted = system.encrypted_database.encrypted_points[list(known_indices)]
+    if np.linalg.matrix_rank(known_extended) < dimensions + 1:
+        raise ConfigurationError("known plaintexts are linearly dependent")
+
+    # Solve  known_extended @ M^T_recovered = known_encrypted  for M^T.
+    m_transpose, *_ = np.linalg.lstsq(known_extended, known_encrypted, rcond=None)
+    # Decrypt the whole database: p_hat = p' @ (M^T)^{-1}.
+    recovered_extended = system.encrypted_database.encrypted_points @ np.linalg.inv(
+        m_transpose
+    )
+    return recovered_extended[:, :dimensions]

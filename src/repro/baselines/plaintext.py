@@ -1,0 +1,67 @@
+"""Plaintext kNN baseline wrapped in the same interface as the secure system.
+
+The paper's motivation is the cost of *not* leaking anything: the secure
+protocols pay orders of magnitude more than a plaintext scan.  To make that
+trade-off measurable with the same harness, :class:`PlaintextKNNSystem`
+exposes the same ``query`` interface as :class:`repro.core.SkNNSystem`, backed
+by either the linear scan or the k-d tree engine from :mod:`repro.db.knn`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+from repro.db.knn import KDTreeKNN, LinearScanKNN
+from repro.db.table import Table
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PlaintextQueryReport", "PlaintextKNNSystem"]
+
+Engine = Literal["linear", "kdtree"]
+
+
+@dataclass
+class PlaintextQueryReport:
+    """Timing of one plaintext kNN query."""
+
+    engine: str
+    n_records: int
+    dimensions: int
+    k: int
+    wall_time_seconds: float
+
+
+class PlaintextKNNSystem:
+    """Unencrypted kNN with the same calling convention as ``SkNNSystem``."""
+
+    def __init__(self, table: Table, engine: Engine = "linear") -> None:
+        """Create a plaintext baseline.
+
+        Args:
+            table: the plaintext database.
+            engine: ``"linear"`` for the exhaustive scan (the same access
+                pattern as the secure protocols) or ``"kdtree"`` for the
+                indexed search that encryption forecloses.
+        """
+        if engine not in ("linear", "kdtree"):
+            raise ConfigurationError(f"unknown plaintext engine {engine!r}")
+        self.table = table
+        self.engine = engine
+        self._index = LinearScanKNN(table) if engine == "linear" else KDTreeKNN(table)
+        self.last_report: PlaintextQueryReport | None = None
+
+    def query(self, query_record: Sequence[int], k: int) -> list[tuple[int, ...]]:
+        """Return the k nearest records as plaintext attribute tuples."""
+        started = time.perf_counter()
+        neighbors = self._index.query(list(query_record), k)
+        elapsed = time.perf_counter() - started
+        self.last_report = PlaintextQueryReport(
+            engine=self.engine,
+            n_records=len(self.table),
+            dimensions=self.table.dimensions,
+            k=k,
+            wall_time_seconds=elapsed,
+        )
+        return [result.record.values for result in neighbors]

@@ -1,0 +1,228 @@
+"""Command-line interface for the SkNN reproduction library.
+
+Usage (after installation)::
+
+    python -m repro demo                        # run the paper's Example 1
+    python -m repro query --n 50 --m 4 --k 3    # secure query on synthetic data
+    python -m repro calibrate --key-size 512    # per-operation Paillier costs
+    python -m repro project --figure 2a         # paper-scale projected series
+    python -m repro inventory                   # list figures / bench targets
+
+The CLI is a thin veneer over the library: each subcommand maps onto the same
+public API the examples and the benchmark harness use, so it doubles as a
+smoke test of the end-to-end system on any machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from random import Random
+from typing import Sequence
+
+from repro.analysis.calibration import Calibrator
+from repro.analysis.reporting import format_table
+from repro.core.system import SkNNSystem
+from repro.db.datasets import (
+    heart_disease_example_query,
+    heart_disease_table,
+    synthetic_uniform,
+)
+from repro.db.knn import LinearScanKNN
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment inventory printed by ``repro inventory`` (mirrors DESIGN.md §4).
+EXPERIMENT_INVENTORY: tuple[dict[str, str], ...] = (
+    {"figure": "Table 1/2", "description": "heart-disease running example (k=2 -> t4, t5)",
+     "bench": "tests/integration/test_paper_example.py"},
+    {"figure": "2a", "description": "SkNNb vs n and m (k=5, K=512)",
+     "bench": "benchmarks/bench_fig2a_sknnb_n_m.py"},
+    {"figure": "2b", "description": "SkNNb vs n and m (k=5, K=1024)",
+     "bench": "benchmarks/bench_fig2b_sknnb_keysize.py"},
+    {"figure": "2c", "description": "SkNNb vs k (n=2000, m=6)",
+     "bench": "benchmarks/bench_fig2c_sknnb_k.py"},
+    {"figure": "2d", "description": "SkNNm vs k and l (K=512)",
+     "bench": "benchmarks/bench_fig2d_sknnm_k_l.py"},
+    {"figure": "2e", "description": "SkNNm vs k and l (K=1024)",
+     "bench": "benchmarks/bench_fig2e_sknnm_keysize.py"},
+    {"figure": "2f", "description": "SkNNb vs SkNNm (n=2000, m=6, l=6, K=512)",
+     "bench": "benchmarks/bench_fig2f_basic_vs_secure.py"},
+    {"figure": "3", "description": "serial vs parallel SkNNb (m=6, k=5, K=512)",
+     "bench": "benchmarks/bench_fig3_parallel.py"},
+    {"figure": "5.2", "description": "SMINn share and Bob's cost",
+     "bench": "benchmarks/bench_section52_breakdown.py"},
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure k-nearest neighbor query over encrypted data "
+                    "(Elmehdwi, Samanthula & Jiang, ICDE 2014).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="run the paper's Example 1 on the heart-disease sample")
+    demo.add_argument("--key-size", type=int, default=256,
+                      help="Paillier key size in bits (default: 256)")
+    demo.add_argument("--mode", choices=["basic", "secure"], default="secure",
+                      help="protocol to run (default: secure)")
+
+    query = subparsers.add_parser(
+        "query", help="answer a kNN query over an encrypted synthetic table")
+    query.add_argument("--n", type=int, default=30, help="number of records")
+    query.add_argument("--m", type=int, default=3, help="number of attributes")
+    query.add_argument("--k", type=int, default=3, help="neighbors to return")
+    query.add_argument("--l", type=int, default=8,
+                       help="distance domain bit length")
+    query.add_argument("--key-size", type=int, default=256,
+                       help="Paillier key size in bits")
+    query.add_argument("--mode", choices=["basic", "secure", "parallel"],
+                       default="basic", help="protocol to run")
+    query.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="measure Paillier per-operation costs on this machine")
+    calibrate.add_argument("--key-size", type=int, action="append",
+                           dest="key_sizes", default=None,
+                           help="key size(s) to calibrate (repeatable; "
+                                "default: 512 and 1024)")
+    calibrate.add_argument("--samples", type=int, default=15,
+                           help="operations timed per primitive")
+
+    project = subparsers.add_parser(
+        "project", help="print a paper-scale projected series for one figure")
+    project.add_argument("--figure", required=True,
+                         choices=["2a", "2b", "2c", "2d", "2e", "2f", "3"],
+                         help="paper figure to project")
+    project.add_argument("--samples", type=int, default=10,
+                         help="calibration samples per primitive")
+
+    subparsers.add_parser(
+        "inventory", help="list every reproduced table/figure and its bench target")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _run_demo(args: argparse.Namespace) -> int:
+    table = heart_disease_table(include_diagnosis=False)
+    query = heart_disease_example_query()
+    print("Heart-disease sample (Table 1), query of Example 1, k=2")
+    system = SkNNSystem.setup(table, key_size=args.key_size, mode=args.mode,
+                              rng=Random(2014))
+    answer = system.query_with_report(list(query), 2)
+    for rank, record in enumerate(answer.neighbors, start=1):
+        print(f"  neighbor {rank}: {record}")
+    expected = [r.record.values for r in LinearScanKNN(table).query(query, 2)]
+    matches = answer.neighbors == expected
+    print(f"matches plaintext answer: {matches}")
+    if answer.report is not None:
+        print(f"cloud wall time: {answer.report.wall_time_seconds:.2f} s, "
+              f"encryptions: {answer.report.stats.total_encryptions}, "
+              f"decryptions: {answer.report.stats.total_decryptions}")
+    return 0 if matches else 1
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    table = synthetic_uniform(n_records=args.n, dimensions=args.m,
+                              distance_bits=args.l, seed=args.seed)
+    rng = Random(args.seed + 1)
+    query = [rng.randint(0, max(a.maximum for a in table.schema))
+             for _ in range(args.m)]
+    print(f"{table.describe()}; query={query}, k={args.k}, mode={args.mode}")
+    system = SkNNSystem.setup(table, key_size=args.key_size, mode=args.mode,
+                              rng=Random(args.seed + 2))
+    answer = system.query_with_report(query, args.k)
+    for rank, record in enumerate(answer.neighbors, start=1):
+        print(f"  neighbor {rank}: {record}")
+    expected_distances = sorted(
+        r.squared_distance for r in LinearScanKNN(table).query(query, args.k))
+    from repro.db.knn import squared_euclidean
+    returned_distances = sorted(squared_euclidean(record, query)
+                                for record in answer.neighbors)
+    matches = returned_distances == expected_distances
+    print(f"matches plaintext answer: {matches}")
+    return 0 if matches else 1
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
+    key_sizes = args.key_sizes or [512, 1024]
+    calibrator = Calibrator(samples=args.samples)
+    rows = []
+    for key_size in key_sizes:
+        timings = calibrator.timings_for(key_size)
+        rows.append({
+            "key_size": key_size,
+            "encrypt (ms)": timings.encryption_seconds * 1000,
+            "decrypt (ms)": timings.decryption_seconds * 1000,
+            "exponentiation (ms)": timings.exponentiation_seconds * 1000,
+        })
+    print(format_table(rows), end="")
+    if len(key_sizes) >= 2:
+        slowdown = calibrator.key_size_slowdown(key_sizes[0], key_sizes[-1])
+        print(f"slowdown {key_sizes[0]} -> {key_sizes[-1]} bits: {slowdown:.2f}x")
+    return 0
+
+
+def _run_project(args: argparse.Namespace) -> int:
+    # Imported lazily: calibration-dependent and only needed by this command.
+    from repro.analysis.projections import (
+        figure_2a_series,
+        figure_2c_series,
+        figure_2d_series,
+        figure_2f_series,
+        figure_3_series,
+    )
+
+    calibrator = Calibrator(samples=args.samples)
+    n_values = [2000, 4000, 6000, 8000, 10000]
+    k_values = [5, 10, 15, 20, 25]
+    if args.figure == "2a":
+        series = figure_2a_series(calibrator, 512, n_values, [6, 12, 18])
+    elif args.figure == "2b":
+        series = figure_2a_series(calibrator, 1024, n_values, [6, 12, 18])
+    elif args.figure == "2c":
+        series = figure_2c_series(calibrator, [512, 1024], k_values)
+    elif args.figure == "2d":
+        series = figure_2d_series(calibrator, 512, k_values, [6, 12])
+    elif args.figure == "2e":
+        series = figure_2d_series(calibrator, 1024, k_values, [6, 12])
+    elif args.figure == "2f":
+        series = figure_2f_series(calibrator, 512, k_values)
+    else:
+        series = figure_3_series(calibrator, 512, n_values)
+    print(series.to_text(), end="")
+    return 0
+
+
+def _run_inventory(_: argparse.Namespace) -> int:
+    print(format_table(list(EXPERIMENT_INVENTORY)), end="")
+    return 0
+
+
+_HANDLERS = {
+    "demo": _run_demo,
+    "query": _run_query,
+    "calibrate": _run_calibrate,
+    "project": _run_project,
+    "inventory": _run_inventory,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

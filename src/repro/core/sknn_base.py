@@ -1,0 +1,221 @@
+"""Shared machinery for the two SkNN query protocols (Algorithms 5 and 6).
+
+Both protocols share the same surrounding steps:
+
+* the distance phase — C1 and C2 run SSED between the encrypted query and
+  every encrypted record (step 2 of both algorithms), and
+* the delivery phase — once C1 holds the ``k`` encrypted result records, it
+  additively masks them, sends the masked ciphertexts to C2 for decryption and
+  the masks directly to Bob, so that only Bob can recombine the plaintext
+  records (steps 4-6 of Algorithm 5, reused verbatim by Algorithm 6).
+
+They differ only in how the ``k`` nearest records are *selected*, which is
+what the subclasses implement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.cloud import FederatedCloud
+from repro.core.roles import ResultShares
+from repro.crypto.paillier import Ciphertext
+from repro.db.encrypted_table import EncryptedTable
+from repro.exceptions import QueryError
+from repro.network.stats import ProtocolRunStats
+from repro.protocols.ssed import SecureSquaredEuclideanDistance
+
+__all__ = ["SkNNProtocol", "SkNNRunReport"]
+
+
+@dataclass
+class SkNNRunReport:
+    """Statistics of one SkNN query execution (one row of the evaluation)."""
+
+    protocol: str
+    n_records: int
+    dimensions: int
+    k: int
+    key_size: int
+    distance_bits: int | None
+    wall_time_seconds: float
+    stats: ProtocolRunStats
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, float]:
+        """Flatten into a dictionary suitable for tabular reporting."""
+        row = {
+            "protocol": self.protocol,
+            "n": self.n_records,
+            "m": self.dimensions,
+            "k": self.k,
+            "key_size": self.key_size,
+            "l": self.distance_bits if self.distance_bits is not None else 0,
+            "wall_time_seconds": self.wall_time_seconds,
+        }
+        row.update({f"phase_{name}": value for name, value in self.phase_seconds.items()})
+        row.update(self.stats.as_row())
+        return row
+
+
+class SkNNProtocol:
+    """Base class for the SkNN_b and SkNN_m query protocols."""
+
+    #: protocol name used in reports ("SkNNb" / "SkNNm")
+    name = "SkNN"
+
+    def __init__(self, cloud: FederatedCloud,
+                 feature_dimensions: int | None = None) -> None:
+        """Create a query protocol over the cloud-hosted encrypted database.
+
+        Args:
+            cloud: the federated cloud hosting ``Epk(T)``.
+            feature_dimensions: number of leading attributes the distance is
+                computed over.  ``None`` (the default) uses every attribute.
+                Setting it to fewer than the table's attribute count supports
+                workloads where trailing columns are labels/metadata that are
+                *returned* with the neighbors but must not influence the
+                distance — e.g. the class column of the secure kNN classifier
+                extension (the paper's Example 1 likewise excludes the
+                diagnosis column ``num`` from the query).
+        """
+        self.cloud = cloud
+        self.feature_dimensions = feature_dimensions
+        self._ssed = SecureSquaredEuclideanDistance(cloud.setting)
+        self.last_report: SkNNRunReport | None = None
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def encrypted_table(self) -> EncryptedTable:
+        """The encrypted database hosted by C1."""
+        return self.cloud.c1.encrypted_table
+
+    @property
+    def public_key(self):
+        """The shared Paillier public key."""
+        return self.cloud.c1.public_key
+
+    # -- common protocol phases --------------------------------------------------
+    def _validate_query(self, encrypted_query: Sequence[Ciphertext], k: int) -> None:
+        """Validate query arity and ``k`` against the hosted database."""
+        table = self.encrypted_table
+        expected = self.feature_dimensions or table.dimensions
+        if expected > table.dimensions or expected < 1:
+            raise QueryError(
+                f"feature_dimensions={expected} is invalid for a table with "
+                f"{table.dimensions} attributes"
+            )
+        if len(encrypted_query) != expected:
+            raise QueryError(
+                f"encrypted query has {len(encrypted_query)} attributes, "
+                f"expected {expected}"
+            )
+        if not isinstance(k, int) or k < 1:
+            raise QueryError(f"k must be a positive integer, got {k!r}")
+        if k > len(table):
+            raise QueryError(f"k={k} exceeds the database size {len(table)}")
+
+    def _compute_encrypted_distances(
+        self, encrypted_query: Sequence[Ciphertext]
+    ) -> list[Ciphertext]:
+        """Step 2: run SSED between the query and every record (order preserved).
+
+        Only the leading ``len(encrypted_query)`` attributes of each record
+        participate in the distance; trailing label/metadata columns (when
+        ``feature_dimensions`` is set) are carried along untouched and only
+        reappear in the delivered result records.
+        """
+        width = len(encrypted_query)
+        return [
+            self._ssed.run(list(encrypted_query), list(record.ciphertexts[:width]))
+            for record in self.encrypted_table
+        ]
+
+    def _deliver_records(
+        self, encrypted_records: Sequence[Sequence[Ciphertext]]
+    ) -> ResultShares:
+        """Steps 4-6 of Algorithm 5: split each result record into two shares.
+
+        C1 masks every attribute with a fresh random value and sends the
+        masked ciphertexts to C2; C2 decrypts them (seeing only uniformly
+        random values) and would forward them to Bob; C1 sends the masks to
+        Bob directly.  The returned :class:`ResultShares` carries both halves.
+        """
+        c1 = self.cloud.c1
+        c2 = self.cloud.c2
+        masks_for_bob: list[list[int]] = []
+        masked_for_c2: list[list[Ciphertext]] = []
+        for encrypted_record in encrypted_records:
+            record_masks: list[int] = []
+            record_masked: list[Ciphertext] = []
+            for ciphertext in encrypted_record:
+                mask = c1.random_in_zn()
+                record_masks.append(mask)
+                record_masked.append(ciphertext + c1.encrypt(mask))
+            masks_for_bob.append(record_masks)
+            masked_for_c2.append(record_masked)
+
+        c1.send(masked_for_c2, tag="SkNN.masked_results")
+        received = c2.receive(expected_tag="SkNN.masked_results")
+        masked_values = [
+            [c2.decrypt_residue(ciphertext) for ciphertext in record]
+            for record in received
+        ]
+        return ResultShares(
+            masks_from_c1=masks_for_bob,
+            masked_values_from_c2=masked_values,
+            modulus=self.public_key.n,
+        )
+
+    # -- instrumented execution -----------------------------------------------------
+    def run(self, encrypted_query: Sequence[Ciphertext], k: int) -> ResultShares:
+        """Execute the query protocol; implemented by subclasses."""
+        raise NotImplementedError
+
+    def run_with_report(self, encrypted_query: Sequence[Ciphertext], k: int,
+                        distance_bits: int | None = None) -> ResultShares:
+        """Run the protocol and record a :class:`SkNNRunReport` in ``last_report``."""
+        pk_before = self.public_key.counter.snapshot()
+        sk_before = self.cloud.c2.private_key.counter.snapshot()
+        traffic_before = self.cloud.channel.total_traffic().snapshot()
+        started = time.perf_counter()
+
+        shares = self.run(encrypted_query, k)
+
+        elapsed = time.perf_counter() - started
+        pk_after = self.public_key.counter.snapshot()
+        sk_after = self.cloud.c2.private_key.counter.snapshot()
+        traffic_after = self.cloud.channel.total_traffic().snapshot()
+
+        stats = ProtocolRunStats(
+            protocol=self.name,
+            wall_time_seconds=elapsed,
+            c1_encryptions=pk_after["encryptions"] - pk_before["encryptions"],
+            c1_exponentiations=(
+                pk_after["exponentiations"] - pk_before["exponentiations"]
+            ),
+            c1_homomorphic_additions=(
+                pk_after["homomorphic_additions"] - pk_before["homomorphic_additions"]
+            ),
+            c2_decryptions=sk_after["decryptions"] - sk_before["decryptions"],
+            messages=traffic_after["messages"] - traffic_before["messages"],
+            ciphertexts_exchanged=(
+                traffic_after["ciphertexts"] - traffic_before["ciphertexts"]
+            ),
+            bytes_transferred=(
+                traffic_after["bytes_transferred"] - traffic_before["bytes_transferred"]
+            ),
+        )
+        self.last_report = SkNNRunReport(
+            protocol=self.name,
+            n_records=len(self.encrypted_table),
+            dimensions=self.encrypted_table.dimensions,
+            k=k,
+            key_size=self.public_key.key_size,
+            distance_bits=distance_bits,
+            wall_time_seconds=elapsed,
+            stats=stats,
+        )
+        return shares

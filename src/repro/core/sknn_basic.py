@@ -1,0 +1,76 @@
+"""SkNN_b — the basic (efficient but leaky) protocol, Algorithm 5 of the paper.
+
+Bob sends his attribute-wise encrypted query to C1.  C1 computes the encrypted
+squared distance to every record with SSED, then forwards *all* encrypted
+distances (paired with their record indices) to C2.  C2 — who holds the secret
+key — decrypts the distances, picks the indices of the ``k`` smallest, and
+returns that index list to C1.  C1 masks the corresponding encrypted records
+and the usual two-share delivery gives the plaintext records to Bob.
+
+Security characteristics (Section 4.3): the query and the record contents stay
+hidden, but
+
+* C2 learns every plaintext distance ``d_i``, and
+* both clouds learn *which* records are the k nearest neighbors (the data
+  access pattern).
+
+The paper accepts this leakage for applications where it is tolerable; the
+fully secure variant is :class:`~repro.core.sknn_secure.SkNNSecure`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.roles import ResultShares
+from repro.core.sknn_base import SkNNProtocol
+from repro.crypto.paillier import Ciphertext
+
+__all__ = ["SkNNBasic"]
+
+
+class SkNNBasic(SkNNProtocol):
+    """The basic secure kNN protocol (Algorithm 5)."""
+
+    name = "SkNNb"
+
+    def run(self, encrypted_query: Sequence[Ciphertext], k: int) -> ResultShares:
+        """Answer a kNN query, revealing distances to C2 and access patterns.
+
+        Args:
+            encrypted_query: Bob's attribute-wise encrypted query ``Epk(Q)``.
+            k: number of nearest neighbors requested.
+
+        Returns:
+            The two result shares for Bob (masks from C1, masked plaintext
+            attribute values decrypted by C2).
+        """
+        self._validate_query(encrypted_query, k)
+        c1, c2 = self.cloud.c1, self.cloud.c2
+
+        # Step 2: C1 and C2 jointly compute E(d_i) for every record.
+        encrypted_distances = self._compute_encrypted_distances(encrypted_query)
+
+        # Step 2(c): C1 sends the (index, E(d_i)) pairs to C2.
+        indexed = list(enumerate(encrypted_distances))
+        c1.send(indexed, tag="SkNNb.encrypted_distances")
+
+        # Step 3: C2 decrypts all distances and returns the top-k index list.
+        received = c2.receive(expected_tag="SkNNb.encrypted_distances")
+        plaintext_distances = [
+            (index, c2.decrypt_residue(ciphertext)) for index, ciphertext in received
+        ]
+        # Stable selection: ties are broken by record position, matching the
+        # plaintext LinearScanKNN oracle.
+        plaintext_distances.sort(key=lambda pair: (pair[1], pair[0]))
+        top_k_indices = [index for index, _ in plaintext_distances[:k]]
+        c2.send(top_k_indices, tag="SkNNb.topk_indices")
+
+        # Step 4: C1 selects the encrypted records named by the index list.
+        delta = c1.receive(expected_tag="SkNNb.topk_indices")
+        selected_records = [
+            list(self.encrypted_table.record_at(index).ciphertexts) for index in delta
+        ]
+
+        # Steps 4-6: mask, decrypt, and hand both shares to Bob.
+        return self._deliver_records(selected_records)

@@ -1,0 +1,157 @@
+"""End-to-end SkNN system: Alice, Bob, and the federated cloud in one object.
+
+:class:`SkNNSystem` wires together every role of the paper's setting so that a
+user of the library can go from a plaintext table to answered kNN queries in a
+few lines::
+
+    from repro import SkNNSystem
+    from repro.db import heart_disease_table, heart_disease_example_query
+
+    system = SkNNSystem.setup(heart_disease_table(include_diagnosis=False),
+                              key_size=512, mode="secure")
+    neighbors = system.query(heart_disease_example_query(), k=2)
+
+Internally ``setup`` performs Alice's key generation and database encryption,
+deploys the two clouds, and registers Bob; ``query`` performs Bob's query
+encryption, the chosen cloud protocol (SkNN_b, SkNN_m or parallel SkNN_b) and
+Bob's share recombination, returning plaintext records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Literal, Sequence
+
+from repro.core.cloud import FederatedCloud
+from repro.core.parallel import ParallelSkNNBasic
+from repro.core.roles import DataOwner, QueryClient
+from repro.core.sknn_base import SkNNRunReport
+from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_secure import SkNNSecure
+from repro.db.table import Table
+from repro.exceptions import ConfigurationError
+from repro.network.latency import LatencyModel
+
+__all__ = ["QueryAnswer", "SkNNSystem"]
+
+Mode = Literal["basic", "secure", "parallel"]
+
+
+@dataclass
+class QueryAnswer:
+    """The result of one kNN query as seen by Bob.
+
+    Attributes:
+        neighbors: the k nearest records as plaintext attribute tuples, in
+            increasing order of distance to the query.
+        report: protocol-side statistics for the run (``None`` for the
+            parallel backend, which reports through ``parallel_report``).
+        client_encrypt_seconds: Bob's cost to encrypt the query.
+        client_reconstruct_seconds: Bob's cost to recombine the two shares.
+    """
+
+    neighbors: list[tuple[int, ...]]
+    report: SkNNRunReport | None
+    client_encrypt_seconds: float
+    client_reconstruct_seconds: float
+
+
+class SkNNSystem:
+    """A complete deployment of the SkNN setting (Alice + C1 + C2 + Bob)."""
+
+    def __init__(self, owner: DataOwner, cloud: FederatedCloud,
+                 client: QueryClient, mode: Mode = "secure",
+                 distance_bits: int | None = None, workers: int = 6,
+                 parallel_backend: str = "process") -> None:
+        self.owner = owner
+        self.cloud = cloud
+        self.client = client
+        self.mode = mode
+        self.workers = workers
+        self.parallel_backend = parallel_backend
+        self.distance_bits = (
+            distance_bits if distance_bits is not None
+            else owner.distance_bit_length()
+        )
+        self._protocol = self._build_protocol()
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def setup(cls, table: Table, key_size: int = 512, mode: Mode = "secure",
+              k_default: int | None = None, rng: Random | None = None,
+              distance_bits: int | None = None, workers: int = 6,
+              parallel_backend: str = "process",
+              latency_model: LatencyModel | None = None) -> "SkNNSystem":
+        """Stand up the whole system from a plaintext table.
+
+        Args:
+            table: Alice's plaintext database.
+            key_size: Paillier key size ``K`` in bits.
+            mode: ``"basic"`` (Algorithm 5), ``"secure"`` (Algorithm 6) or
+                ``"parallel"`` (Section 5.3 parallel SkNN_b).
+            k_default: unused placeholder kept for API compatibility.
+            rng: optional deterministic randomness source (tests only).
+            distance_bits: override for the domain parameter ``l`` (defaults
+                to the value derived from the schema).
+            workers: worker count for the parallel mode.
+            parallel_backend: ``"process"``, ``"thread"`` or ``"serial"``.
+            latency_model: optional simulated network latency between clouds.
+        """
+        owner = DataOwner(table, key_size=key_size, rng=rng)
+        cloud = FederatedCloud.deploy(owner.keypair, rng=rng,
+                                      latency_model=latency_model)
+        cloud.c1.host_database(owner.encrypt_database())
+        client = QueryClient(owner.public_key, table.dimensions, rng=rng)
+        return cls(owner, cloud, client, mode=mode, distance_bits=distance_bits,
+                   workers=workers, parallel_backend=parallel_backend)
+
+    def _build_protocol(self):
+        """Instantiate the protocol object matching the configured mode."""
+        if self.mode == "basic":
+            return SkNNBasic(self.cloud)
+        if self.mode == "secure":
+            return SkNNSecure(self.cloud, distance_bits=self.distance_bits)
+        if self.mode == "parallel":
+            return ParallelSkNNBasic(self.cloud, workers=self.workers,
+                                     backend=self.parallel_backend)
+        raise ConfigurationError(f"unknown mode {self.mode!r}")
+
+    # -- queries ------------------------------------------------------------------
+    def query(self, query_record: Sequence[int], k: int) -> list[tuple[int, ...]]:
+        """Answer a kNN query and return the plaintext neighbor records."""
+        return self.query_with_report(query_record, k).neighbors
+
+    def query_with_report(self, query_record: Sequence[int], k: int) -> QueryAnswer:
+        """Answer a kNN query and return the neighbors plus run statistics."""
+        encrypted_query = self.client.encrypt_query(query_record)
+
+        if isinstance(self._protocol, ParallelSkNNBasic):
+            shares = self._protocol.run(encrypted_query, k)
+            report = None
+        else:
+            shares = self._protocol.run_with_report(
+                encrypted_query, k, distance_bits=self.distance_bits
+            )
+            report = self._protocol.last_report
+
+        neighbors = self.client.reconstruct(shares)
+        return QueryAnswer(
+            neighbors=neighbors,
+            report=report,
+            client_encrypt_seconds=self.client.last_cost.encrypt_query_seconds,
+            client_reconstruct_seconds=self.client.last_cost.reconstruct_seconds,
+        )
+
+    # -- accessors ------------------------------------------------------------------
+    @property
+    def parallel_report(self):
+        """Timing breakdown of the last parallel run (parallel mode only)."""
+        if isinstance(self._protocol, ParallelSkNNBasic):
+            return self._protocol.last_report
+        return None
+
+    @property
+    def key_size(self) -> int:
+        """The Paillier key size ``K`` of this deployment."""
+        return self.owner.keypair.key_size

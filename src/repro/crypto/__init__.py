@@ -1,0 +1,27 @@
+"""Cryptographic substrate: number theory, Paillier, and serialization.
+
+The paper assumes a semantically secure additively homomorphic public-key
+cryptosystem; this subpackage provides a self-contained Paillier
+implementation (no external crypto dependencies) plus the supporting number
+theory and a JSON wire format for keys and ciphertexts.
+"""
+
+from repro.crypto.paillier import (
+    DEFAULT_KEY_SIZE,
+    Ciphertext,
+    OperationCounter,
+    PaillierKeyPair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+
+__all__ = [
+    "DEFAULT_KEY_SIZE",
+    "Ciphertext",
+    "OperationCounter",
+    "PaillierKeyPair",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "generate_keypair",
+]

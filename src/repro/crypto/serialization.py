@@ -1,0 +1,152 @@
+"""Serialization of Paillier keys and ciphertexts.
+
+The data owner (Alice) encrypts her database once and ships it to cloud C1,
+and ships the secret key to cloud C2.  In a real deployment those artifacts
+cross process and machine boundaries, so the library provides a stable,
+JSON-compatible wire format for:
+
+* public keys,
+* private keys,
+* individual ciphertexts, and
+* whole encrypted tables (see :mod:`repro.db.encrypted_table`).
+
+Integers are encoded as lowercase hexadecimal strings so that arbitrarily
+large values survive JSON round-trips without precision loss.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.crypto.paillier import (
+    Ciphertext,
+    PaillierKeyPair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+)
+from repro.exceptions import SerializationError
+
+__all__ = [
+    "public_key_to_dict",
+    "public_key_from_dict",
+    "private_key_to_dict",
+    "private_key_from_dict",
+    "keypair_to_dict",
+    "keypair_from_dict",
+    "ciphertext_to_dict",
+    "ciphertext_from_dict",
+    "dumps",
+    "loads",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _int_to_hex(value: int) -> str:
+    """Encode a non-negative integer as a hex string."""
+    if value < 0:
+        raise SerializationError("cannot serialize negative integers")
+    return format(value, "x")
+
+
+def _hex_to_int(value: str) -> int:
+    """Decode a hex string produced by :func:`_int_to_hex`."""
+    try:
+        return int(value, 16)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid hex integer: {value!r}") from exc
+
+
+def public_key_to_dict(public_key: PaillierPublicKey) -> dict[str, Any]:
+    """Serialize a public key to a JSON-compatible dictionary."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "paillier-public-key",
+        "n": _int_to_hex(public_key.n),
+    }
+
+
+def public_key_from_dict(data: dict[str, Any]) -> PaillierPublicKey:
+    """Reconstruct a public key from :func:`public_key_to_dict` output."""
+    _validate_kind(data, "paillier-public-key")
+    return PaillierPublicKey(_hex_to_int(data["n"]))
+
+
+def private_key_to_dict(private_key: PaillierPrivateKey) -> dict[str, Any]:
+    """Serialize a private key (including its public part)."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "paillier-private-key",
+        "n": _int_to_hex(private_key.public_key.n),
+        "p": _int_to_hex(private_key.p),
+        "q": _int_to_hex(private_key.q),
+    }
+
+
+def private_key_from_dict(data: dict[str, Any]) -> PaillierPrivateKey:
+    """Reconstruct a private key from :func:`private_key_to_dict` output."""
+    _validate_kind(data, "paillier-private-key")
+    public = PaillierPublicKey(_hex_to_int(data["n"]))
+    return PaillierPrivateKey(public, _hex_to_int(data["p"]), _hex_to_int(data["q"]))
+
+
+def keypair_to_dict(keypair: PaillierKeyPair) -> dict[str, Any]:
+    """Serialize a full key pair."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "paillier-keypair",
+        "public": public_key_to_dict(keypair.public_key),
+        "private": private_key_to_dict(keypair.private_key),
+    }
+
+
+def keypair_from_dict(data: dict[str, Any]) -> PaillierKeyPair:
+    """Reconstruct a key pair from :func:`keypair_to_dict` output."""
+    _validate_kind(data, "paillier-keypair")
+    private = private_key_from_dict(data["private"])
+    return PaillierKeyPair(private.public_key, private)
+
+
+def ciphertext_to_dict(ciphertext: Ciphertext) -> dict[str, Any]:
+    """Serialize a single ciphertext (without the key material)."""
+    return {
+        "format": _FORMAT_VERSION,
+        "kind": "paillier-ciphertext",
+        "value": _int_to_hex(ciphertext.value),
+    }
+
+
+def ciphertext_from_dict(data: dict[str, Any],
+                         public_key: PaillierPublicKey) -> Ciphertext:
+    """Reconstruct a ciphertext under the supplied public key."""
+    _validate_kind(data, "paillier-ciphertext")
+    return Ciphertext(public_key, _hex_to_int(data["value"]))
+
+
+def dumps(data: dict[str, Any]) -> str:
+    """Serialize any of the dictionaries above to a JSON string."""
+    return json.dumps(data, sort_keys=True)
+
+
+def loads(text: str) -> dict[str, Any]:
+    """Parse a JSON string produced by :func:`dumps`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SerializationError("expected a JSON object at the top level")
+    return data
+
+
+def _validate_kind(data: dict[str, Any], expected_kind: str) -> None:
+    """Check the ``kind`` and ``format`` fields of a serialized object."""
+    if not isinstance(data, dict):
+        raise SerializationError(f"expected dict, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind != expected_kind:
+        raise SerializationError(f"expected kind {expected_kind!r}, got {kind!r}")
+    version = data.get("format")
+    if version != _FORMAT_VERSION:
+        raise SerializationError(f"unsupported format version: {version!r}")

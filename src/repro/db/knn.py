@@ -1,0 +1,161 @@
+"""Plaintext k-nearest-neighbor search — the correctness oracle and baseline.
+
+The secure protocols must return exactly the records a conventional kNN query
+over the plaintext table would return (the paper's *correctness* requirement).
+This module provides two plaintext engines:
+
+* :class:`LinearScanKNN` — exhaustive scan, O(n*m) per query; this mirrors the
+  access pattern of the secure protocols, which also touch every record.
+* :class:`KDTreeKNN` — a k-d tree index for sub-linear queries on plaintext
+  data; included as the "what you give up by encrypting" reference point used
+  in the examples and the plaintext-vs-secure benchmark.
+
+Both engines resolve distance ties by record insertion order (record index),
+which matches how the secure protocols behave: SkNN_b relies on a stable sort
+of distances and SkNN_m's SMIN_n returns the first minimum encountered in the
+tournament for equal values.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.db.table import Record, Table
+from repro.exceptions import QueryError
+
+__all__ = ["NeighborResult", "LinearScanKNN", "KDTreeKNN", "squared_euclidean"]
+
+
+def squared_euclidean(left: Sequence[int], right: Sequence[int]) -> int:
+    """Squared Euclidean distance between two equal-length integer vectors."""
+    if len(left) != len(right):
+        raise QueryError(
+            f"dimension mismatch: {len(left)} vs {len(right)}"
+        )
+    return sum((a - b) ** 2 for a, b in zip(left, right))
+
+
+@dataclass(frozen=True)
+class NeighborResult:
+    """One neighbor returned by a kNN query."""
+
+    record: Record
+    squared_distance: int
+
+    @property
+    def record_id(self) -> str:
+        """Identifier of the neighboring record."""
+        return self.record.record_id
+
+
+class LinearScanKNN:
+    """Exact kNN by exhaustive scan over the plaintext table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def query(self, query_point: Sequence[int], k: int) -> list[NeighborResult]:
+        """Return the ``k`` nearest records to ``query_point``.
+
+        Ties are broken by record position (earlier records win), matching the
+        behaviour of the secure protocols.
+
+        Raises:
+            QueryError: if ``k`` is not in ``[1, n]`` or the query has the
+                wrong number of attributes.
+        """
+        _validate_query(self.table, query_point, k)
+        scored = [
+            (squared_euclidean(record.values, query_point), index, record)
+            for index, record in enumerate(self.table)
+        ]
+        smallest = heapq.nsmallest(k, scored)
+        return [NeighborResult(record, distance) for distance, _, record in smallest]
+
+
+class _KDNode:
+    """Internal node of the k-d tree."""
+
+    __slots__ = ("index", "record", "axis", "left", "right")
+
+    def __init__(self, index: int, record: Record, axis: int) -> None:
+        self.index = index
+        self.record = record
+        self.axis = axis
+        self.left: "_KDNode | None" = None
+        self.right: "_KDNode | None" = None
+
+
+class KDTreeKNN:
+    """Exact kNN using a k-d tree built over the plaintext table.
+
+    Provided as the plaintext-performance reference: on low-dimensional data a
+    k-d tree answers queries in roughly O(log n) node visits, an optimization
+    that is unavailable once the data is encrypted (the secure protocols must
+    touch every record precisely so that access patterns stay hidden).
+    """
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        items = list(enumerate(table.records))
+        self._root = self._build(items, depth=0)
+
+    # -- construction ------------------------------------------------------------
+    def _build(self, items: list[tuple[int, Record]], depth: int) -> _KDNode | None:
+        if not items:
+            return None
+        axis = depth % self.table.dimensions
+        items.sort(key=lambda pair: pair[1].values[axis])
+        median = len(items) // 2
+        index, record = items[median]
+        node = _KDNode(index, record, axis)
+        node.left = self._build(items[:median], depth + 1)
+        node.right = self._build(items[median + 1:], depth + 1)
+        return node
+
+    # -- queries ------------------------------------------------------------------
+    def query(self, query_point: Sequence[int], k: int) -> list[NeighborResult]:
+        """Return the ``k`` nearest records to ``query_point`` (exact)."""
+        _validate_query(self.table, query_point, k)
+        # Max-heap of the best k candidates: (-distance, -index, record).
+        heap: list[tuple[int, int, Record]] = []
+
+        def visit(node: _KDNode | None) -> None:
+            if node is None:
+                return
+            distance = squared_euclidean(node.record.values, query_point)
+            entry = (-distance, -node.index, node.record)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+            axis_difference = query_point[node.axis] - node.record.values[node.axis]
+            near, far = (node.left, node.right) if axis_difference <= 0 \
+                else (node.right, node.left)
+            visit(near)
+            # Only descend into the far side if the splitting plane could
+            # still contain a closer neighbor than the current k-th best.
+            worst = -heap[0][0] if len(heap) == k else None
+            if worst is None or axis_difference * axis_difference <= worst:
+                visit(far)
+
+        visit(self._root)
+        ordered = sorted(heap, key=lambda item: (-item[0], -item[1]))
+        return [NeighborResult(record, -neg_distance)
+                for neg_distance, _, record in ordered]
+
+
+def _validate_query(table: Table, query_point: Sequence[int], k: int) -> None:
+    """Shared validation for the kNN engines."""
+    if len(table) == 0:
+        raise QueryError("cannot query an empty table")
+    if not isinstance(k, int) or k < 1:
+        raise QueryError(f"k must be a positive integer, got {k!r}")
+    if k > len(table):
+        raise QueryError(f"k={k} exceeds the table size {len(table)}")
+    if len(query_point) != table.dimensions:
+        raise QueryError(
+            f"query has {len(query_point)} attributes, table has {table.dimensions}"
+        )

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the SkNN reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the broad failure classes (cryptography, protocol,
+database, configuration).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures (key generation, enc/dec)."""
+
+
+class KeyGenerationError(CryptoError):
+    """Raised when Paillier key generation cannot produce a valid key pair."""
+
+
+class EncryptionError(CryptoError):
+    """Raised when a plaintext cannot be encrypted (e.g. out of range)."""
+
+
+class DecryptionError(CryptoError):
+    """Raised when a ciphertext cannot be decrypted with the given key."""
+
+
+class KeyMismatchError(CryptoError):
+    """Raised when ciphertexts under different public keys are combined."""
+
+
+class SerializationError(ReproError):
+    """Raised when keys, ciphertexts or tables fail to (de)serialize."""
+
+
+class ProtocolError(ReproError):
+    """Base class for secure two-party protocol failures."""
+
+
+class ProtocolAbortError(ProtocolError):
+    """Raised when a party aborts a protocol because of malformed input."""
+
+
+class DomainError(ProtocolError):
+    """Raised when a value falls outside the declared domain ``[0, 2**l)``."""
+
+
+class ChannelError(ReproError):
+    """Raised on misuse of the in-memory communication channel."""
+
+
+class DatabaseError(ReproError):
+    """Base class for database substrate failures."""
+
+
+class SchemaError(DatabaseError):
+    """Raised when records do not conform to the declared schema."""
+
+
+class QueryError(DatabaseError):
+    """Raised when a kNN query is malformed (wrong arity, bad k, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a system component is configured inconsistently."""

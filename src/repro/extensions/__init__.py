@@ -1,0 +1,11 @@
+"""Extensions built on the SkNN protocols (applications the paper motivates).
+
+Currently: :class:`SecureKNNClassifier` — kNN classification over an encrypted
+training table, the first of the data-mining applications (classification,
+clustering, outlier detection) the paper cites as direct consumers of an exact
+secure-kNN primitive.
+"""
+
+from repro.extensions.classifier import ClassificationResult, SecureKNNClassifier
+
+__all__ = ["SecureKNNClassifier", "ClassificationResult"]

@@ -1,0 +1,178 @@
+"""In-memory duplex channel between the two cloud parties.
+
+Protocol implementations never hand Python objects from one party to the
+other directly: every value crosses a :class:`DuplexChannel`, which
+
+* counts messages, ciphertexts and payload bytes in both directions,
+* accumulates simulated network delay according to a
+  :class:`~repro.network.latency.LatencyModel`, and
+* enforces FIFO ordering so the transcript of a protocol run is well defined.
+
+This is the reproduction's substitute for the paper's two cloud processes: it
+preserves the protocol transcript (the sequence and content of exchanged
+messages) while keeping everything testable inside one Python process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.crypto.paillier import Ciphertext
+from repro.exceptions import ChannelError
+from repro.network.latency import LatencyModel, ZeroLatency
+from repro.network.stats import TrafficStats
+
+__all__ = ["Message", "DuplexChannel"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message on the wire.
+
+    Attributes:
+        sender: logical name of the sending party (e.g. ``"C1"``).
+        recipient: logical name of the receiving party.
+        tag: protocol-defined label describing the payload (useful when
+            inspecting transcripts in tests, e.g. ``"SM.masked_operands"``).
+        payload: the transported value; may be a ciphertext, an integer, or a
+            (possibly nested) list/tuple of those.
+    """
+
+    sender: str
+    recipient: str
+    tag: str
+    payload: Any
+
+
+def _count_payload(payload: Any) -> tuple[int, int, int]:
+    """Return ``(ciphertexts, plaintext_items, payload_bytes)`` for a payload.
+
+    Ciphertext size is taken as the byte length of the underlying integer
+    (an element of ``Z_{N^2}``), matching what a binary wire format would
+    carry.  Plain integers contribute their own byte length.
+    """
+    if isinstance(payload, Ciphertext):
+        return 1, 0, (payload.value.bit_length() + 7) // 8
+    if isinstance(payload, bool):
+        return 0, 1, 1
+    if isinstance(payload, int):
+        return 0, 1, (abs(payload).bit_length() + 7) // 8 or 1
+    if isinstance(payload, (list, tuple)):
+        ciphertexts = plaintexts = size = 0
+        for item in payload:
+            c, p, s = _count_payload(item)
+            ciphertexts += c
+            plaintexts += p
+            size += s
+        return ciphertexts, plaintexts, size
+    if isinstance(payload, dict):
+        return _count_payload(list(payload.values()))
+    if payload is None:
+        return 0, 0, 0
+    if isinstance(payload, str):
+        return 0, 1, len(payload.encode("utf-8"))
+    raise ChannelError(f"unsupported payload type on channel: {type(payload).__name__}")
+
+
+class DuplexChannel:
+    """Bidirectional FIFO channel between two named endpoints.
+
+    The channel is deliberately synchronous: a ``send`` enqueues a message and
+    the matching ``receive`` dequeues it.  Protocol drivers interleave the two
+    parties' steps in program order, which produces exactly the transcript a
+    real sequential execution of the two-party protocol would produce.
+    """
+
+    def __init__(self, endpoint_a: str = "C1", endpoint_b: str = "C2",
+                 latency_model: LatencyModel | None = None) -> None:
+        self.endpoint_a = endpoint_a
+        self.endpoint_b = endpoint_b
+        self._queues: dict[str, deque[Message]] = {
+            endpoint_a: deque(),
+            endpoint_b: deque(),
+        }
+        self._latency_model = latency_model or ZeroLatency()
+        #: traffic statistics per sending endpoint
+        self.traffic: dict[str, TrafficStats] = {
+            endpoint_a: TrafficStats(),
+            endpoint_b: TrafficStats(),
+        }
+        #: total simulated network delay accumulated so far (seconds)
+        self.simulated_delay_seconds = 0.0
+        #: full transcript of every message sent (used by security tests)
+        self.transcript: list[Message] = []
+
+    # -- helpers ------------------------------------------------------------
+    def _other(self, endpoint: str) -> str:
+        if endpoint == self.endpoint_a:
+            return self.endpoint_b
+        if endpoint == self.endpoint_b:
+            return self.endpoint_a
+        raise ChannelError(f"unknown endpoint {endpoint!r}")
+
+    # -- primary API ----------------------------------------------------------
+    def send(self, sender: str, payload: Any, tag: str = "") -> None:
+        """Send ``payload`` from ``sender`` to the opposite endpoint."""
+        recipient = self._other(sender)
+        message = Message(sender=sender, recipient=recipient, tag=tag, payload=payload)
+        ciphertexts, plaintexts, size = _count_payload(payload)
+        self.traffic[sender].record(ciphertexts, plaintexts, size)
+        self.simulated_delay_seconds += self._latency_model.delay_for_message(size)
+        self._queues[recipient].append(message)
+        self.transcript.append(message)
+
+    def receive(self, recipient: str, expected_tag: str | None = None) -> Any:
+        """Receive the next pending message addressed to ``recipient``.
+
+        Args:
+            recipient: the endpoint reading its inbox.
+            expected_tag: optional tag check; a mismatch indicates a protocol
+                implementation bug and raises :class:`ChannelError`.
+        """
+        if recipient not in self._queues:
+            raise ChannelError(f"unknown endpoint {recipient!r}")
+        queue = self._queues[recipient]
+        if not queue:
+            raise ChannelError(f"no pending message for {recipient!r}")
+        message = queue.popleft()
+        if expected_tag is not None and message.tag != expected_tag:
+            raise ChannelError(
+                f"expected message tagged {expected_tag!r} but got {message.tag!r}"
+            )
+        return message.payload
+
+    def pending(self, recipient: str) -> int:
+        """Number of undelivered messages waiting for ``recipient``."""
+        if recipient not in self._queues:
+            raise ChannelError(f"unknown endpoint {recipient!r}")
+        return len(self._queues[recipient])
+
+    # -- accounting -----------------------------------------------------------
+    def total_traffic(self) -> TrafficStats:
+        """Aggregate traffic over both directions."""
+        a = self.traffic[self.endpoint_a]
+        b = self.traffic[self.endpoint_b]
+        return a.merged_with(b)
+
+    def reset_accounting(self) -> None:
+        """Clear traffic statistics and the transcript (queues must be empty)."""
+        for queue in self._queues.values():
+            if queue:
+                raise ChannelError("cannot reset accounting with undelivered messages")
+        for stats in self.traffic.values():
+            stats.reset()
+        self.simulated_delay_seconds = 0.0
+        self.transcript.clear()
+
+    def transcript_payloads(self, sender: str | None = None) -> Iterable[Any]:
+        """Yield payloads from the transcript, optionally filtered by sender.
+
+        Security tests use this to assert that everything a party ever sees on
+        the wire is either a ciphertext or a value that is (statistically)
+        independent of the private inputs.
+        """
+        for message in self.transcript:
+            if sender is None or message.sender == sender:
+                yield message.payload

@@ -1,0 +1,153 @@
+"""Party abstractions for the two-cloud (federated cloud) setting.
+
+The paper assumes two non-colluding semi-honest cloud providers:
+
+* **C1** stores the attribute-wise encrypted database ``Epk(T)`` and performs
+  the bulk of the homomorphic computation.  It knows only the public key.
+* **C2** holds the Paillier secret key ``sk`` and assists C1 by decrypting
+  carefully randomized intermediate values.
+
+Within the secure sub-protocols of Section 3 the same two roles are called
+``P1`` and ``P2``; this module provides both naming conventions on top of the
+same classes.  All inter-party data flow goes through a
+:class:`~repro.network.channel.DuplexChannel` so the transcript and traffic of
+every protocol execution can be inspected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.crypto.paillier import (
+    Ciphertext,
+    OperationCounter,
+    PaillierKeyPair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+)
+from repro.exceptions import ConfigurationError
+from repro.network.channel import DuplexChannel
+from repro.network.latency import LatencyModel
+
+__all__ = ["Party", "EvaluatorParty", "DecryptorParty", "TwoPartySetting"]
+
+
+class Party:
+    """A named protocol participant bound to a public key and a channel."""
+
+    def __init__(self, name: str, public_key: PaillierPublicKey,
+                 channel: DuplexChannel, rng: Random | None = None) -> None:
+        self.name = name
+        self.public_key = public_key
+        self.channel = channel
+        self.rng = rng if rng is not None else Random()
+        if name not in (channel.endpoint_a, channel.endpoint_b):
+            raise ConfigurationError(
+                f"party {name!r} is not an endpoint of the supplied channel"
+            )
+
+    # -- messaging ----------------------------------------------------------
+    def send(self, payload: object, tag: str = "") -> None:
+        """Send ``payload`` to the opposite endpoint of the channel."""
+        self.channel.send(self.name, payload, tag)
+
+    def receive(self, expected_tag: str | None = None) -> object:
+        """Receive the next message addressed to this party."""
+        return self.channel.receive(self.name, expected_tag)
+
+    # -- crypto helpers -------------------------------------------------------
+    @property
+    def counter(self) -> OperationCounter:
+        """The operation counter of the public key this party uses."""
+        return self.public_key.counter
+
+    def random_nonzero(self) -> int:
+        """Uniform random value in ``[1, N)`` (the paper's ``r in_R Z_N``).
+
+        Random masks must be non-zero: a zero mask would make a "randomized"
+        difference reveal the true value with certainty.
+        """
+        return self.rng.randrange(1, self.public_key.n)
+
+    def random_in_zn(self) -> int:
+        """Uniform random value in ``[0, N)``."""
+        return self.rng.randrange(self.public_key.n)
+
+    def encrypt(self, value: int) -> Ciphertext:
+        """Encrypt a signed integer under the shared public key."""
+        return self.public_key.encrypt(value, rng=self.rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class EvaluatorParty(Party):
+    """The party that evaluates over ciphertexts but cannot decrypt (C1/P1)."""
+
+
+class DecryptorParty(Party):
+    """The party that holds the Paillier secret key (C2/P2)."""
+
+    def __init__(self, name: str, private_key: PaillierPrivateKey,
+                 channel: DuplexChannel, rng: Random | None = None) -> None:
+        super().__init__(name, private_key.public_key, channel, rng)
+        self.private_key = private_key
+
+    def decrypt_signed(self, ciphertext: Ciphertext) -> int:
+        """Decrypt with signed decoding (values above N/2 read as negative)."""
+        return self.private_key.decrypt(ciphertext)
+
+    def decrypt_residue(self, ciphertext: Ciphertext) -> int:
+        """Decrypt to the raw residue in ``[0, N)`` (no signed decoding)."""
+        return self.private_key.decrypt_raw_residue(ciphertext)
+
+
+@dataclass
+class TwoPartySetting:
+    """The standard two-party environment used by every protocol in the paper.
+
+    Bundles the evaluator (C1), the decryptor (C2) and their shared channel.
+    Construct it with :meth:`create` from a key pair; protocol classes then
+    take a ``TwoPartySetting`` instead of loose parties, which keeps call
+    sites short and guarantees both parties share one channel.
+    """
+
+    evaluator: EvaluatorParty
+    decryptor: DecryptorParty
+    channel: DuplexChannel
+
+    @classmethod
+    def create(cls, keypair: PaillierKeyPair, rng: Random | None = None,
+               evaluator_name: str = "C1", decryptor_name: str = "C2",
+               latency_model: LatencyModel | None = None) -> "TwoPartySetting":
+        """Build a fresh two-party setting from a Paillier key pair.
+
+        Args:
+            keypair: the key pair; the public part goes to both parties, the
+                private part only to the decryptor.
+            rng: optional deterministic randomness source shared by both
+                parties' protocol masks (tests only).
+            evaluator_name: channel endpoint name for C1.
+            decryptor_name: channel endpoint name for C2.
+            latency_model: optional network latency model for the channel.
+        """
+        channel = DuplexChannel(evaluator_name, decryptor_name, latency_model)
+        evaluator_rng = rng
+        decryptor_rng = Random(rng.random()) if rng is not None else None
+        evaluator = EvaluatorParty(evaluator_name, keypair.public_key, channel,
+                                   evaluator_rng)
+        decryptor = DecryptorParty(decryptor_name, keypair.private_key, channel,
+                                   decryptor_rng)
+        return cls(evaluator=evaluator, decryptor=decryptor, channel=channel)
+
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        """The shared Paillier public key."""
+        return self.evaluator.public_key
+
+    def reset_counters(self) -> None:
+        """Reset crypto-operation counters and channel accounting."""
+        self.evaluator.public_key.counter.reset()
+        self.decryptor.private_key.counter.reset()
+        self.channel.reset_accounting()

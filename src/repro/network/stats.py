@@ -1,0 +1,107 @@
+"""Traffic and protocol statistics collected by the network substrate.
+
+The paper's evaluation reports computation time only, but reproducing the
+protocols faithfully also requires accounting for *what* is exchanged between
+the two clouds: the number of messages, the number of ciphertexts, and the
+total payload size.  These statistics also let tests verify the complexity
+analysis of Section 4.4 (e.g. SM exchanges exactly three ciphertexts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficStats:
+    """Accumulated statistics for one direction of a channel."""
+
+    messages: int = 0
+    ciphertexts: int = 0
+    plaintext_items: int = 0
+    bytes_transferred: int = 0
+
+    def record(self, ciphertexts: int, plaintext_items: int, payload_bytes: int) -> None:
+        """Record one message with the given composition."""
+        self.messages += 1
+        self.ciphertexts += ciphertexts
+        self.plaintext_items += plaintext_items
+        self.bytes_transferred += payload_bytes
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.messages = 0
+        self.ciphertexts = 0
+        self.plaintext_items = 0
+        self.bytes_transferred = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary (for reporting)."""
+        return {
+            "messages": self.messages,
+            "ciphertexts": self.ciphertexts,
+            "plaintext_items": self.plaintext_items,
+            "bytes_transferred": self.bytes_transferred,
+        }
+
+    def merged_with(self, other: "TrafficStats") -> "TrafficStats":
+        """Return a new object with the element-wise sum of two stats."""
+        return TrafficStats(
+            messages=self.messages + other.messages,
+            ciphertexts=self.ciphertexts + other.ciphertexts,
+            plaintext_items=self.plaintext_items + other.plaintext_items,
+            bytes_transferred=self.bytes_transferred + other.bytes_transferred,
+        )
+
+
+@dataclass
+class ProtocolRunStats:
+    """Statistics of one end-to-end protocol execution.
+
+    Combines the crypto-operation counters of both parties with the channel
+    traffic, plus the wall-clock time measured by the runner.  This is the
+    record the benchmark harness serializes for every experiment row.
+    """
+
+    protocol: str = ""
+    wall_time_seconds: float = 0.0
+    c1_encryptions: int = 0
+    c1_exponentiations: int = 0
+    c1_homomorphic_additions: int = 0
+    c2_encryptions: int = 0
+    c2_decryptions: int = 0
+    c2_exponentiations: int = 0
+    messages: int = 0
+    ciphertexts_exchanged: int = 0
+    bytes_transferred: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_encryptions(self) -> int:
+        """Total encryptions across both clouds."""
+        return self.c1_encryptions + self.c2_encryptions
+
+    @property
+    def total_exponentiations(self) -> int:
+        """Total ciphertext exponentiations across both clouds."""
+        return self.c1_exponentiations + self.c2_exponentiations
+
+    @property
+    def total_decryptions(self) -> int:
+        """Total decryptions (only C2 can decrypt)."""
+        return self.c2_decryptions
+
+    def as_row(self) -> dict[str, float]:
+        """Flatten into a single dictionary suitable for tabular reporting."""
+        row: dict[str, float] = {
+            "protocol": self.protocol,
+            "wall_time_seconds": self.wall_time_seconds,
+            "encryptions": self.total_encryptions,
+            "decryptions": self.total_decryptions,
+            "exponentiations": self.total_exponentiations,
+            "messages": self.messages,
+            "ciphertexts_exchanged": self.ciphertexts_exchanged,
+            "bytes_transferred": self.bytes_transferred,
+        }
+        row.update(self.extra)
+        return row

@@ -1,0 +1,140 @@
+"""Shared machinery for the two-party secure sub-protocols of Section 3.
+
+Every sub-protocol (SM, SSED, SBD, SMIN, SMIN_n, SBOR) runs between the same
+two parties:
+
+* ``P1`` — the evaluator (cloud C1): holds ciphertexts and the public key;
+* ``P2`` — the decryptor (cloud C2): holds the Paillier secret key.
+
+Protocol classes derive from :class:`TwoPartyProtocol`, which stores the
+:class:`~repro.network.party.TwoPartySetting` and exposes the small set of
+ciphertext manipulations that appear over and over in the paper's algorithms
+(homomorphic subtraction, multiplication by ``N - r`` to realize ``-r``, and
+fresh randomization).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.exceptions import ProtocolError
+from repro.network.party import DecryptorParty, EvaluatorParty, TwoPartySetting
+from repro.network.stats import ProtocolRunStats
+
+__all__ = ["TwoPartyProtocol", "ProtocolResult"]
+
+
+@dataclass
+class ProtocolResult:
+    """Return value of an instrumented protocol execution.
+
+    Attributes:
+        output: the protocol's functional output (known only to P1).
+        stats: operation and traffic statistics gathered during the run.
+    """
+
+    output: Any
+    stats: ProtocolRunStats
+
+
+class TwoPartyProtocol:
+    """Base class for all of the paper's two-party sub-protocols."""
+
+    #: short protocol name used in statistics and logging ("SM", "SSED", ...)
+    name = "two-party-protocol"
+
+    def __init__(self, setting: TwoPartySetting) -> None:
+        self.setting = setting
+
+    # -- party / key accessors ------------------------------------------------
+    @property
+    def p1(self) -> EvaluatorParty:
+        """The evaluator party (cloud C1)."""
+        return self.setting.evaluator
+
+    @property
+    def p2(self) -> DecryptorParty:
+        """The decryptor party (cloud C2) holding the secret key."""
+        return self.setting.decryptor
+
+    @property
+    def pk(self) -> PaillierPublicKey:
+        """The shared Paillier public key."""
+        return self.setting.public_key
+
+    # -- ciphertext helpers -----------------------------------------------------
+    def sub(self, left: Ciphertext, right: Ciphertext) -> Ciphertext:
+        """Homomorphic subtraction ``E(a - b) = E(a) * E(b)^{N-1}``."""
+        return left + (right * (self.pk.n - 1))
+
+    def scale(self, ciphertext: Ciphertext, scalar: int) -> Ciphertext:
+        """Homomorphic scalar multiplication ``E(a * s) = E(a)^s``."""
+        return ciphertext * (scalar % self.pk.n)
+
+    def add_plain(self, ciphertext: Ciphertext, value: int) -> Ciphertext:
+        """Homomorphic addition of a plaintext constant (mod N)."""
+        return ciphertext + (value % self.pk.n)
+
+    def encrypt_constant(self, value: int) -> Ciphertext:
+        """Fresh probabilistic encryption of a constant by P1."""
+        return self.p1.encrypt(value)
+
+    def require(self, condition: bool, message: str) -> None:
+        """Raise :class:`ProtocolError` when a protocol precondition fails."""
+        if not condition:
+            raise ProtocolError(f"{self.name}: {message}")
+
+    # -- instrumentation --------------------------------------------------------
+    def run_instrumented(self, *args: Any, **kwargs: Any) -> ProtocolResult:
+        """Run the protocol and collect operation/traffic statistics.
+
+        The counters of both parties and the channel are snapshotted before
+        and after the run, so nested usage (e.g. SSED calling SM) attributes
+        all work to the outermost instrumented call.
+        """
+        pk_counter_before = self.pk.counter.snapshot()
+        sk_counter_before = self.p2.private_key.counter.snapshot()
+        traffic_before = self.setting.channel.total_traffic().snapshot()
+
+        started = time.perf_counter()
+        output = self.run(*args, **kwargs)
+        elapsed = time.perf_counter() - started
+
+        pk_counter_after = self.pk.counter.snapshot()
+        sk_counter_after = self.p2.private_key.counter.snapshot()
+        traffic_after = self.setting.channel.total_traffic().snapshot()
+
+        stats = ProtocolRunStats(
+            protocol=self.name,
+            wall_time_seconds=elapsed,
+            c1_encryptions=(
+                pk_counter_after["encryptions"] - pk_counter_before["encryptions"]
+            ),
+            c1_exponentiations=(
+                pk_counter_after["exponentiations"]
+                - pk_counter_before["exponentiations"]
+            ),
+            c1_homomorphic_additions=(
+                pk_counter_after["homomorphic_additions"]
+                - pk_counter_before["homomorphic_additions"]
+            ),
+            c2_decryptions=(
+                sk_counter_after["decryptions"] - sk_counter_before["decryptions"]
+            ),
+            messages=traffic_after["messages"] - traffic_before["messages"],
+            ciphertexts_exchanged=(
+                traffic_after["ciphertexts"] - traffic_before["ciphertexts"]
+            ),
+            bytes_transferred=(
+                traffic_after["bytes_transferred"]
+                - traffic_before["bytes_transferred"]
+            ),
+        )
+        return ProtocolResult(output=output, stats=stats)
+
+    def run(self, *args: Any, **kwargs: Any) -> Any:
+        """Execute the protocol; implemented by subclasses."""
+        raise NotImplementedError

@@ -1,0 +1,65 @@
+"""Secure Bit-OR (SBOR) and Secure Bit-XOR (SBXOR) protocols.
+
+SBOR (Section 3 of the paper): P1 holds encryptions of two bits ``o_1`` and
+``o_2``; with the help of P2 it computes ``Epk(o_1 OR o_2)`` using the
+identity ``o_1 OR o_2 = o_1 + o_2 - o_1 AND o_2``, where the AND of two bits
+is their product and is computed with one Secure Multiplication.
+
+SBXOR is not named as a separate primitive in Section 3, but the identity
+``o_1 XOR o_2 = o_1 + o_2 - 2 * (o_1 AND o_2)`` is used inside SMIN
+(the ``G_i`` vector of Algorithm 3); it is exposed here as a reusable
+protocol for symmetry and for testing.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import Ciphertext
+from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.sm import SecureMultiplication
+
+__all__ = ["SecureBitOr", "SecureBitXor"]
+
+
+class SecureBitOr(TwoPartyProtocol):
+    """Two-party secure OR of two encrypted bits."""
+
+    name = "SBOR"
+
+    def __init__(self, setting) -> None:
+        super().__init__(setting)
+        self._sm = SecureMultiplication(setting)
+
+    def run(self, enc_bit_a: Ciphertext, enc_bit_b: Ciphertext) -> Ciphertext:
+        """Compute ``Epk(o_1 OR o_2)`` from ``Epk(o_1)`` and ``Epk(o_2)``.
+
+        The inputs must encrypt bits (0 or 1); the protocol does not — and by
+        design cannot — check this, exactly as in the paper.
+        """
+        enc_and = self._sm.run(enc_bit_a, enc_bit_b)
+        # E(o1 + o2) * E(o1*o2)^{N-1}  ==  E(o1 + o2 - o1*o2)
+        return self.sub(enc_bit_a + enc_bit_b, enc_and)
+
+
+class SecureBitXor(TwoPartyProtocol):
+    """Two-party secure XOR of two encrypted bits (used inside SMIN)."""
+
+    name = "SBXOR"
+
+    def __init__(self, setting) -> None:
+        super().__init__(setting)
+        self._sm = SecureMultiplication(setting)
+
+    def run(self, enc_bit_a: Ciphertext, enc_bit_b: Ciphertext) -> Ciphertext:
+        """Compute ``Epk(o_1 XOR o_2)`` from ``Epk(o_1)`` and ``Epk(o_2)``."""
+        enc_and = self._sm.run(enc_bit_a, enc_bit_b)
+        return self.xor_from_product(enc_bit_a, enc_bit_b, enc_and)
+
+    def xor_from_product(self, enc_bit_a: Ciphertext, enc_bit_b: Ciphertext,
+                         enc_product: Ciphertext) -> Ciphertext:
+        """XOR given an already-computed encrypted product of the two bits.
+
+        SMIN computes ``Epk(u_i * v_i)`` once and reuses it for both its
+        ``W_i`` and ``G_i`` vectors; this helper performs only the local
+        (non-interactive) part: ``E(a + b - 2ab)``.
+        """
+        return self.sub(enc_bit_a + enc_bit_b, enc_product * 2)

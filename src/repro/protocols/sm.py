@@ -1,0 +1,81 @@
+"""Secure Multiplication (SM) protocol — Algorithm 1 of the paper.
+
+Given ``Epk(a)`` and ``Epk(b)`` held by P1 and the secret key held by P2, the
+protocol returns ``Epk(a * b)`` to P1 without revealing ``a`` or ``b`` to
+either party.  It relies on the identity (Equation 1 of the paper)::
+
+    a * b = (a + r_a)(b + r_b) - a*r_b - b*r_a - r_a*r_b      (mod N)
+
+P1 additively masks both operands with fresh random values, P2 decrypts the
+masked operands, multiplies them in the clear and returns the encryption of
+the product, and P1 strips the three cross terms homomorphically.
+
+What each party sees
+--------------------
+* P2 sees ``a + r_a mod N`` and ``b + r_b mod N`` — uniformly random values
+  because the masks are uniform in ``Z_N``.
+* P1 sees only ciphertexts.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import Ciphertext
+from repro.protocols.base import TwoPartyProtocol
+
+__all__ = ["SecureMultiplication"]
+
+
+class SecureMultiplication(TwoPartyProtocol):
+    """Two-party secure multiplication of Paillier-encrypted values."""
+
+    name = "SM"
+
+    def run(self, enc_a: Ciphertext, enc_b: Ciphertext) -> Ciphertext:
+        """Compute ``Epk(a * b)`` from ``Epk(a)`` and ``Epk(b)``.
+
+        Args:
+            enc_a: ``Epk(a)`` held by P1.
+            enc_b: ``Epk(b)`` held by P1.
+
+        Returns:
+            ``Epk(a * b mod N)``, known only to P1.
+        """
+        masked_a, masked_b, r_a, r_b = self._p1_mask_operands(enc_a, enc_b)
+        self.p1.send([masked_a, masked_b], tag="SM.masked_operands")
+
+        product_cipher = self._p2_multiply_masked()
+        self.p2.send(product_cipher, tag="SM.masked_product")
+
+        received = self.p1.receive(expected_tag="SM.masked_product")
+        return self._p1_unmask(received, enc_a, enc_b, r_a, r_b)
+
+    # -- P1 steps ---------------------------------------------------------------
+    def _p1_mask_operands(
+        self, enc_a: Ciphertext, enc_b: Ciphertext
+    ) -> tuple[Ciphertext, Ciphertext, int, int]:
+        """Step 1: P1 additively masks both operands with fresh randomness."""
+        r_a = self.p1.random_in_zn()
+        r_b = self.p1.random_in_zn()
+        masked_a = enc_a + self.p1.encrypt(r_a)
+        masked_b = enc_b + self.p1.encrypt(r_b)
+        return masked_a, masked_b, r_a, r_b
+
+    def _p1_unmask(self, product_cipher: Ciphertext, enc_a: Ciphertext,
+                   enc_b: Ciphertext, r_a: int, r_b: int) -> Ciphertext:
+        """Step 3: P1 removes the cross terms from ``E((a+r_a)(b+r_b))``."""
+        n = self.pk.n
+        # s  = h' * E(a)^{N - r_b}        == E((a+r_a)(b+r_b) - a*r_b)
+        s = product_cipher + (enc_a * (n - r_b))
+        # s' = s * E(b)^{N - r_a}          == ... - b*r_a
+        s_prime = s + (enc_b * (n - r_a))
+        # result = s' * E(r_a * r_b)^{N-1} == ... - r_a*r_b
+        return self.add_plain(s_prime, -(r_a * r_b) % n)
+
+    # -- P2 steps ---------------------------------------------------------------
+    def _p2_multiply_masked(self) -> Ciphertext:
+        """Step 2: P2 decrypts the masked operands and multiplies them."""
+        masked_a, masked_b = self.p2.receive(expected_tag="SM.masked_operands")
+        h_a = self.p2.decrypt_residue(masked_a)
+        h_b = self.p2.decrypt_residue(masked_b)
+        h = (h_a * h_b) % self.pk.n
+        return self.p2.encrypt(h)

@@ -1,0 +1,163 @@
+"""Secure Minimum (SMIN) protocol — Algorithm 3 of the paper.
+
+P1 holds two encrypted bit vectors ``[u]`` and ``[v]`` (most significant bit
+first, ``0 <= u, v < 2**l``); P2 holds the secret key.  The protocol outputs
+``[min(u, v)]`` to P1 while hiding ``u``, ``v`` *and which of the two is the
+minimum* from both parties.
+
+The trick that hides the comparison outcome is that P1 secretly flips a coin
+to choose the functionality ``F`` — either "is u > v?" or "is v > u?" — and
+runs an oblivious comparison whose one-bit outcome ``alpha`` is learned only
+by P2 in terms of the *randomly chosen* F.  Since P2 does not know F, alpha
+tells it nothing; since P1 never sees alpha in the clear (only ``Epk(alpha)``)
+it also learns nothing.  P1 then combines ``Epk(alpha)`` with the masked
+differences ``Gamma_i`` so that the final encrypted bits satisfy::
+
+    F: u > v   ->   min_i = u_i + alpha * (v_i - u_i)
+    F: v > u   ->   min_i = v_i + alpha * (u_i - v_i)
+
+Vector roles (for one index ``i``, following the paper's notation):
+
+* ``W_i``     encrypts 1 exactly when the bit of the *potential maximum*
+  (according to F) is 1 and the other bit is 0;
+* ``Gamma_i`` encrypts the randomized bit difference (+ mask ``rhat_i``);
+* ``G_i``     encrypts ``u_i XOR v_i``;
+* ``H_i``     marks (with an encryption of 1) the first index where the bits
+  differ; earlier indices encrypt 0 and later indices encrypt random values;
+* ``Phi_i``   is ``H_i - 1`` so the marked index encrypts 0;
+* ``L_i``     equals ``W_i`` at the marked index and a random value elsewhere.
+
+P2 decrypts the permuted ``L`` vector: the single index that decrypts to 1 or
+0 (rather than a random value) reveals the outcome of the oblivious
+functionality F, from which P2 forms ``alpha``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.paillier import Ciphertext
+from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.sbor import SecureBitXor
+from repro.protocols.sm import SecureMultiplication
+
+__all__ = ["SecureMinimum"]
+
+
+class SecureMinimum(TwoPartyProtocol):
+    """Two-party secure minimum of two encrypted bit-decomposed values."""
+
+    name = "SMIN"
+
+    def __init__(self, setting) -> None:
+        super().__init__(setting)
+        self._sm = SecureMultiplication(setting)
+        self._xor = SecureBitXor(setting)
+
+    def run(self, enc_u_bits: Sequence[Ciphertext],
+            enc_v_bits: Sequence[Ciphertext]) -> list[Ciphertext]:
+        """Compute ``[min(u, v)]`` from ``[u]`` and ``[v]``.
+
+        Args:
+            enc_u_bits: encrypted bits of ``u`` (MSB first).
+            enc_v_bits: encrypted bits of ``v`` (MSB first).
+
+        Returns:
+            Encrypted bits of ``min(u, v)`` (MSB first), known only to P1.
+        """
+        self.require(len(enc_u_bits) == len(enc_v_bits),
+                     "bit vectors must have equal length")
+        self.require(len(enc_u_bits) > 0, "bit vectors must be non-empty")
+        bit_length = len(enc_u_bits)
+        n = self.pk.n
+
+        # ---- P1: step 1 -----------------------------------------------------
+        # Randomly choose the oblivious functionality F.
+        f_is_u_greater = bool(self.p1.rng.getrandbits(1))
+
+        w_vector: list[Ciphertext] = []
+        gamma_vector: list[Ciphertext] = []
+        l_vector: list[Ciphertext] = []
+        gamma_masks: list[int] = []
+
+        enc_h_previous = self.p1.encrypt(0)
+        for enc_u_bit, enc_v_bit in zip(enc_u_bits, enc_v_bits):
+            enc_uv = self._sm.run(enc_u_bit, enc_v_bit)
+
+            if f_is_u_greater:
+                # W_i = E(u_i * (1 - v_i));  Gamma_i = E(v_i - u_i + rhat_i)
+                enc_w = self.sub(enc_u_bit, enc_uv)
+                enc_diff = self.sub(enc_v_bit, enc_u_bit)
+            else:
+                # W_i = E(v_i * (1 - u_i));  Gamma_i = E(u_i - v_i + rhat_i)
+                enc_w = self.sub(enc_v_bit, enc_uv)
+                enc_diff = self.sub(enc_u_bit, enc_v_bit)
+            rhat = self.p1.random_nonzero()
+            gamma_masks.append(rhat)
+            enc_gamma = enc_diff + self.p1.encrypt(rhat)
+
+            # G_i = E(u_i XOR v_i), reusing the product computed above.
+            enc_g = self._xor.xor_from_product(enc_u_bit, enc_v_bit, enc_uv)
+
+            # H_i = H_{i-1}^{r_i} * G_i  — marks the first differing bit.
+            r_i = self.p1.random_nonzero()
+            enc_h = (enc_h_previous * r_i) + enc_g
+            enc_h_previous = enc_h
+
+            # Phi_i = E(-1) * H_i;  L_i = W_i * Phi_i^{r'_i}
+            enc_phi = self.add_plain(enc_h, n - 1)
+            r_prime = self.p1.random_nonzero()
+            enc_l = enc_w + (enc_phi * r_prime)
+
+            w_vector.append(enc_w)
+            gamma_vector.append(enc_gamma)
+            l_vector.append(enc_l)
+
+        # Permute Gamma and L with two independent random permutations.
+        permutation_gamma = list(range(bit_length))
+        permutation_l = list(range(bit_length))
+        self.p1.rng.shuffle(permutation_gamma)
+        self.p1.rng.shuffle(permutation_l)
+        permuted_gamma = [gamma_vector[j] for j in permutation_gamma]
+        permuted_l = [l_vector[j] for j in permutation_l]
+        self.p1.send([permuted_gamma, permuted_l], tag="SMIN.gamma_and_l")
+
+        # ---- P2: step 2 -----------------------------------------------------
+        m_prime, enc_alpha = self._p2_decide_alpha()
+        self.p2.send([m_prime, enc_alpha], tag="SMIN.masked_minimum")
+
+        # ---- P1: step 3 -----------------------------------------------------
+        received_m_prime, received_alpha = self.p1.receive(
+            expected_tag="SMIN.masked_minimum"
+        )
+        # Invert the Gamma permutation.
+        unpermuted = [None] * bit_length
+        for position, original_index in enumerate(permutation_gamma):
+            unpermuted[original_index] = received_m_prime[position]
+
+        minimum_bits: list[Ciphertext] = []
+        for i in range(bit_length):
+            # lambda_i = M~_i * E(alpha)^{N - rhat_i}  ==  E(alpha * diff_i)
+            enc_lambda = unpermuted[i] + (received_alpha * (n - gamma_masks[i]))
+            if f_is_u_greater:
+                enc_min_bit = enc_u_bits[i] + enc_lambda
+            else:
+                enc_min_bit = enc_v_bits[i] + enc_lambda
+            minimum_bits.append(enc_min_bit)
+        return minimum_bits
+
+    # -- P2 side -------------------------------------------------------------
+    def _p2_decide_alpha(self) -> tuple[list[Ciphertext], Ciphertext]:
+        """P2 decrypts the permuted L vector and forms ``alpha`` and ``M'``.
+
+        ``alpha = 1`` when some entry of the decrypted L vector equals 1 (the
+        outcome of P1's secretly chosen functionality F is true), otherwise 0.
+        ``M'_i = Gamma'_i ^ alpha`` so that P1 later recovers
+        ``alpha * (diff_i + rhat_i)`` without learning alpha.
+        """
+        permuted_gamma, permuted_l = self.p2.receive(expected_tag="SMIN.gamma_and_l")
+        decrypted_l = [self.p2.decrypt_residue(c) for c in permuted_l]
+        alpha = 1 if any(value == 1 for value in decrypted_l) else 0
+        m_prime = [enc_gamma * alpha for enc_gamma in permuted_gamma]
+        enc_alpha = self.p2.encrypt(alpha)
+        return m_prime, enc_alpha

@@ -1,0 +1,60 @@
+"""Secure Squared Euclidean Distance (SSED) protocol — Algorithm 2.
+
+P1 holds two attribute-wise encrypted vectors ``Epk(X)`` and ``Epk(Y)``; with
+the help of P2 (who holds the secret key) it computes ``Epk(|X - Y|^2)``
+without either party learning ``X`` or ``Y``.
+
+The construction is a direct homomorphic evaluation of
+
+    |X - Y|^2 = sum_i (x_i - y_i)^2
+
+where each encrypted difference ``Epk(x_i - y_i)`` is obtained locally by P1
+(homomorphic subtraction) and each square is obtained through one invocation
+of the Secure Multiplication protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.crypto.paillier import Ciphertext
+from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.sm import SecureMultiplication
+
+__all__ = ["SecureSquaredEuclideanDistance"]
+
+
+class SecureSquaredEuclideanDistance(TwoPartyProtocol):
+    """Two-party secure squared Euclidean distance over encrypted vectors."""
+
+    name = "SSED"
+
+    def __init__(self, setting) -> None:
+        super().__init__(setting)
+        self._sm = SecureMultiplication(setting)
+
+    def run(self, enc_x: Sequence[Ciphertext],
+            enc_y: Sequence[Ciphertext]) -> Ciphertext:
+        """Compute ``Epk(|X - Y|^2)`` from ``Epk(X)`` and ``Epk(Y)``.
+
+        Args:
+            enc_x: attribute-wise encryption of the m-dimensional vector X.
+            enc_y: attribute-wise encryption of the m-dimensional vector Y.
+
+        Returns:
+            ``Epk(sum_i (x_i - y_i)^2)``, known only to P1.
+        """
+        self.require(len(enc_x) == len(enc_y),
+                     f"dimension mismatch: {len(enc_x)} vs {len(enc_y)}")
+        self.require(len(enc_x) > 0, "vectors must have at least one attribute")
+
+        total: Ciphertext | None = None
+        for enc_xi, enc_yi in zip(enc_x, enc_y):
+            # Step 1: E(x_i - y_i) computed locally by P1.
+            enc_diff = self.sub(enc_xi, enc_yi)
+            # Step 2: E((x_i - y_i)^2) via the SM protocol with P2.
+            enc_square = self._sm.run(enc_diff, enc_diff)
+            # Step 3: homomorphic accumulation by P1.
+            total = enc_square if total is None else total + enc_square
+        assert total is not None
+        return total

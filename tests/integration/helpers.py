@@ -1,0 +1,35 @@
+"""Shared assertion helpers for the integration tests."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.db.knn import LinearScanKNN, squared_euclidean
+from repro.db.table import Table
+
+
+def oracle_answer(table: Table, query: Sequence[int], k: int) -> list[tuple[int, ...]]:
+    """The plaintext oracle's answer (ties broken by record order)."""
+    return [r.record.values for r in LinearScanKNN(table).query(query, k)]
+
+
+def assert_valid_knn_answer(table: Table, query: Sequence[int], k: int,
+                            neighbors: list[tuple[int, ...]]) -> None:
+    """Check a kNN answer allowing arbitrary resolution of distance ties.
+
+    The paper does not prescribe a tie-breaking rule; SkNN_m resolves ties by
+    a random choice inside C2 while the plaintext oracle uses record order.
+    An answer is therefore correct when (a) it has exactly ``k`` records, (b)
+    every returned record occurs in the table, (c) the multiset of distances
+    equals the oracle's multiset of the k smallest distances, and (d) the
+    returned records are ordered by non-decreasing distance.
+    """
+    assert len(neighbors) == k
+    table_rows = list(table.row_values())
+    for record in neighbors:
+        assert tuple(record) in table_rows
+    returned_distances = [squared_euclidean(record, query) for record in neighbors]
+    assert returned_distances == sorted(returned_distances)
+    expected_distances = sorted(squared_euclidean(record, query)
+                                for record in oracle_answer(table, query, k))
+    assert sorted(returned_distances) == expected_distances

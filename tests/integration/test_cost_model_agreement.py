@@ -1,0 +1,122 @@
+"""Cross-validation of the analytic cost model against measured counters.
+
+The calibrated projections used by the benchmark harness are only trustworthy
+if the operation-count formulas match what the implementation actually does.
+These tests run the real protocols with instrumented counters and compare
+against :mod:`repro.analysis.cost_model` — exactly for the deterministic
+protocols (SM, SSED), within a small tolerance for the randomized ones (SBD's
+mask parity, SkNN_m's per-iteration branches).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.analysis.cost_model import (
+    sbd_counts,
+    sknn_basic_counts,
+    sknn_secure_counts,
+    smin_counts,
+    sm_counts,
+    ssed_counts,
+)
+from repro.core.cloud import FederatedCloud
+from repro.core.roles import DataOwner, QueryClient
+from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_secure import SkNNSecure
+from repro.db.datasets import synthetic_uniform
+from repro.protocols.encoding import encrypt_bits
+from repro.protocols.sbd import SecureBitDecomposition
+from repro.protocols.smin import SecureMinimum
+from repro.protocols.sm import SecureMultiplication
+from repro.protocols.ssed import SecureSquaredEuclideanDistance
+
+
+def totals(stats):
+    """(encryptions, decryptions, exponentiations) from run statistics."""
+    return (stats.total_encryptions, stats.total_decryptions,
+            stats.total_exponentiations)
+
+
+class TestSubProtocolCounts:
+    def test_sm_exact(self, setting):
+        protocol = SecureMultiplication(setting)
+        result = protocol.run_instrumented(setting.public_key.encrypt(5),
+                                           setting.public_key.encrypt(6))
+        expected = sm_counts()
+        assert totals(result.stats) == (expected.encryptions,
+                                        expected.decryptions,
+                                        expected.exponentiations)
+
+    @pytest.mark.parametrize("dimensions", [1, 3, 6])
+    def test_ssed_exact(self, setting, dimensions):
+        protocol = SecureSquaredEuclideanDistance(setting)
+        x = list(range(dimensions))
+        y = list(range(1, dimensions + 1))
+        result = protocol.run_instrumented(setting.public_key.encrypt_vector(x),
+                                           setting.public_key.encrypt_vector(y))
+        expected = ssed_counts(dimensions)
+        assert totals(result.stats) == (expected.encryptions,
+                                        expected.decryptions,
+                                        expected.exponentiations)
+
+    @pytest.mark.parametrize("bit_length", [4, 8])
+    def test_sbd_within_tolerance(self, setting, bit_length):
+        """SBD's cost depends on random mask parities: expected +- l/2."""
+        protocol = SecureBitDecomposition(setting, bit_length)
+        result = protocol.run_instrumented(setting.public_key.encrypt(3))
+        expected = sbd_counts(bit_length)
+        measured_enc, measured_dec, measured_exp = totals(result.stats)
+        assert measured_dec == expected.decryptions
+        assert abs(measured_enc - expected.encryptions) <= bit_length / 2 + 1
+        assert abs(measured_exp - expected.exponentiations) <= bit_length / 2 + 1
+
+    @pytest.mark.parametrize("bit_length", [4, 6])
+    def test_smin_exact(self, setting, bit_length):
+        protocol = SecureMinimum(setting)
+        result = protocol.run_instrumented(
+            encrypt_bits(setting.public_key, 3, bit_length),
+            encrypt_bits(setting.public_key, 5, bit_length),
+        )
+        expected = smin_counts(bit_length)
+        assert totals(result.stats) == (expected.encryptions,
+                                        expected.decryptions,
+                                        expected.exponentiations)
+
+
+class TestQueryProtocolCounts:
+    def deploy(self, table, keypair, seed):
+        owner = DataOwner(table, keypair=keypair, rng=Random(seed))
+        cloud = FederatedCloud.deploy(keypair, rng=Random(seed + 1))
+        cloud.c1.host_database(owner.encrypt_database())
+        client = QueryClient(keypair.public_key, table.dimensions,
+                             rng=Random(seed + 2))
+        return cloud, client
+
+    def test_sknn_basic_counts_match_model(self, small_keypair):
+        table = synthetic_uniform(n_records=10, dimensions=3, distance_bits=8,
+                                  seed=5)
+        cloud, client = self.deploy(table, small_keypair, seed=400)
+        protocol = SkNNBasic(cloud)
+        protocol.run_with_report(client.encrypt_query([1, 2, 3]), 2)
+        stats = protocol.last_report.stats
+        expected = sknn_basic_counts(10, 3, 2)
+        assert stats.total_encryptions == expected.encryptions
+        assert stats.total_decryptions == expected.decryptions
+        assert stats.total_exponentiations == expected.exponentiations
+
+    def test_sknn_secure_counts_close_to_model(self, small_keypair):
+        """SkNN_m has randomized branches; the model must agree within 15%."""
+        table = synthetic_uniform(n_records=6, dimensions=2, distance_bits=7,
+                                  seed=6)
+        cloud, client = self.deploy(table, small_keypair, seed=401)
+        protocol = SkNNSecure(cloud, distance_bits=7)
+        protocol.run_with_report(client.encrypt_query([1, 2]), 2,
+                                 distance_bits=7)
+        stats = protocol.last_report.stats
+        expected = sknn_secure_counts(6, 2, 2, 7)
+        measured_total = (stats.total_encryptions + stats.total_decryptions
+                          + stats.total_exponentiations)
+        assert measured_total == pytest.approx(expected.total, rel=0.15)

@@ -1,0 +1,61 @@
+"""Integration test reproducing the paper's running example (Example 1).
+
+The physician Bob queries the encrypted heart-disease table with the patient
+record ``Q = <58, 1, 4, 133, 196, 1, 2, 1, 6>``; for ``k = 2`` the protocol
+must return records ``t4`` and ``t5`` — and only Bob may learn them.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.system import SkNNSystem
+from repro.db.datasets import heart_disease_example_query, heart_disease_table
+from repro.db.knn import LinearScanKNN
+
+
+@pytest.fixture(scope="module")
+def example_table():
+    return heart_disease_table(include_diagnosis=False)
+
+
+@pytest.fixture(scope="module")
+def example_query():
+    return heart_disease_example_query()
+
+
+@pytest.fixture(scope="module")
+def expected_neighbors(example_table, example_query):
+    oracle = LinearScanKNN(example_table)
+    return [result.record.values for result in oracle.query(example_query, 2)]
+
+
+class TestPaperExample1:
+    def test_plaintext_oracle_returns_t4_and_t5(self, example_table, example_query):
+        oracle = LinearScanKNN(example_table)
+        ids = {result.record_id for result in oracle.query(example_query, 2)}
+        assert ids == {"t4", "t5"}
+
+    def test_basic_protocol_reproduces_example(self, example_table, example_query,
+                                               expected_neighbors):
+        system = SkNNSystem.setup(example_table, key_size=256, mode="basic",
+                                  rng=Random(101))
+        assert system.query(example_query, k=2) == expected_neighbors
+
+    def test_secure_protocol_reproduces_example(self, example_table, example_query,
+                                                expected_neighbors):
+        system = SkNNSystem.setup(example_table, key_size=256, mode="secure",
+                                  rng=Random(102))
+        assert system.query(example_query, k=2) == expected_neighbors
+
+    def test_returned_records_carry_all_attributes(self, example_table,
+                                                   example_query):
+        system = SkNNSystem.setup(example_table, key_size=256, mode="basic",
+                                  rng=Random(103))
+        neighbors = system.query(example_query, k=2)
+        assert all(len(record) == example_table.dimensions for record in neighbors)
+        # t5 = (55, 0, 4, 128, 205, 0, 2, 1, 7) is the closest record.
+        assert neighbors[0] == (55, 0, 4, 128, 205, 0, 2, 1, 7)
+        assert neighbors[1] == (59, 1, 4, 144, 200, 1, 2, 2, 6)

@@ -1,0 +1,189 @@
+"""Security-property tests: what each party is allowed (and not allowed) to see.
+
+These tests check the *observable* security claims of Section 4.3 on the real
+protocol transcripts:
+
+* SkNN_b deliberately reveals plaintext distances and the top-k index list to
+  the clouds — the tests document that leakage explicitly.
+* SkNN_m must not reveal distances or access patterns: every value C2
+  decrypts during the minimum-selection phase is either zero (at a random,
+  permuted position) or a uniformly random-looking value, the indicator
+  vector exchanged between the clouds stays encrypted, and re-running the same
+  query produces a different transcript (semantic security / re-randomization).
+* Bob's shares individually reveal nothing: the masks from C1 are uniform and
+  the masked values from C2 are uniform; only their combination yields data.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.cloud import FederatedCloud
+from repro.core.roles import DataOwner, QueryClient
+from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_secure import SkNNSecure
+from repro.crypto.paillier import Ciphertext
+from repro.db.datasets import synthetic_uniform
+from repro.db.knn import LinearScanKNN
+
+
+@pytest.fixture(scope="module")
+def security_table():
+    return synthetic_uniform(n_records=8, dimensions=2, distance_bits=7, seed=77)
+
+
+def deploy(table, keypair, seed):
+    owner = DataOwner(table, keypair=keypair, rng=Random(seed))
+    cloud = FederatedCloud.deploy(keypair, rng=Random(seed + 1))
+    cloud.c1.host_database(owner.encrypt_database())
+    client = QueryClient(keypair.public_key, table.dimensions, rng=Random(seed + 2))
+    return cloud, client
+
+
+class TestBasicProtocolLeakage:
+    def test_c2_sees_plaintext_distances(self, security_table, small_keypair):
+        """SkNN_b's documented leakage: the index/distance pairs reach C2."""
+        cloud, client = deploy(security_table, small_keypair, seed=300)
+        protocol = SkNNBasic(cloud)
+        query = [3, 3]
+        protocol.run(client.encrypt_query(query), 2)
+        # The first message from C1 after the SSED phase carries (i, E(d_i));
+        # decrypting them equals the true distances — this is the leak.
+        oracle = LinearScanKNN(security_table)
+        true_distances = {
+            index: security_table.squared_distance(record.record_id, query)
+            for index, record in enumerate(security_table)
+        }
+        indexed_messages = [
+            payload for payload in cloud.channel.transcript_payloads("C1")
+            if isinstance(payload, list) and payload
+            and isinstance(payload[0], tuple)
+        ]
+        assert indexed_messages, "expected the distance list on the wire"
+        decrypted = {
+            index: small_keypair.private_key.decrypt_raw_residue(cipher)
+            for index, cipher in indexed_messages[0]
+        }
+        assert decrypted == true_distances
+        # ... and the oracle's winners are exactly the indices C2 returns.
+        index_lists = [
+            payload for payload in cloud.channel.transcript_payloads("C2")
+            if isinstance(payload, list) and payload
+            and all(isinstance(item, int) for item in payload)
+        ]
+        expected_ids = [r.record_id for r in oracle.query(query, 2)]
+        expected_indices = [int(record_id[1:]) - 1 for record_id in expected_ids]
+        assert index_lists[0] == expected_indices
+
+
+class TestSecureProtocolHiding:
+    def test_no_plaintext_distance_ever_on_the_wire(self, security_table,
+                                                    small_keypair):
+        """In SkNN_m every payload is ciphertexts (no plaintext index lists)."""
+        cloud, client = deploy(security_table, small_keypair, seed=310)
+        protocol = SkNNSecure(cloud, distance_bits=7)
+        protocol.run(client.encrypt_query([2, 5]), 2)
+
+        def contains_plain_int(payload) -> bool:
+            if isinstance(payload, Ciphertext):
+                return False
+            if isinstance(payload, int):
+                return True
+            if isinstance(payload, (list, tuple)):
+                return any(contains_plain_int(item) for item in payload)
+            return False
+
+        for payload in cloud.channel.transcript_payloads():
+            assert not contains_plain_int(payload)
+
+    def test_c2_minimum_localisation_values_look_random(self, security_table,
+                                                        small_keypair):
+        """The randomized differences C2 decrypts are 0 or indistinguishable
+        from random — in particular they never equal a true distance."""
+        cloud, client = deploy(security_table, small_keypair, seed=311)
+        protocol = SkNNSecure(cloud, distance_bits=7)
+        query = [1, 1]
+        true_distances = {
+            security_table.squared_distance(record.record_id, query)
+            for record in security_table
+        }
+        protocol.run(client.encrypt_query(query), 1)
+        beta_messages = [
+            message for message in cloud.channel.transcript
+            if message.tag == "SkNNm.randomized_differences"
+        ]
+        assert beta_messages
+        for message in beta_messages:
+            values = [small_keypair.private_key.decrypt_raw_residue(c)
+                      for c in message.payload]
+            nonzero = [value for value in values if value != 0]
+            # Every non-zero value is a random multiple of a difference and
+            # (with overwhelming probability) not a true distance.
+            assert all(value not in true_distances for value in nonzero)
+            # Exactly the minimum positions decrypt to zero.
+            assert 1 <= (len(values) - len(nonzero)) <= len(values)
+
+    def test_indicator_vector_is_encrypted_and_hides_position(self, security_table,
+                                                              small_keypair):
+        """C1 receives U as ciphertexts; without sk it cannot locate the 1."""
+        cloud, client = deploy(security_table, small_keypair, seed=312)
+        protocol = SkNNSecure(cloud, distance_bits=7)
+        protocol.run(client.encrypt_query([6, 2]), 1)
+        indicator_messages = [
+            message for message in cloud.channel.transcript
+            if message.tag == "SkNNm.indicator"
+        ]
+        assert indicator_messages
+        payload = indicator_messages[0].payload
+        assert all(isinstance(item, Ciphertext) for item in payload)
+        decrypted = [small_keypair.private_key.decrypt(item) for item in payload]
+        assert sorted(decrypted, reverse=True)[0] == 1
+        assert sum(decrypted) == 1
+
+    def test_transcripts_differ_across_identical_queries(self, security_table,
+                                                         small_keypair):
+        """Semantic security: rerunning the same query yields fresh ciphertexts."""
+        cloud, client = deploy(security_table, small_keypair, seed=313)
+        protocol = SkNNSecure(cloud, distance_bits=7)
+        query = client.encrypt_query([3, 3])
+        protocol.run(query, 1)
+        first_transcript = [
+            item.value
+            for message in cloud.channel.transcript
+            if message.tag == "SkNNm.randomized_differences"
+            for item in message.payload
+        ]
+        cloud.channel.transcript.clear()
+        protocol.run(query, 1)
+        second_transcript = [
+            item.value
+            for message in cloud.channel.transcript
+            if message.tag == "SkNNm.randomized_differences"
+            for item in message.payload
+        ]
+        assert first_transcript != second_transcript
+
+
+class TestResultShareSecrecy:
+    def test_individual_shares_are_masked(self, security_table, small_keypair):
+        """Neither C1's masks nor C2's masked values alone reveal a record."""
+        cloud, client = deploy(security_table, small_keypair, seed=320)
+        protocol = SkNNBasic(cloud)
+        query = [0, 0]
+        shares = protocol.run(client.encrypt_query(query), 1)
+        true_record = LinearScanKNN(security_table).query(query, 1)[0].record.values
+        # The masked values C2 forwards are not the plaintext attributes.
+        assert tuple(shares.masked_values_from_c2[0]) != true_record
+        # The masks C1 sends Bob are not the plaintext attributes either.
+        assert tuple(shares.masks_from_c1[0]) != true_record
+        # Only the combination recovers the record.
+        assert client.reconstruct(shares)[0] == true_record
+
+    def test_modulus_travels_with_shares(self, security_table, small_keypair):
+        cloud, client = deploy(security_table, small_keypair, seed=321)
+        protocol = SkNNBasic(cloud)
+        shares = protocol.run(client.encrypt_query([1, 1]), 1)
+        assert shares.modulus == small_keypair.public_key.n
+        assert shares.neighbor_count == 1

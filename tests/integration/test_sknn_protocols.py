@@ -1,0 +1,147 @@
+"""Integration tests for SkNN_b and SkNN_m against the plaintext oracle."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.cloud import FederatedCloud
+from repro.core.roles import DataOwner, QueryClient
+from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_secure import SkNNSecure
+from repro.db.datasets import synthetic_uniform
+from repro.db.knn import LinearScanKNN
+from repro.exceptions import QueryError
+from tests.integration.helpers import assert_valid_knn_answer
+
+
+def build_deployment(table, keypair, seed: int):
+    """Deploy a federated cloud hosting the encrypted table."""
+    owner = DataOwner(table, keypair=keypair, rng=Random(seed))
+    cloud = FederatedCloud.deploy(keypair, rng=Random(seed + 1))
+    cloud.c1.host_database(owner.encrypt_database())
+    client = QueryClient(keypair.public_key, table.dimensions, rng=Random(seed + 2))
+    return cloud, client
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return synthetic_uniform(n_records=12, dimensions=3, distance_bits=8, seed=21)
+
+
+@pytest.fixture(scope="module")
+def oracle(small_table):
+    return LinearScanKNN(small_table)
+
+
+class TestSkNNBasicCorrectness:
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    def test_matches_plaintext_oracle(self, small_table, oracle, small_keypair, k):
+        cloud, client = build_deployment(small_table, small_keypair, seed=50 + k)
+        protocol = SkNNBasic(cloud)
+        query = [3, 7, 2]
+        shares = protocol.run(client.encrypt_query(query), k)
+        neighbors = client.reconstruct(shares)
+        expected = [r.record.values for r in oracle.query(query, k)]
+        assert neighbors == expected
+
+    def test_k_equals_n_returns_whole_table(self, small_table, small_keypair):
+        cloud, client = build_deployment(small_table, small_keypair, seed=60)
+        protocol = SkNNBasic(cloud)
+        shares = protocol.run(client.encrypt_query([0, 0, 0]), len(small_table))
+        neighbors = client.reconstruct(shares)
+        assert sorted(neighbors) == sorted(small_table.row_values())
+
+    def test_invalid_k_rejected(self, small_table, small_keypair):
+        cloud, client = build_deployment(small_table, small_keypair, seed=61)
+        protocol = SkNNBasic(cloud)
+        encrypted_query = client.encrypt_query([0, 0, 0])
+        with pytest.raises(QueryError):
+            protocol.run(encrypted_query, 0)
+        with pytest.raises(QueryError):
+            protocol.run(encrypted_query, len(small_table) + 1)
+
+    def test_wrong_query_arity_rejected(self, small_table, small_keypair,
+                                        small_table_query_arity=2):
+        cloud, _ = build_deployment(small_table, small_keypair, seed=62)
+        protocol = SkNNBasic(cloud)
+        bad_query = [small_keypair.public_key.encrypt(0)] * small_table_query_arity
+        with pytest.raises(QueryError):
+            protocol.run(bad_query, 1)
+
+    def test_report_contains_operation_counts(self, small_table, small_keypair):
+        cloud, client = build_deployment(small_table, small_keypair, seed=63)
+        protocol = SkNNBasic(cloud)
+        protocol.run_with_report(client.encrypt_query([1, 1, 1]), 2)
+        report = protocol.last_report
+        assert report is not None
+        assert report.protocol == "SkNNb"
+        assert report.n_records == len(small_table)
+        assert report.stats.total_encryptions > 0
+        assert report.stats.total_decryptions > 0
+        assert report.wall_time_seconds > 0
+
+
+class TestSkNNSecureCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_plaintext_oracle(self, small_table, oracle, small_keypair, k):
+        cloud, client = build_deployment(small_table, small_keypair, seed=70 + k)
+        protocol = SkNNSecure(cloud, distance_bits=8)
+        query = [5, 1, 6]
+        shares = protocol.run(client.encrypt_query(query), k)
+        neighbors = client.reconstruct(shares)
+        # Tie-tolerant comparison: SMIN_n breaks distance ties arbitrarily.
+        assert_valid_knn_answer(small_table, query, k, neighbors)
+
+    def test_handles_duplicate_records(self, small_keypair):
+        """Tied distances must still yield k distinct records."""
+        from repro.db.schema import Schema
+        from repro.db.table import Table
+        schema = Schema.from_names(["x", "y"], maximum=15)
+        table = Table.from_rows(schema, [[5, 5], [5, 5], [9, 9], [0, 0]])
+        cloud, client = build_deployment(table, small_keypair, seed=80)
+        protocol = SkNNSecure(cloud, distance_bits=9)
+        shares = protocol.run(client.encrypt_query([5, 5]), 2)
+        neighbors = client.reconstruct(shares)
+        assert neighbors == [(5, 5), (5, 5)]
+
+    def test_query_equal_to_a_record(self, small_table, oracle, small_keypair):
+        cloud, client = build_deployment(small_table, small_keypair, seed=81)
+        protocol = SkNNSecure(cloud, distance_bits=8)
+        query = list(small_table.records[0].values)
+        shares = protocol.run(client.encrypt_query(query), 1)
+        neighbors = client.reconstruct(shares)
+        assert neighbors[0] == small_table.records[0].values
+
+    def test_chain_topology_matches_tournament(self, small_table, oracle,
+                                               small_keypair):
+        query = [2, 2, 2]
+
+        cloud, client = build_deployment(small_table, small_keypair, seed=82)
+        tournament = SkNNSecure(cloud, distance_bits=8,
+                                sminn_topology="tournament")
+        assert_valid_knn_answer(small_table, query, 2, client.reconstruct(
+            tournament.run(client.encrypt_query(query), 2)))
+
+        cloud, client = build_deployment(small_table, small_keypair, seed=83)
+        chain = SkNNSecure(cloud, distance_bits=8, sminn_topology="chain")
+        assert_valid_knn_answer(small_table, query, 2, client.reconstruct(
+            chain.run(client.encrypt_query(query), 2)))
+
+    def test_rejects_nonpositive_distance_bits(self, small_table, small_keypair):
+        cloud, _ = build_deployment(small_table, small_keypair, seed=84)
+        from repro.exceptions import ProtocolError
+        with pytest.raises(ProtocolError):
+            SkNNSecure(cloud, distance_bits=0)
+
+    def test_report_and_counters(self, small_table, small_keypair):
+        cloud, client = build_deployment(small_table, small_keypair, seed=85)
+        protocol = SkNNSecure(cloud, distance_bits=8)
+        protocol.run_with_report(client.encrypt_query([1, 2, 3]), 1,
+                                 distance_bits=8)
+        report = protocol.last_report
+        assert report is not None
+        assert report.protocol == "SkNNm"
+        assert report.distance_bits == 8
+        assert report.stats.total_decryptions > 0

@@ -1,0 +1,36 @@
+"""Shared, lazily-created fixtures for the property-based tests.
+
+Hypothesis re-runs test bodies many times; regenerating Paillier keys or
+two-party settings inside each example would dominate the runtime and trip
+Hypothesis' health checks about function-scoped fixtures.  The helpers here
+build the expensive objects once per test module and hand out the cached
+instances.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from random import Random
+
+from hypothesis import settings
+
+from repro.crypto.paillier import PaillierKeyPair, generate_keypair
+from repro.network.party import TwoPartySetting
+
+# A single, conservative Hypothesis profile for the whole suite: protocol
+# examples involve many modular exponentiations, so keep the example count
+# moderate and the deadline disabled (individual examples can take >200 ms).
+settings.register_profile("repro", max_examples=20, deadline=None)
+settings.load_profile("repro")
+
+
+@lru_cache(maxsize=None)
+def cached_keypair(bits: int = 128) -> PaillierKeyPair:
+    """A deterministic key pair shared by all property tests."""
+    return generate_keypair(bits, Random(97))
+
+
+@lru_cache(maxsize=None)
+def cached_setting(bits: int = 128) -> TwoPartySetting:
+    """A two-party setting shared by all property tests."""
+    return TwoPartySetting.create(cached_keypair(bits), rng=Random(98))

@@ -1,0 +1,74 @@
+"""Property-based tests for the database substrate and plaintext kNN engines."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.knn import KDTreeKNN, LinearScanKNN, squared_euclidean
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.protocols.encoding import bits_to_int, int_to_bits
+from tests.property.conftest import cached_keypair
+
+coordinates = st.integers(min_value=0, max_value=63)
+
+
+def build_table(rows):
+    schema = Schema.uniform(len(rows[0]), maximum=63)
+    return Table.from_rows(schema, rows)
+
+
+@settings(max_examples=25)
+@given(data=st.data())
+def test_kdtree_agrees_with_linear_scan(data):
+    dimensions = data.draw(st.integers(min_value=1, max_value=4))
+    rows = data.draw(st.lists(
+        st.lists(coordinates, min_size=dimensions, max_size=dimensions),
+        min_size=2, max_size=25))
+    table = build_table(rows)
+    query = data.draw(st.lists(coordinates, min_size=dimensions,
+                               max_size=dimensions))
+    k = data.draw(st.integers(min_value=1, max_value=len(rows)))
+    linear = [r.record_id for r in LinearScanKNN(table).query(query, k)]
+    tree = [r.record_id for r in KDTreeKNN(table).query(query, k)]
+    assert linear == tree
+
+
+@settings(max_examples=25)
+@given(data=st.data())
+def test_knn_results_sorted_by_distance(data):
+    dimensions = data.draw(st.integers(min_value=1, max_value=3))
+    rows = data.draw(st.lists(
+        st.lists(coordinates, min_size=dimensions, max_size=dimensions),
+        min_size=3, max_size=20))
+    table = build_table(rows)
+    query = data.draw(st.lists(coordinates, min_size=dimensions,
+                               max_size=dimensions))
+    results = LinearScanKNN(table).query(query, len(rows))
+    distances = [r.squared_distance for r in results]
+    assert distances == sorted(distances)
+    for result in results:
+        assert result.squared_distance == squared_euclidean(
+            result.record.values, query)
+
+
+@given(left=st.lists(coordinates, min_size=1, max_size=8), data=st.data())
+def test_squared_euclidean_properties(left, data):
+    right = data.draw(st.lists(coordinates, min_size=len(left), max_size=len(left)))
+    distance = squared_euclidean(left, right)
+    assert distance >= 0
+    assert distance == squared_euclidean(right, left)
+    assert squared_euclidean(left, left) == 0
+
+
+@given(value=st.integers(min_value=0, max_value=2**16 - 1))
+def test_bit_codec_round_trip(value):
+    assert bits_to_int(int_to_bits(value, 16)) == value
+
+
+@given(value=st.integers(min_value=0, max_value=255))
+def test_encrypted_table_cell_round_trip(value):
+    """Encrypting then decrypting any schema-valid cell value is lossless."""
+    keypair = cached_keypair()
+    cipher = keypair.public_key.encrypt(value)
+    assert keypair.private_key.decrypt(cipher) == value

@@ -1,0 +1,94 @@
+"""Unit tests for the plaintext and ASPE baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.aspe import ASPEKey, ASPESystem, known_plaintext_attack
+from repro.baselines.plaintext import PlaintextKNNSystem
+from repro.db.datasets import synthetic_uniform
+from repro.db.knn import LinearScanKNN
+from repro.exceptions import ConfigurationError, QueryError
+
+
+@pytest.fixture(scope="module")
+def baseline_table():
+    return synthetic_uniform(n_records=60, dimensions=4, distance_bits=14, seed=8)
+
+
+class TestPlaintextKNNSystem:
+    def test_linear_engine_matches_oracle(self, baseline_table):
+        system = PlaintextKNNSystem(baseline_table, engine="linear")
+        oracle = LinearScanKNN(baseline_table)
+        query = [5, 5, 5, 5]
+        assert system.query(query, 3) == [r.record.values
+                                          for r in oracle.query(query, 3)]
+
+    def test_kdtree_engine_matches_linear(self, baseline_table):
+        linear = PlaintextKNNSystem(baseline_table, engine="linear")
+        kdtree = PlaintextKNNSystem(baseline_table, engine="kdtree")
+        query = [9, 0, 7, 2]
+        assert linear.query(query, 5) == kdtree.query(query, 5)
+
+    def test_report_populated(self, baseline_table):
+        system = PlaintextKNNSystem(baseline_table)
+        system.query([1, 2, 3, 4], 2)
+        report = system.last_report
+        assert report is not None
+        assert report.n_records == len(baseline_table)
+        assert report.k == 2
+        assert report.wall_time_seconds >= 0
+
+    def test_unknown_engine_rejected(self, baseline_table):
+        with pytest.raises(ConfigurationError):
+            PlaintextKNNSystem(baseline_table, engine="hash")
+
+
+class TestASPE:
+    def test_key_generation_is_invertible(self):
+        key = ASPEKey.generate(5, seed=1)
+        assert key.dimensions == 5
+        identity = key.matrix @ key.inverse
+        assert np.allclose(identity, np.eye(6), atol=1e-8)
+
+    def test_aspe_answers_knn_correctly(self, baseline_table):
+        """ASPE preserves distance ordering, so its kNN answers are exact."""
+        aspe = ASPESystem(baseline_table, seed=5)
+        oracle = PlaintextKNNSystem(baseline_table)
+        for query in ([0, 0, 0, 0], [10, 3, 8, 1], [2, 9, 9, 2]):
+            assert aspe.query(query, 4) == oracle.query(query, 4)
+
+    def test_encrypted_tuples_hide_plaintext_scale(self, baseline_table):
+        """Encrypted tuples are real-valued mixtures, not the raw integers."""
+        aspe = ASPESystem(baseline_table, seed=6)
+        raw = np.array([record.values for record in baseline_table.records],
+                       dtype=float)
+        encrypted = aspe.encrypted_database.encrypted_points[:, :4]
+        assert not np.allclose(encrypted, raw)
+
+    def test_query_encryption_is_randomized(self, baseline_table):
+        aspe = ASPESystem(baseline_table, seed=7)
+        first = aspe.encrypt_query([1, 2, 3, 4])
+        second = aspe.encrypt_query([1, 2, 3, 4])
+        assert not np.allclose(first, second)
+
+    def test_invalid_queries_rejected(self, baseline_table):
+        aspe = ASPESystem(baseline_table, seed=8)
+        with pytest.raises(QueryError):
+            aspe.query([1, 2, 3], 2)
+        with pytest.raises(QueryError):
+            aspe.query([1, 2, 3, 4], 0)
+
+    def test_known_plaintext_attack_recovers_database(self, baseline_table):
+        """The attack the paper cites: d+1 known pairs break the whole table."""
+        aspe = ASPESystem(baseline_table, seed=9)
+        recovered = known_plaintext_attack(aspe, known_indices=list(range(5)))
+        true_values = np.array([record.values for record in baseline_table.records],
+                               dtype=float)
+        assert np.allclose(recovered, true_values, atol=1e-6)
+
+    def test_attack_needs_enough_pairs(self, baseline_table):
+        aspe = ASPESystem(baseline_table, seed=10)
+        with pytest.raises(ConfigurationError):
+            known_plaintext_attack(aspe, known_indices=[0, 1])

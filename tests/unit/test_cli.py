@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENT_INVENTORY, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.key_size == 256
+        assert args.mode == "secure"
+
+    def test_query_arguments(self):
+        args = build_parser().parse_args(
+            ["query", "--n", "12", "--m", "2", "--k", "4", "--mode", "basic"])
+        assert (args.n, args.m, args.k, args.mode) == (12, 2, 4, "basic")
+
+    def test_project_requires_known_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["project", "--figure", "9z"])
+
+
+class TestInventoryCommand:
+    def test_lists_every_figure(self, capsys):
+        exit_code = main(["inventory"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for entry in EXPERIMENT_INVENTORY:
+            assert entry["figure"] in output
+        assert "bench_fig3_parallel" in output
+
+
+class TestCalibrateCommand:
+    def test_calibrate_small_key(self, capsys):
+        exit_code = main(["calibrate", "--key-size", "128", "--samples", "5"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "encrypt (ms)" in output
+        assert "128" in output
+
+    def test_calibrate_two_keys_reports_slowdown(self, capsys):
+        exit_code = main(["calibrate", "--key-size", "128", "--key-size", "256",
+                          "--samples", "5"])
+        assert exit_code == 0
+        assert "slowdown 128 -> 256" in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def test_basic_query_round_trip(self, capsys):
+        exit_code = main(["query", "--n", "10", "--m", "2", "--k", "2",
+                          "--l", "7", "--key-size", "128", "--mode", "basic",
+                          "--seed", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "matches plaintext answer: True" in output
+
+    def test_secure_query_round_trip(self, capsys):
+        exit_code = main(["query", "--n", "6", "--m", "2", "--k", "1",
+                          "--l", "7", "--key-size", "128", "--mode", "secure",
+                          "--seed", "4"])
+        assert exit_code == 0
+        assert "matches plaintext answer: True" in capsys.readouterr().out
+
+
+class TestDemoCommand:
+    def test_demo_basic_mode(self, capsys):
+        exit_code = main(["demo", "--key-size", "128", "--mode", "basic"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "matches plaintext answer: True" in output
+        assert "neighbor 1" in output
+
+
+class TestProjectCommand:
+    @pytest.mark.parametrize("figure", ["2a", "2c", "2f", "3"])
+    def test_project_prints_series(self, capsys, figure):
+        exit_code = main(["project", "--figure", figure, "--samples", "5"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("== ")
+        assert "SkNN" in output
+        assert any(character.isdigit() for character in output)

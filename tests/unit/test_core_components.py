@@ -1,0 +1,149 @@
+"""Unit tests for the core role/cloud components (outside full protocol runs)."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.cloud import CloudC1, CloudC2, FederatedCloud
+from repro.core.roles import ClientCostReport, DataOwner, QueryClient, ResultShares
+from repro.core.sknn_base import SkNNRunReport
+from repro.db.datasets import heart_disease_table, synthetic_uniform
+from repro.db.encrypted_table import EncryptedTable
+from repro.exceptions import ConfigurationError, QueryError
+from repro.network.channel import DuplexChannel
+from repro.network.latency import FixedLatency
+from repro.network.stats import ProtocolRunStats
+
+
+class TestDataOwner:
+    def test_generates_keys_of_requested_size(self, tiny_table):
+        owner = DataOwner(tiny_table, key_size=128, rng=Random(1))
+        assert owner.keypair.key_size in (127, 128)
+
+    def test_reuses_supplied_keypair(self, tiny_table, small_keypair):
+        owner = DataOwner(tiny_table, keypair=small_keypair)
+        assert owner.public_key == small_keypair.public_key
+
+    def test_encrypt_database_round_trips(self, tiny_table, small_keypair):
+        owner = DataOwner(tiny_table, keypair=small_keypair, rng=Random(2))
+        encrypted = owner.encrypt_database()
+        assert len(encrypted) == len(tiny_table)
+        decrypted = encrypted.decrypt(small_keypair.private_key)
+        assert decrypted.row_values() == tiny_table.row_values()
+
+    def test_distance_bit_length_comes_from_schema(self):
+        table = heart_disease_table(include_diagnosis=False)
+        owner = DataOwner(table, key_size=128, rng=Random(3))
+        assert owner.distance_bit_length() == table.schema.distance_bit_length()
+
+
+class TestQueryClient:
+    def test_rejects_nonpositive_dimensions(self, public_key):
+        with pytest.raises(ConfigurationError):
+            QueryClient(public_key, dimensions=0)
+
+    def test_encrypt_query_checks_arity(self, public_key):
+        client = QueryClient(public_key, dimensions=3, rng=Random(4))
+        with pytest.raises(QueryError):
+            client.encrypt_query([1, 2])
+
+    def test_encrypt_query_records_cost(self, public_key):
+        client = QueryClient(public_key, dimensions=2, rng=Random(5))
+        client.encrypt_query([1, 2])
+        assert client.last_cost.encrypt_query_seconds > 0
+
+    def test_reconstruct_inverts_masking(self, small_keypair):
+        public = small_keypair.public_key
+        client = QueryClient(public, dimensions=2, rng=Random(6))
+        true_record = (17, 23)
+        masks = [5, public.n - 3]          # include a mask that wraps mod N
+        masked = [(value + mask) % public.n
+                  for value, mask in zip(true_record, masks)]
+        shares = ResultShares(masks_from_c1=[masks],
+                              masked_values_from_c2=[masked],
+                              modulus=public.n)
+        assert client.reconstruct(shares) == [true_record]
+
+    def test_client_cost_report_totals(self):
+        report = ClientCostReport(encrypt_query_seconds=0.5,
+                                  reconstruct_seconds=0.25)
+        assert report.total_seconds == 0.75
+
+
+class TestFederatedCloud:
+    def test_deploy_assigns_keys_correctly(self, small_keypair):
+        cloud = FederatedCloud.deploy(small_keypair, rng=Random(7))
+        assert cloud.c1.public_key == small_keypair.public_key
+        assert cloud.c2.private_key.public_key == small_keypair.public_key
+        assert not hasattr(cloud.c1, "private_key")
+
+    def test_c1_requires_hosted_database(self, small_keypair):
+        cloud = FederatedCloud.deploy(small_keypair, rng=Random(8))
+        with pytest.raises(ConfigurationError):
+            _ = cloud.c1.encrypted_table
+
+    def test_record_count_after_hosting(self, small_keypair, tiny_table):
+        cloud = FederatedCloud.deploy(small_keypair, rng=Random(9))
+        cloud.c1.host_database(EncryptedTable.encrypt_table(
+            tiny_table, small_keypair.public_key))
+        assert cloud.c1.record_count == len(tiny_table)
+
+    def test_setting_view_shares_channel(self, small_keypair):
+        cloud = FederatedCloud.deploy(small_keypair, rng=Random(10))
+        setting = cloud.setting
+        assert setting.evaluator is cloud.c1
+        assert setting.decryptor is cloud.c2
+        assert setting.channel is cloud.channel
+
+    def test_reset_counters(self, small_keypair):
+        cloud = FederatedCloud.deploy(small_keypair, rng=Random(11))
+        cloud.c1.encrypt(5)
+        cloud.reset_counters()
+        assert cloud.c1.public_key.counter.encryptions == 0
+
+    def test_latency_model_accumulates_delay(self, small_keypair, tiny_table):
+        """With a non-zero latency model the channel tracks simulated delay."""
+        from repro.core.roles import DataOwner, QueryClient
+        from repro.core.sknn_basic import SkNNBasic
+
+        cloud = FederatedCloud.deploy(small_keypair, rng=Random(12),
+                                      latency_model=FixedLatency(0.001))
+        owner = DataOwner(tiny_table, keypair=small_keypair, rng=Random(13))
+        cloud.c1.host_database(owner.encrypt_database())
+        client = QueryClient(small_keypair.public_key, tiny_table.dimensions,
+                             rng=Random(14))
+        SkNNBasic(cloud).run(client.encrypt_query([1, 1, 1]), 1)
+        assert cloud.channel.simulated_delay_seconds > 0
+
+
+class TestCloudServers:
+    def test_c1_and_c2_are_channel_endpoints(self, small_keypair):
+        channel = DuplexChannel("C1", "C2")
+        c1 = CloudC1(small_keypair.public_key, channel)
+        c2 = CloudC2(small_keypair.private_key, channel)
+        c1.send("ping", tag="test")
+        assert c2.receive(expected_tag="test") == "ping"
+
+
+class TestRunReports:
+    def test_report_row_contains_parameters(self):
+        stats = ProtocolRunStats(protocol="SkNNb", c1_encryptions=10,
+                                 c2_decryptions=4, messages=3)
+        report = SkNNRunReport(protocol="SkNNb", n_records=100, dimensions=6,
+                               k=5, key_size=512, distance_bits=None,
+                               wall_time_seconds=1.5, stats=stats,
+                               phase_seconds={"distance": 1.0})
+        row = report.as_row()
+        assert row["n"] == 100
+        assert row["k"] == 5
+        assert row["l"] == 0
+        assert row["phase_distance"] == 1.0
+        assert row["encryptions"] == 10
+
+    def test_synthetic_workload_sizes_match_parameters(self):
+        table = synthetic_uniform(n_records=17, dimensions=5, distance_bits=10,
+                                  seed=1)
+        assert len(table) == 17
+        assert table.dimensions == 5

@@ -1,0 +1,167 @@
+"""Unit tests for the analytic cost model and the calibrated predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import Calibrator, PaillierTimings
+from repro.analysis.cost_model import (
+    OperationCounts,
+    sbd_counts,
+    sbor_counts,
+    sknn_basic_counts,
+    sknn_secure_breakdown,
+    sknn_secure_counts,
+    sm_counts,
+    smin_counts,
+    sminn_counts,
+    ssed_counts,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestOperationCounts:
+    def test_addition_and_scaling(self):
+        counts = OperationCounts(1, 2, 3) + OperationCounts(4, 5, 6)
+        assert counts == OperationCounts(5, 7, 9)
+        assert 2 * OperationCounts(1, 2, 3) == OperationCounts(2, 4, 6)
+
+    def test_total_and_dict(self):
+        counts = OperationCounts(1, 2, 3)
+        assert counts.total == 6
+        assert counts.as_dict() == {
+            "encryptions": 1, "decryptions": 2, "exponentiations": 3,
+        }
+
+
+class TestSubProtocolFormulas:
+    def test_sm_counts(self):
+        assert sm_counts() == OperationCounts(3, 2, 2)
+
+    def test_ssed_scales_linearly_in_m(self):
+        assert ssed_counts(6).total == 6 * ssed_counts(1).total
+
+    def test_sbd_scales_linearly_in_l(self):
+        assert sbd_counts(12).total == pytest.approx(2 * sbd_counts(6).total)
+
+    def test_smin_dominated_by_linear_term(self):
+        # Linear in l up to the constant term: equal increments per extra bit.
+        per_bit = smin_counts(7).total - smin_counts(6).total
+        assert smin_counts(12).total - smin_counts(6).total == pytest.approx(
+            6 * per_bit)
+
+    def test_sminn_is_n_minus_one_smins(self):
+        assert sminn_counts(10, 6).total == pytest.approx(9 * smin_counts(6).total)
+
+    def test_sbor_is_sm_plus_one_exponentiation(self):
+        assert sbor_counts().exponentiations == sm_counts().exponentiations + 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ssed_counts(0)
+        with pytest.raises(ConfigurationError):
+            sbd_counts(-1)
+        with pytest.raises(ConfigurationError):
+            smin_counts(0)
+        with pytest.raises(ConfigurationError):
+            sminn_counts(0, 4)
+
+
+class TestQueryProtocolFormulas:
+    def test_sknnb_linear_in_n(self):
+        """Figure 2(a): SkNN_b cost grows linearly with n."""
+        cost_2000 = sknn_basic_counts(2000, 6, 5).total
+        cost_4000 = sknn_basic_counts(4000, 6, 5).total
+        assert cost_4000 / cost_2000 == pytest.approx(2.0, rel=0.01)
+
+    def test_sknnb_linear_in_m(self):
+        """Figure 2(a): SkNN_b cost grows linearly with m."""
+        cost_6 = sknn_basic_counts(2000, 6, 5).total
+        cost_18 = sknn_basic_counts(2000, 18, 5).total
+        assert cost_18 / cost_6 == pytest.approx(3.0, rel=0.05)
+
+    def test_sknnb_nearly_independent_of_k(self):
+        """Figure 2(c): SkNN_b cost barely changes with k."""
+        cost_k5 = sknn_basic_counts(2000, 6, 5).total
+        cost_k25 = sknn_basic_counts(2000, 6, 25).total
+        assert cost_k25 / cost_k5 < 1.01
+
+    def test_sknnm_roughly_linear_in_k(self):
+        """Figure 2(d): SkNN_m cost grows (almost) linearly with k."""
+        cost_k5 = sknn_secure_counts(2000, 6, 5, 6).total
+        cost_k25 = sknn_secure_counts(2000, 6, 25, 6).total
+        ratio = cost_k25 / cost_k5
+        assert 4.0 < ratio < 5.5
+
+    def test_sknnm_grows_with_l(self):
+        """Figure 2(d): larger l costs more (roughly linearly)."""
+        cost_l6 = sknn_secure_counts(2000, 6, 5, 6).total
+        cost_l12 = sknn_secure_counts(2000, 6, 5, 12).total
+        assert 1.4 < cost_l12 / cost_l6 < 2.2
+
+    def test_sknnm_much_more_expensive_than_sknnb(self):
+        """Figure 2(f): SkNN_m is orders of magnitude costlier than SkNN_b."""
+        basic = sknn_basic_counts(2000, 6, 5).total
+        secure = sknn_secure_counts(2000, 6, 5, 6).total
+        assert secure / basic > 10
+
+    def test_breakdown_sums_to_total(self):
+        breakdown = sknn_secure_breakdown(100, 6, 5, 6)
+        total = breakdown.pop("total")
+        summed = OperationCounts()
+        for counts in breakdown.values():
+            summed = summed + counts
+        assert summed.total == pytest.approx(total.total)
+
+    def test_sminn_share_increases_with_k(self):
+        """Section 5.2: the SMIN_n share of SkNN_m grows as k grows."""
+        def share(k: int) -> float:
+            breakdown = sknn_secure_breakdown(2000, 6, k, 6)
+            return breakdown["sminn"].total / breakdown["total"].total
+
+        assert share(25) > share(5)
+        assert share(5) > 0.3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sknn_basic_counts(0, 6, 5)
+        with pytest.raises(ConfigurationError):
+            sknn_secure_counts(10, 6, 5, 0)
+
+
+class TestCalibrator:
+    def test_timings_are_positive_and_cached(self):
+        calibrator = Calibrator(samples=5)
+        first = calibrator.timings_for(128)
+        second = calibrator.timings_for(128)
+        assert first is second
+        assert first.encryption_seconds > 0
+        assert first.decryption_seconds > 0
+        assert first.exponentiation_seconds > 0
+
+    def test_prediction_scales_with_counts(self):
+        calibrator = Calibrator(samples=5)
+        small = calibrator.predict_seconds(OperationCounts(10, 10, 10), 128)
+        large = calibrator.predict_seconds(OperationCounts(100, 100, 100), 128)
+        assert large == pytest.approx(10 * small, rel=1e-6)
+
+    def test_larger_keys_are_slower(self):
+        calibrator = Calibrator(samples=5)
+        slow = calibrator.timings_for(256)
+        fast = calibrator.timings_for(128)
+        assert slow.encryption_seconds > fast.encryption_seconds
+
+    def test_keypair_cached_per_size(self):
+        calibrator = Calibrator(samples=5)
+        assert calibrator.keypair_for(128) is calibrator.keypair_for(128)
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ConfigurationError):
+            Calibrator(samples=1)
+
+    def test_timings_dataclass_prediction(self):
+        timings = PaillierTimings(key_size=128, encryption_seconds=1.0,
+                                  decryption_seconds=2.0,
+                                  exponentiation_seconds=3.0)
+        assert timings.predict_seconds(OperationCounts(1, 1, 1)) == 6.0
+        assert timings.as_dict()["key_size"] == 128

@@ -1,0 +1,116 @@
+"""Unit tests for the SBD, SBOR and SBXOR sub-protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.protocols.encoding import decrypt_bits
+from repro.protocols.sbd import SecureBitDecomposition
+from repro.protocols.sbor import SecureBitOr, SecureBitXor
+
+
+class TestSecureBitDecomposition:
+    def test_paper_example_4(self, setting, private_key):
+        """Example 4: z=55, l=6 must give bits <1,1,0,1,1,1> (MSB first)."""
+        protocol = SecureBitDecomposition(setting, bit_length=6)
+        bits = protocol.run(setting.public_key.encrypt(55))
+        decrypted = [private_key.decrypt(b) for b in bits]
+        assert decrypted == [1, 1, 0, 1, 1, 1]
+
+    def test_round_trip_all_values_small_domain(self, setting, private_key):
+        protocol = SecureBitDecomposition(setting, bit_length=4)
+        for value in range(16):
+            bits = protocol.run(setting.public_key.encrypt(value))
+            assert decrypt_bits(private_key, bits) == value
+
+    def test_round_trip_random_values(self, setting, private_key, rng):
+        bit_length = 12
+        protocol = SecureBitDecomposition(setting, bit_length=bit_length)
+        for _ in range(10):
+            value = rng.randrange(0, 1 << bit_length)
+            bits = protocol.run(setting.public_key.encrypt(value))
+            assert decrypt_bits(private_key, bits) == value
+
+    def test_zero_and_maximum(self, setting, private_key):
+        protocol = SecureBitDecomposition(setting, bit_length=8)
+        assert decrypt_bits(private_key,
+                            protocol.run(setting.public_key.encrypt(0))) == 0
+        assert decrypt_bits(private_key,
+                            protocol.run(setting.public_key.encrypt(255))) == 255
+
+    def test_output_length_matches_bit_length(self, setting):
+        protocol = SecureBitDecomposition(setting, bit_length=9)
+        bits = protocol.run(setting.public_key.encrypt(5))
+        assert len(bits) == 9
+
+    def test_each_output_is_a_bit(self, setting, private_key):
+        protocol = SecureBitDecomposition(setting, bit_length=7)
+        bits = protocol.run(setting.public_key.encrypt(93))
+        for encrypted_bit in bits:
+            assert private_key.decrypt(encrypted_bit) in (0, 1)
+
+    def test_rejects_nonpositive_bit_length(self, setting):
+        with pytest.raises(ProtocolError):
+            SecureBitDecomposition(setting, bit_length=0)
+
+    def test_rejects_bit_length_close_to_key_size(self, setting):
+        too_large = setting.public_key.n.bit_length()
+        with pytest.raises(ProtocolError):
+            SecureBitDecomposition(setting, bit_length=too_large)
+
+    def test_p2_never_sees_the_value(self, setting, private_key):
+        """Every value C1 sends during SBD is additively masked."""
+        value = 37
+        protocol = SecureBitDecomposition(setting, bit_length=6)
+        setting.channel.transcript.clear()
+        protocol.run(setting.public_key.encrypt(value))
+        for payload in setting.channel.transcript_payloads("C1"):
+            decrypted = private_key.decrypt_raw_residue(payload)
+            # The masked value could coincide with the true value only with
+            # negligible probability; a direct equality would indicate the
+            # mask was not applied.
+            assert decrypted != value
+
+
+class TestSecureBitOr:
+    def test_truth_table(self, setting, private_key):
+        protocol = SecureBitOr(setting)
+        for a in (0, 1):
+            for b in (0, 1):
+                result = protocol.run(setting.public_key.encrypt(a),
+                                      setting.public_key.encrypt(b))
+                assert private_key.decrypt(result) == (a | b)
+
+    def test_or_with_one_saturates(self, setting, private_key):
+        """OR with 1 always yields 1 — the property SkNN_m's step 3(e) uses."""
+        protocol = SecureBitOr(setting)
+        for bit in (0, 1):
+            result = protocol.run(setting.public_key.encrypt(1),
+                                  setting.public_key.encrypt(bit))
+            assert private_key.decrypt(result) == 1
+
+    def test_or_with_zero_is_identity(self, setting, private_key):
+        protocol = SecureBitOr(setting)
+        for bit in (0, 1):
+            result = protocol.run(setting.public_key.encrypt(0),
+                                  setting.public_key.encrypt(bit))
+            assert private_key.decrypt(result) == bit
+
+
+class TestSecureBitXor:
+    def test_truth_table(self, setting, private_key):
+        protocol = SecureBitXor(setting)
+        for a in (0, 1):
+            for b in (0, 1):
+                result = protocol.run(setting.public_key.encrypt(a),
+                                      setting.public_key.encrypt(b))
+                assert private_key.decrypt(result) == (a ^ b)
+
+    def test_xor_from_precomputed_product(self, setting, private_key):
+        protocol = SecureBitXor(setting)
+        enc_a = setting.public_key.encrypt(1)
+        enc_b = setting.public_key.encrypt(1)
+        enc_product = setting.public_key.encrypt(1)  # 1 AND 1
+        result = protocol.xor_from_product(enc_a, enc_b, enc_product)
+        assert private_key.decrypt(result) == 0
