@@ -42,7 +42,6 @@ def test_fig3_measured_serial_vs_parallel(benchmark, measured_keypair, backend,
     cloud, client, _ = deploy_measured_system(
         measured_keypair, n_records=MEASURED_N, dimensions=MEASURED_M,
         distance_bits=10, seed=500)
-    runner = ParallelSkNNBasic(cloud, workers=workers, backend=backend)
     encrypted_query = client.encrypt_query([3] * MEASURED_M)
 
     benchmark.extra_info.update({
@@ -50,8 +49,9 @@ def test_fig3_measured_serial_vs_parallel(benchmark, measured_keypair, backend,
         "workers": workers, "n": MEASURED_N, "m": MEASURED_M, "k": 5,
         "key_size": MEASURED_KEY_BITS, "kind": "measured",
     })
-    benchmark.pedantic(lambda: runner.run(encrypted_query, 5),
-                       rounds=1, iterations=1, warmup_rounds=0)
+    with ParallelSkNNBasic(cloud, workers=workers, backend=backend) as runner:
+        benchmark.pedantic(lambda: runner.run(encrypted_query, 5),
+                           rounds=1, iterations=1, warmup_rounds=0)
 
 
 def test_fig3_projected_paper_scale(benchmark, calibrator, results_dir):

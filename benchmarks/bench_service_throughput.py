@@ -1,0 +1,148 @@
+"""Service throughput: queries/sec for the sharded serving layer vs the seed path.
+
+The serving subsystem (:mod:`repro.service`) claims three wins over the
+seed's one-query-at-a-time serial path:
+
+1. **Sharding + pooled workers** — the distance phase is scatter-gathered
+   over N shards on a *persistent* worker pool (no per-query pool creation).
+2. **Batched scheduling** — queries sharing a scan pass amortize per-record
+   task serialization and key-object reconstruction across the batch.
+3. **Ciphertext precomputation** — a :class:`~repro.crypto.RandomnessPool`
+   moves the ``r^N mod N^2`` exponentiations of query encryption and
+   delivery-phase masking off the hot path.
+
+This bench measures queries/sec for the seed's per-query serial SkNN_b path
+and a grid of service configurations (shards x workers x batch size, with and
+without the randomness pool) over the *same* table and the same query set,
+writes the comparison table to ``benchmarks/results/``, and asserts the full
+service configuration beats the serial baseline.
+
+Set ``REPRO_BENCH_QUICK=1`` for a reduced smoke workload (used by CI).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from random import Random
+
+from benchmarks.conftest import deploy_measured_system, write_result
+from repro.analysis.reporting import format_table
+from repro.core.sknn_basic import SkNNBasic
+from repro.crypto.randomness_pool import RandomnessPool
+from repro.db.knn import LinearScanKNN
+from repro.service.scheduler import QueryServer
+from repro.service.sharding import ShardedCloud
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+BENCH_N = 24 if QUICK else 64
+BENCH_M = 3 if QUICK else 4
+BENCH_QUERIES = 4 if QUICK else 8
+BENCH_K = 2
+BENCH_WORKERS = min(os.cpu_count() or 2, 4)
+
+#: (label, shards, workers, backend, batch_size, pool_size) service configs.
+SERVICE_CONFIGS = [
+    ("sharded s2 batch1", 2, BENCH_WORKERS, "process", 1, 0),
+    ("sharded s2 batched", 2, BENCH_WORKERS, "process", BENCH_QUERIES, 0),
+    ("sharded s2 batched + pool", 2, BENCH_WORKERS, "process",
+     BENCH_QUERIES, 4 * BENCH_QUERIES * BENCH_M),
+]
+
+
+def _workload(measured_keypair):
+    """One deployment plus a fixed query set shared by every configuration."""
+    cloud, client, table = deploy_measured_system(
+        measured_keypair, n_records=BENCH_N, dimensions=BENCH_M,
+        distance_bits=10, seed=700)
+    rng = Random(701)
+    max_value = max(a.maximum for a in table.schema)
+    queries = [[rng.randint(0, max_value) for _ in range(BENCH_M)]
+               for _ in range(BENCH_QUERIES)]
+    return cloud, client, table, queries
+
+
+def _serial_queries_per_second(cloud, client, queries) -> float:
+    """The seed path: one serial SkNN_b execution per query."""
+    protocol = SkNNBasic(cloud)
+    started = time.perf_counter()
+    for query in queries:
+        protocol.run(client.encrypt_query(query), BENCH_K)
+    elapsed = time.perf_counter() - started
+    return len(queries) / elapsed
+
+
+def _service_queries_per_second(cloud, queries, shards, workers, backend,
+                                batch_size, pool_size) -> float:
+    """One service configuration: sessions submit, the server drains batches."""
+    randomness_pool = (RandomnessPool(cloud.c1.public_key, size=pool_size,
+                                      rng=Random(702))
+                       if pool_size else None)
+    sharded = ShardedCloud(cloud, shards=shards, workers=workers,
+                           backend=backend, randomness_pool=randomness_pool)
+    server = QueryServer(sharded, batch_size=batch_size, rng=Random(703),
+                         session_pool_size=4 * BENCH_M if pool_size else 0)
+    session = server.open_session("bench-bob")
+    try:
+        started = time.perf_counter()
+        pending = [session.submit(query, BENCH_K) for query in queries]
+        server.flush()
+        answers = [p.result(timeout=600) for p in pending]
+        elapsed = time.perf_counter() - started
+    finally:
+        server.close()
+    assert all(len(answer.neighbors) == BENCH_K for answer in answers)
+    return len(queries) / elapsed
+
+
+def test_service_throughput_vs_seed_serial(benchmark, measured_keypair,
+                                           results_dir):
+    """The full service config must out-serve the seed's serial path."""
+    cloud, client, table, queries = _workload(measured_keypair)
+    oracle = LinearScanKNN(table)
+
+    def run_grid():
+        rows = [{
+            "configuration": "seed serial per-query",
+            "shards": 1, "workers": 1, "batch": 1, "pool": 0,
+            "queries/s": _serial_queries_per_second(cloud, client, queries),
+        }]
+        for label, shards, workers, backend, batch, pool in SERVICE_CONFIGS:
+            rows.append({
+                "configuration": label,
+                "shards": shards, "workers": workers, "batch": batch,
+                "pool": pool,
+                "queries/s": _service_queries_per_second(
+                    cloud, queries, shards, workers, backend, batch, pool),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1,
+                              warmup_rounds=0)
+    text = (f"service throughput (n={BENCH_N}, m={BENCH_M}, k={BENCH_K}, "
+            f"queries={BENCH_QUERIES}, K=256, {os.cpu_count()} cores)\n"
+            + format_table(rows))
+    write_result(results_dir, "service_throughput.txt", text)
+    benchmark.extra_info.update({
+        "subsystem": "service", "kind": "measured", "n": BENCH_N,
+        "m": BENCH_M, "k": BENCH_K, "queries": BENCH_QUERIES,
+        "quick": QUICK,
+    })
+
+    serial_qps = rows[0]["queries/s"]
+    full_service_qps = rows[-1]["queries/s"]
+    assert full_service_qps > serial_qps, (
+        f"service path ({full_service_qps:.2f} q/s) did not beat the seed "
+        f"serial path ({serial_qps:.2f} q/s)")
+
+    # Sanity: the served answers must match the plaintext oracle.
+    sharded = ShardedCloud(cloud, shards=2, workers=1, backend="serial")
+    server = QueryServer(sharded, batch_size=BENCH_QUERIES, rng=Random(704))
+    session = server.open_session("oracle-check")
+    try:
+        for query in queries:
+            expected = [r.record.values for r in oracle.query(query, BENCH_K)]
+            assert session.query(query, BENCH_K).neighbors == expected
+    finally:
+        server.close()

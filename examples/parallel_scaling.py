@@ -39,10 +39,11 @@ def measured_speedup(n_records: int, workers: int) -> dict[str, float]:
 
     timings: dict[str, float] = {}
     for backend, worker_count in (("serial", 1), ("process", workers)):
-        runner = ParallelSkNNBasic(cloud, workers=worker_count, backend=backend)
-        started = time.perf_counter()
-        runner.run(encrypted_query, 5)
-        timings[backend] = time.perf_counter() - started
+        with ParallelSkNNBasic(cloud, workers=worker_count,
+                               backend=backend) as runner:
+            started = time.perf_counter()
+            runner.run(encrypted_query, 5)
+            timings[backend] = time.perf_counter() - started
     return timings
 
 

@@ -13,7 +13,9 @@ ICDE 2014).  The package contains:
   end-to-end :class:`SkNNSystem`;
 * :mod:`repro.baselines` — plaintext kNN and the ASPE comparator;
 * :mod:`repro.analysis` — the analytic cost model and calibrated projections
-  used to regenerate the paper's figures.
+  used to regenerate the paper's figures;
+* :mod:`repro.service` — the multi-client serving layer: sharded encrypted
+  storage, batched query scheduling and precomputed ciphertext randomness.
 
 Quickstart::
 
@@ -35,10 +37,11 @@ from repro.core import (
     SkNNSecure,
     SkNNSystem,
 )
-from repro.crypto import generate_keypair
+from repro.crypto import RandomnessPool, generate_keypair
 from repro.db import Schema, Table
+from repro.service import QueryServer, ShardedCloud
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -50,6 +53,9 @@ __all__ = [
     "QueryClient",
     "QueryAnswer",
     "FederatedCloud",
+    "QueryServer",
+    "ShardedCloud",
+    "RandomnessPool",
     "generate_keypair",
     "Schema",
     "Table",

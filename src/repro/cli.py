@@ -52,6 +52,9 @@ EXPERIMENT_INVENTORY: tuple[dict[str, str], ...] = (
      "bench": "benchmarks/bench_fig3_parallel.py"},
     {"figure": "5.2", "description": "SMINn share and Bob's cost",
      "bench": "benchmarks/bench_section52_breakdown.py"},
+    {"figure": "beyond-paper", "description": "sharded serving throughput "
+     "(shards x workers x batch x randomness pool)",
+     "bench": "benchmarks/bench_service_throughput.py"},
 )
 
 
@@ -80,7 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="distance domain bit length")
     query.add_argument("--key-size", type=int, default=256,
                        help="Paillier key size in bits")
-    query.add_argument("--mode", choices=["basic", "secure", "parallel"],
+    query.add_argument("--mode", choices=["basic", "secure", "parallel", "sharded"],
                        default="basic", help="protocol to run")
     query.add_argument("--seed", type=int, default=0, help="workload seed")
 
@@ -100,6 +103,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="paper figure to project")
     project.add_argument("--samples", type=int, default=10,
                          help="calibration samples per primitive")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve concurrent kNN queries over a sharded encrypted "
+                      "table and verify every answer against the plaintext oracle")
+    serve.add_argument("--n", type=int, default=48, help="number of records")
+    serve.add_argument("--m", type=int, default=3, help="number of attributes")
+    serve.add_argument("--k", type=int, default=2, help="neighbors per query")
+    serve.add_argument("--l", type=int, default=9,
+                       help="distance domain bit length")
+    serve.add_argument("--key-size", type=int, default=256,
+                       help="Paillier key size in bits")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="number of C1 shards")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent worker pool size")
+    serve.add_argument("--backend", choices=["process", "thread", "serial"],
+                       default="process", help="worker pool backend")
+    serve.add_argument("--batch-size", type=int, default=4,
+                       help="max queries grouped into one scan pass")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent Bob sessions")
+    serve.add_argument("--queries", type=int, default=8,
+                       help="total queries across all sessions")
+    serve.add_argument("--pool-size", type=int, default=64,
+                       help="precomputed randomness pool size (0 disables)")
+    serve.add_argument("--seed", type=int, default=0, help="workload seed")
 
     subparsers.add_parser(
         "inventory", help="list every reproduced table/figure and its bench target")
@@ -137,9 +166,9 @@ def _run_query(args: argparse.Namespace) -> int:
     query = [rng.randint(0, max(a.maximum for a in table.schema))
              for _ in range(args.m)]
     print(f"{table.describe()}; query={query}, k={args.k}, mode={args.mode}")
-    system = SkNNSystem.setup(table, key_size=args.key_size, mode=args.mode,
-                              rng=Random(args.seed + 2))
-    answer = system.query_with_report(query, args.k)
+    with SkNNSystem.setup(table, key_size=args.key_size, mode=args.mode,
+                          rng=Random(args.seed + 2)) as system:
+        answer = system.query_with_report(query, args.k)
     for rank, record in enumerate(answer.neighbors, start=1):
         print(f"  neighbor {rank}: {record}")
     expected_distances = sorted(
@@ -202,6 +231,65 @@ def _run_project(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    table = synthetic_uniform(n_records=args.n, dimensions=args.m,
+                              distance_bits=args.l, seed=args.seed)
+    oracle = LinearScanKNN(table)
+    workload_rng = Random(args.seed + 1)
+    max_value = max(a.maximum for a in table.schema)
+    queries = [[workload_rng.randint(0, max_value) for _ in range(args.m)]
+               for _ in range(args.queries)]
+
+    print(f"{table.describe()}; {args.shards} shards, {args.workers} "
+          f"{args.backend} workers, batch size {args.batch_size}, "
+          f"{args.clients} concurrent clients, {args.queries} queries")
+    system = SkNNSystem.setup(table, key_size=args.key_size, mode="sharded",
+                              shards=args.shards, workers=args.workers,
+                              parallel_backend=args.backend,
+                              rng=Random(args.seed + 2))
+    server = system.serve(batch_size=args.batch_size,
+                          randomness_pool_size=args.pool_size,
+                          session_pool_size=min(args.pool_size, 4 * args.m))
+
+    answers: dict[int, object] = {}
+
+    def run_client(client_index: int) -> None:
+        session = server.open_session(f"client-{client_index}")
+        for query_index in range(client_index, args.queries, args.clients):
+            answers[query_index] = session.query(queries[query_index], args.k,
+                                                 timeout=120)
+
+    started = time.perf_counter()
+    with server:
+        threads = [threading.Thread(target=run_client, args=(index,))
+                   for index in range(args.clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    elapsed = time.perf_counter() - started
+
+    matches = all(
+        answers[index].neighbors
+        == [r.record.values for r in oracle.query(queries[index], args.k)]
+        for index in range(args.queries)
+    )
+    stats = server.stats
+    print(format_table([{
+        "queries": stats.queries_served,
+        "batches": stats.batches_served,
+        "mean batch": stats.mean_batch_size,
+        "wall (s)": elapsed,
+        "queries/s": stats.queries_served / elapsed if elapsed else 0.0,
+    }]), end="")
+    print(f"all answers match plaintext oracle: {matches}")
+    system.close()
+    return 0 if matches else 1
+
+
 def _run_inventory(_: argparse.Namespace) -> int:
     print(format_table(list(EXPERIMENT_INVENTORY)), end="")
     return 0
@@ -212,6 +300,7 @@ _HANDLERS = {
     "query": _run_query,
     "calibrate": _run_calibrate,
     "project": _run_project,
+    "serve": _run_serve,
     "inventory": _run_inventory,
 }
 

@@ -21,29 +21,47 @@ Backends:
   GIL serializes big-integer arithmetic, so this shows little speedup and is
   included to make that limitation measurable.
 * ``"serial"``  — same code path without a pool (baseline for speedup plots).
+
+Workers are hosted by a :class:`PersistentWorkerPool`, created lazily on the
+first query and **reused across queries** — pool start-up (process spawning)
+is paid once per deployment instead of once per query, which matters for the
+multi-query serving layer in :mod:`repro.service`.  Call
+:meth:`ParallelSkNNBasic.close` (or use the instance as a context manager)
+to release the workers.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from random import Random
-from typing import Literal, Sequence
+from typing import Callable, Literal, Sequence
 
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import ResultShares
-from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_base import SkNNProtocol
 from repro.crypto.paillier import Ciphertext, PaillierPrivateKey, PaillierPublicKey
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ParallelSkNNBasic", "ParallelRunReport", "ssed_record_worker"]
+__all__ = [
+    "ParallelSkNNBasic",
+    "ParallelRunReport",
+    "PersistentWorkerPool",
+    "ssed_record_worker",
+    "ssed_record_batch_worker",
+]
 
 Backend = Literal["thread", "process", "serial"]
 
 #: Worker task: (record_index, record ciphertext ints, query ciphertext ints,
 #: modulus N, prime p, prime q, RNG seed)
 WorkerTask = tuple[int, list[int], list[int], int, int, int, int]
+
+#: Batched worker task: like :data:`WorkerTask` but carrying the ciphertexts
+#: of *several* queries, so one record (de)serialization is amortized over a
+#: whole batch of queries sharing a scan pass.
+BatchWorkerTask = tuple[int, list[int], list[list[int]], int, int, int, int]
 
 
 @dataclass
@@ -58,26 +76,19 @@ class ParallelRunReport:
     total_seconds: float
 
 
-def ssed_record_worker(task: WorkerTask) -> tuple[int, int]:
-    """Compute one record's squared Euclidean distance over ciphertexts.
+def _record_squared_distance(public_key: PaillierPublicKey,
+                             private_key: PaillierPrivateKey, rng: Random,
+                             record_values: list[int],
+                             query_values: list[int]) -> int:
+    """One record's squared Euclidean distance over ciphertexts.
 
-    Re-creates the key objects from the raw parameters (worker processes
-    cannot share Python objects with the driver), then performs, for every
-    attribute, the same operation sequence as the serial SSED protocol:
-    homomorphic difference, additive masking, decryption of the masked
-    difference, squaring, re-encryption and unmasking — so the per-record
-    Paillier operation count matches the serial protocol and the measured
-    speedup reflects genuine parallelization of the paper's workload.
-
-    Returns:
-        ``(record_index, squared_distance)`` where the distance is the
-        plaintext value C2 learns in SkNN_b.
+    Performs, for every attribute, the same operation sequence as the serial
+    SSED protocol: homomorphic difference, additive masking, decryption of the
+    masked difference, squaring, re-encryption and unmasking — so the
+    per-record Paillier operation count matches the serial protocol and
+    measured speedups reflect genuine parallelization of the paper's workload.
     """
-    record_index, record_values, query_values, n, p, q, seed = task
-    public_key = PaillierPublicKey(n)
-    private_key = PaillierPrivateKey(public_key, p, q)
-    rng = Random(seed)
-
+    n = public_key.n
     total: Ciphertext | None = None
     for record_value, query_value in zip(record_values, query_values):
         enc_record = Ciphertext(public_key, record_value)
@@ -96,15 +107,127 @@ def ssed_record_worker(task: WorkerTask) -> tuple[int, int]:
         total = enc_square if total is None else total + enc_square
 
     assert total is not None
-    distance = private_key.decrypt_raw_residue(total)
+    return private_key.decrypt_raw_residue(total)
+
+
+def ssed_record_worker(task: WorkerTask) -> tuple[int, int]:
+    """Compute one record's squared Euclidean distance over ciphertexts.
+
+    Re-creates the key objects from the raw parameters (worker processes
+    cannot share Python objects with the driver), then delegates to the same
+    SSED sequence the serial protocol performs.
+
+    Returns:
+        ``(record_index, squared_distance)`` where the distance is the
+        plaintext value C2 learns in SkNN_b.
+    """
+    record_index, record_values, query_values, n, p, q, seed = task
+    public_key = PaillierPublicKey(n)
+    private_key = PaillierPrivateKey(public_key, p, q)
+    rng = Random(seed)
+    distance = _record_squared_distance(public_key, private_key, rng,
+                                        record_values, query_values)
     return record_index, distance
 
 
-class ParallelSkNNBasic:
+def ssed_record_batch_worker(task: BatchWorkerTask) -> tuple[int, list[int]]:
+    """Compute one record's squared distance to *every* query of a batch.
+
+    The expensive per-task fixed costs — task serialization, key-object
+    reconstruction — are paid once per record instead of once per
+    (record, query) pair, which is what makes batched scheduling in
+    :mod:`repro.service` cheaper than issuing the queries one at a time.
+
+    Returns:
+        ``(record_index, [squared_distance_per_query])`` in batch order.
+    """
+    record_index, record_values, queries, n, p, q, seed = task
+    public_key = PaillierPublicKey(n)
+    private_key = PaillierPrivateKey(public_key, p, q)
+    rng = Random(seed)
+    distances = [
+        _record_squared_distance(public_key, private_key, rng,
+                                 record_values, query_values)
+        for query_values in queries
+    ]
+    return record_index, distances
+
+
+class PersistentWorkerPool:
+    """A worker pool created once and reused across queries.
+
+    The seed implementation created a fresh :class:`ProcessPoolExecutor`
+    inside every query, paying process spawn-up per query.  This class hoists
+    the executor to deployment scope: it is created lazily on the first
+    :meth:`map` call and reused until :meth:`close` — exactly the lifetime a
+    query-serving system needs.  Instances are context managers.
+
+    Args:
+        workers: number of parallel workers.
+        backend: ``"process"``, ``"thread"`` or ``"serial"`` (no pool).
+    """
+
+    def __init__(self, workers: int = 6, backend: Backend = "process") -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        if backend not in ("thread", "process", "serial"):
+            raise ConfigurationError(f"unknown backend {backend!r}")
+        self.workers = workers
+        self.backend = backend
+        self._executor: Executor | None = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def _ensure_executor(self) -> Executor | None:
+        if self._closed:
+            raise ConfigurationError("worker pool has been closed")
+        if self.backend == "serial" or self.workers == 1:
+            return None
+        if self._executor is None:
+            if self.backend == "thread":
+                self._executor = ThreadPoolExecutor(max_workers=self.workers)
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the workers down; the pool cannot be used afterwards."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution ----------------------------------------------------------
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Apply ``fn`` to every task on the pool's workers (order preserved)."""
+        executor = self._ensure_executor()
+        if executor is None:
+            return [fn(task) for task in tasks]
+        if self.backend == "process":
+            chunk = max(len(tasks) // (self.workers * 4), 1)
+            return list(executor.map(fn, tasks, chunksize=chunk))
+        return list(executor.map(fn, tasks))
+
+
+class ParallelSkNNBasic(SkNNProtocol):
     """SkNN_b with a parallelized distance phase (Figure 3 reproduction)."""
 
+    name = "SkNNb-parallel"
+
     def __init__(self, cloud: FederatedCloud, workers: int = 6,
-                 backend: Backend = "process") -> None:
+                 backend: Backend = "process",
+                 pool: PersistentWorkerPool | None = None) -> None:
         """Create a parallel SkNN_b runner.
 
         Args:
@@ -113,21 +236,38 @@ class ParallelSkNNBasic:
                 match its 6-core machine).
             backend: ``"process"`` (true parallelism), ``"thread"`` (GIL
                 bound, for comparison) or ``"serial"`` (no pool; baseline).
+            pool: optionally share an existing :class:`PersistentWorkerPool`
+                (e.g. across the shards of a :class:`~repro.service.sharding.
+                ShardedCloud`); when given, ``workers``/``backend`` are taken
+                from the pool and :meth:`close` leaves it running.
         """
-        if workers < 1:
-            raise ConfigurationError("workers must be >= 1")
-        if backend not in ("thread", "process", "serial"):
-            raise ConfigurationError(f"unknown backend {backend!r}")
-        self.cloud = cloud
-        self.workers = workers
-        self.backend = backend
-        self._serial_protocol = SkNNBasic(cloud)
-        self.last_report: ParallelRunReport | None = None
+        super().__init__(cloud)
+        if pool is not None:
+            self.pool = pool
+            self._owns_pool = False
+        else:
+            self.pool = PersistentWorkerPool(workers=workers, backend=backend)
+            self._owns_pool = True
+        self.workers = self.pool.workers
+        self.backend = self.pool.backend
+        self.last_parallel_report: ParallelRunReport | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker pool (no-op for a shared pool)."""
+        if self._owns_pool:
+            self.pool.close()
+
+    def __enter__(self) -> "ParallelSkNNBasic":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- execution -------------------------------------------------------------
     def run(self, encrypted_query: Sequence[Ciphertext], k: int) -> ResultShares:
         """Answer a kNN query with the distance phase parallelized."""
-        self._serial_protocol._validate_query(encrypted_query, k)
+        self._validate_query(encrypted_query, k)
 
         started = time.perf_counter()
         distances = self._parallel_distances(encrypted_query)
@@ -137,7 +277,7 @@ class ParallelSkNNBasic:
         shares = self._finish_query(distances, k)
         selection_elapsed = time.perf_counter() - selection_started
 
-        self.last_report = ParallelRunReport(
+        self.last_parallel_report = ParallelRunReport(
             backend=self.backend,
             workers=self.workers,
             n_records=len(self.cloud.c1.encrypted_table),
@@ -147,21 +287,31 @@ class ParallelSkNNBasic:
         )
         return shares
 
+    def run_with_report(self, encrypted_query: Sequence[Ciphertext], k: int,
+                        distance_bits: int | None = None) -> ResultShares:
+        """Run and record a populated :class:`~repro.core.sknn_base.SkNNRunReport`.
+
+        In addition to the base-class statistics the report's
+        ``phase_seconds`` carries the parallel distance/selection split.
+        Note that crypto-operation counters only reflect driver-side work:
+        the per-record Paillier operations happen inside worker processes
+        whose counters are not shared with the driver.
+        """
+        shares = super().run_with_report(encrypted_query, k,
+                                         distance_bits=distance_bits)
+        parallel = self.last_parallel_report
+        if self.last_report is not None and parallel is not None:
+            self.last_report.phase_seconds = {
+                "distance": parallel.distance_phase_seconds,
+                "selection": parallel.selection_phase_seconds,
+            }
+        return shares
+
     # -- distance phase ------------------------------------------------------------
     def _parallel_distances(self, encrypted_query: Sequence[Ciphertext]) -> list[int]:
-        """Compute every record's squared distance with the chosen backend."""
+        """Compute every record's squared distance with the persistent pool."""
         tasks = self._build_tasks(encrypted_query)
-
-        if self.backend == "serial" or self.workers == 1:
-            results = [ssed_record_worker(task) for task in tasks]
-        elif self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                results = list(pool.map(ssed_record_worker, tasks))
-        else:
-            chunk = max(len(tasks) // (self.workers * 4), 1)
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                results = list(pool.map(ssed_record_worker, tasks, chunksize=chunk))
-
+        results = self.pool.map(ssed_record_worker, tasks)
         distances = [0] * len(tasks)
         for record_index, distance in results:
             distances[record_index] = distance
@@ -196,4 +346,4 @@ class ParallelSkNNBasic:
         table = self.cloud.c1.encrypted_table
         selected = [list(table.record_at(index).ciphertexts)
                     for index in top_k_indices]
-        return self._serial_protocol._deliver_records(selected)
+        return self._deliver_records(selected)

@@ -24,7 +24,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from random import Random
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import used for annotations only
+    from repro.crypto.randomness_pool import RandomnessPool
 
 from repro.crypto.paillier import (
     Ciphertext,
@@ -125,19 +128,28 @@ class QueryClient:
     """Bob: encrypts queries and reconstructs results from the two shares."""
 
     def __init__(self, public_key: PaillierPublicKey, dimensions: int,
-                 rng: Random | None = None) -> None:
+                 rng: Random | None = None,
+                 randomness_pool: "RandomnessPool | None" = None) -> None:
         """Create a query client.
 
         Args:
             public_key: Alice's public key (obtained through authorization).
             dimensions: expected number of query attributes ``m``.
             rng: optional deterministic randomness source (tests only).
+            randomness_pool: optional precomputed Paillier randomness
+                (:class:`~repro.crypto.RandomnessPool`); when given, query
+                encryption uses pooled obfuscation factors, turning Bob's
+                hot-path cost into one multiplication per attribute.
         """
         if dimensions <= 0:
             raise ConfigurationError("dimensions must be positive")
+        if randomness_pool is not None and randomness_pool.public_key != public_key:
+            raise ConfigurationError(
+                "randomness pool belongs to a different public key")
         self.public_key = public_key
         self.dimensions = dimensions
         self.rng = rng
+        self.randomness_pool = randomness_pool
         self.last_cost = ClientCostReport()
 
     def encrypt_query(self, query: Sequence[int]) -> list[Ciphertext]:
@@ -147,7 +159,10 @@ class QueryClient:
                 f"query has {len(query)} attributes, expected {self.dimensions}"
             )
         started = time.perf_counter()
-        encrypted = self.public_key.encrypt_vector(list(query), rng=self.rng)
+        if self.randomness_pool is not None:
+            encrypted = [self.randomness_pool.encrypt(value) for value in query]
+        else:
+            encrypted = self.public_key.encrypt_vector(list(query), rng=self.rng)
         self.last_cost.encrypt_query_seconds = time.perf_counter() - started
         return encrypted
 

@@ -27,7 +27,57 @@ from repro.exceptions import QueryError
 from repro.network.stats import ProtocolRunStats
 from repro.protocols.ssed import SecureSquaredEuclideanDistance
 
-__all__ = ["SkNNProtocol", "SkNNRunReport"]
+__all__ = ["SkNNProtocol", "SkNNRunReport", "RunStatsRecorder"]
+
+
+class RunStatsRecorder:
+    """Captures crypto-counter and traffic deltas around one execution.
+
+    Snapshot the cloud's counters at construction, run the protocol, then
+    call :meth:`finish` to obtain the :class:`ProtocolRunStats` delta.  Used
+    by every run-with-report path (serial, parallel, sharded, batched) so the
+    stats fields stay consistent across them.
+
+    Note: the counters live on the shared key objects, so under concurrent
+    use (e.g. sessions encrypting queries while a batch executes) the deltas
+    attribute any overlapping client-side operations to the cloud side —
+    they are exact in single-threaded runs and approximate under concurrency.
+    """
+
+    def __init__(self, cloud: FederatedCloud) -> None:
+        self.cloud = cloud
+        self._pk_before = cloud.c1.public_key.counter.snapshot()
+        self._sk_before = cloud.c2.private_key.counter.snapshot()
+        self._traffic_before = cloud.channel.total_traffic().snapshot()
+
+    def finish(self, protocol: str, elapsed: float) -> ProtocolRunStats:
+        """Diff the counters against the construction-time snapshot."""
+        pk_after = self.cloud.c1.public_key.counter.snapshot()
+        sk_after = self.cloud.c2.private_key.counter.snapshot()
+        traffic_after = self.cloud.channel.total_traffic().snapshot()
+        return ProtocolRunStats(
+            protocol=protocol,
+            wall_time_seconds=elapsed,
+            c1_encryptions=pk_after["encryptions"] - self._pk_before["encryptions"],
+            c1_exponentiations=(
+                pk_after["exponentiations"] - self._pk_before["exponentiations"]
+            ),
+            c1_homomorphic_additions=(
+                pk_after["homomorphic_additions"]
+                - self._pk_before["homomorphic_additions"]
+            ),
+            c2_decryptions=(
+                sk_after["decryptions"] - self._sk_before["decryptions"]
+            ),
+            messages=traffic_after["messages"] - self._traffic_before["messages"],
+            ciphertexts_exchanged=(
+                traffic_after["ciphertexts"] - self._traffic_before["ciphertexts"]
+            ),
+            bytes_transferred=(
+                traffic_after["bytes_transferred"]
+                - self._traffic_before["bytes_transferred"]
+            ),
+        )
 
 
 @dataclass
@@ -85,6 +135,11 @@ class SkNNProtocol:
         self.feature_dimensions = feature_dimensions
         self._ssed = SecureSquaredEuclideanDistance(cloud.setting)
         self.last_report: SkNNRunReport | None = None
+        #: Optional hook for encrypting the delivery-phase masks; when set
+        #: (e.g. to :meth:`repro.crypto.RandomnessPool.encrypt`) C1's
+        #: per-attribute mask encryptions use precomputed obfuscation factors
+        #: instead of fresh modular exponentiations.
+        self.mask_encryptor = None
 
     # -- accessors ----------------------------------------------------------------
     @property
@@ -145,6 +200,7 @@ class SkNNProtocol:
         """
         c1 = self.cloud.c1
         c2 = self.cloud.c2
+        encrypt_mask = self.mask_encryptor or c1.encrypt
         masks_for_bob: list[list[int]] = []
         masked_for_c2: list[list[Ciphertext]] = []
         for encrypted_record in encrypted_records:
@@ -153,7 +209,7 @@ class SkNNProtocol:
             for ciphertext in encrypted_record:
                 mask = c1.random_in_zn()
                 record_masks.append(mask)
-                record_masked.append(ciphertext + c1.encrypt(mask))
+                record_masked.append(ciphertext + encrypt_mask(mask))
             masks_for_bob.append(record_masks)
             masked_for_c2.append(record_masked)
 
@@ -177,37 +233,13 @@ class SkNNProtocol:
     def run_with_report(self, encrypted_query: Sequence[Ciphertext], k: int,
                         distance_bits: int | None = None) -> ResultShares:
         """Run the protocol and record a :class:`SkNNRunReport` in ``last_report``."""
-        pk_before = self.public_key.counter.snapshot()
-        sk_before = self.cloud.c2.private_key.counter.snapshot()
-        traffic_before = self.cloud.channel.total_traffic().snapshot()
+        recorder = RunStatsRecorder(self.cloud)
         started = time.perf_counter()
 
         shares = self.run(encrypted_query, k)
 
         elapsed = time.perf_counter() - started
-        pk_after = self.public_key.counter.snapshot()
-        sk_after = self.cloud.c2.private_key.counter.snapshot()
-        traffic_after = self.cloud.channel.total_traffic().snapshot()
-
-        stats = ProtocolRunStats(
-            protocol=self.name,
-            wall_time_seconds=elapsed,
-            c1_encryptions=pk_after["encryptions"] - pk_before["encryptions"],
-            c1_exponentiations=(
-                pk_after["exponentiations"] - pk_before["exponentiations"]
-            ),
-            c1_homomorphic_additions=(
-                pk_after["homomorphic_additions"] - pk_before["homomorphic_additions"]
-            ),
-            c2_decryptions=sk_after["decryptions"] - sk_before["decryptions"],
-            messages=traffic_after["messages"] - traffic_before["messages"],
-            ciphertexts_exchanged=(
-                traffic_after["ciphertexts"] - traffic_before["ciphertexts"]
-            ),
-            bytes_transferred=(
-                traffic_after["bytes_transferred"] - traffic_before["bytes_transferred"]
-            ),
-        )
+        stats = recorder.finish(self.name, elapsed)
         self.last_report = SkNNRunReport(
             protocol=self.name,
             n_records=len(self.encrypted_table),

@@ -13,15 +13,23 @@ few lines::
 
 Internally ``setup`` performs Alice's key generation and database encryption,
 deploys the two clouds, and registers Bob; ``query`` performs Bob's query
-encryption, the chosen cloud protocol (SkNN_b, SkNN_m or parallel SkNN_b) and
-Bob's share recombination, returning plaintext records.
+encryption, the chosen cloud protocol (SkNN_b, SkNN_m, parallel SkNN_b or the
+sharded scatter-gather plan) and Bob's share recombination, returning
+plaintext records.
+
+For multi-user serving, :meth:`SkNNSystem.serve` stands up a
+:class:`~repro.service.scheduler.QueryServer` over a sharded deployment —
+see :mod:`repro.service`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
-from typing import Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - imports used for annotations only
+    from repro.service.scheduler import QueryServer
 
 from repro.core.cloud import FederatedCloud
 from repro.core.parallel import ParallelSkNNBasic
@@ -30,12 +38,12 @@ from repro.core.sknn_base import SkNNRunReport
 from repro.core.sknn_basic import SkNNBasic
 from repro.core.sknn_secure import SkNNSecure
 from repro.db.table import Table
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, QueryError
 from repro.network.latency import LatencyModel
 
 __all__ = ["QueryAnswer", "SkNNSystem"]
 
-Mode = Literal["basic", "secure", "parallel"]
+Mode = Literal["basic", "secure", "parallel", "sharded"]
 
 
 @dataclass
@@ -45,8 +53,9 @@ class QueryAnswer:
     Attributes:
         neighbors: the k nearest records as plaintext attribute tuples, in
             increasing order of distance to the query.
-        report: protocol-side statistics for the run (``None`` for the
-            parallel backend, which reports through ``parallel_report``).
+        report: protocol-side statistics for the run — populated for every
+            mode (parallel and sharded runs additionally fill the report's
+            ``phase_seconds`` with their phase breakdown).
         client_encrypt_seconds: Bob's cost to encrypt the query.
         client_reconstruct_seconds: Bob's cost to recombine the two shares.
     """
@@ -63,13 +72,16 @@ class SkNNSystem:
     def __init__(self, owner: DataOwner, cloud: FederatedCloud,
                  client: QueryClient, mode: Mode = "secure",
                  distance_bits: int | None = None, workers: int = 6,
-                 parallel_backend: str = "process") -> None:
+                 parallel_backend: str = "process", shards: int = 2,
+                 k_default: int | None = None) -> None:
         self.owner = owner
         self.cloud = cloud
         self.client = client
         self.mode = mode
         self.workers = workers
         self.parallel_backend = parallel_backend
+        self.shards = shards
+        self.k_default = k_default
         self.distance_bits = (
             distance_bits if distance_bits is not None
             else owner.distance_bit_length()
@@ -81,21 +93,25 @@ class SkNNSystem:
     def setup(cls, table: Table, key_size: int = 512, mode: Mode = "secure",
               k_default: int | None = None, rng: Random | None = None,
               distance_bits: int | None = None, workers: int = 6,
-              parallel_backend: str = "process",
+              parallel_backend: str = "process", shards: int = 2,
               latency_model: LatencyModel | None = None) -> "SkNNSystem":
         """Stand up the whole system from a plaintext table.
 
         Args:
             table: Alice's plaintext database.
             key_size: Paillier key size ``K`` in bits.
-            mode: ``"basic"`` (Algorithm 5), ``"secure"`` (Algorithm 6) or
-                ``"parallel"`` (Section 5.3 parallel SkNN_b).
-            k_default: unused placeholder kept for API compatibility.
+            mode: ``"basic"`` (Algorithm 5), ``"secure"`` (Algorithm 6),
+                ``"parallel"`` (Section 5.3 parallel SkNN_b) or ``"sharded"``
+                (scatter-gather SkNN_b over N shards, see
+                :mod:`repro.service`).
+            k_default: default neighbor count used when :meth:`query` is
+                called without an explicit ``k``.
             rng: optional deterministic randomness source (tests only).
             distance_bits: override for the domain parameter ``l`` (defaults
                 to the value derived from the schema).
-            workers: worker count for the parallel mode.
+            workers: worker count for the parallel and sharded modes.
             parallel_backend: ``"process"``, ``"thread"`` or ``"serial"``.
+            shards: partition count for the sharded mode.
             latency_model: optional simulated network latency between clouds.
         """
         owner = DataOwner(table, key_size=key_size, rng=rng)
@@ -104,7 +120,8 @@ class SkNNSystem:
         cloud.c1.host_database(owner.encrypt_database())
         client = QueryClient(owner.public_key, table.dimensions, rng=rng)
         return cls(owner, cloud, client, mode=mode, distance_bits=distance_bits,
-                   workers=workers, parallel_backend=parallel_backend)
+                   workers=workers, parallel_backend=parallel_backend,
+                   shards=shards, k_default=k_default)
 
     def _build_protocol(self):
         """Instantiate the protocol object matching the configured mode."""
@@ -115,25 +132,47 @@ class SkNNSystem:
         if self.mode == "parallel":
             return ParallelSkNNBasic(self.cloud, workers=self.workers,
                                      backend=self.parallel_backend)
+        if self.mode == "sharded":
+            # Local import: repro.service sits on top of repro.core.
+            from repro.service.sharding import ShardedCloud
+            return ShardedCloud(self.cloud, shards=self.shards,
+                                workers=self.workers,
+                                backend=self.parallel_backend)
         raise ConfigurationError(f"unknown mode {self.mode!r}")
 
     # -- queries ------------------------------------------------------------------
-    def query(self, query_record: Sequence[int], k: int) -> list[tuple[int, ...]]:
-        """Answer a kNN query and return the plaintext neighbor records."""
+    def _resolve_k(self, k: int | None) -> int:
+        """Apply the configured ``k_default`` when no ``k`` is given."""
+        if k is not None:
+            return k
+        if self.k_default is None:
+            raise QueryError(
+                "no k given and no k_default was configured at setup")
+        return self.k_default
+
+    def query(self, query_record: Sequence[int],
+              k: int | None = None) -> list[tuple[int, ...]]:
+        """Answer a kNN query and return the plaintext neighbor records.
+
+        ``k`` may be omitted when the system was set up with ``k_default``.
+        """
         return self.query_with_report(query_record, k).neighbors
 
-    def query_with_report(self, query_record: Sequence[int], k: int) -> QueryAnswer:
-        """Answer a kNN query and return the neighbors plus run statistics."""
+    def query_with_report(self, query_record: Sequence[int],
+                          k: int | None = None) -> QueryAnswer:
+        """Answer a kNN query and return the neighbors plus run statistics.
+
+        The returned :class:`QueryAnswer` carries a populated report in every
+        mode; parallel and sharded runs additionally expose their phase
+        breakdown through ``report.phase_seconds``.
+        """
+        k = self._resolve_k(k)
         encrypted_query = self.client.encrypt_query(query_record)
 
-        if isinstance(self._protocol, ParallelSkNNBasic):
-            shares = self._protocol.run(encrypted_query, k)
-            report = None
-        else:
-            shares = self._protocol.run_with_report(
-                encrypted_query, k, distance_bits=self.distance_bits
-            )
-            report = self._protocol.last_report
+        shares = self._protocol.run_with_report(
+            encrypted_query, k, distance_bits=self.distance_bits
+        )
+        report = self._protocol.last_report
 
         neighbors = self.client.reconstruct(shares)
         return QueryAnswer(
@@ -143,12 +182,73 @@ class SkNNSystem:
             client_reconstruct_seconds=self.client.last_cost.reconstruct_seconds,
         )
 
+    # -- serving -------------------------------------------------------------------
+    def serve(self, shards: int | None = None, workers: int | None = None,
+              backend: str | None = None, batch_size: int = 4,
+              randomness_pool_size: int = 0,
+              session_pool_size: int = 0) -> "QueryServer":
+        """Stand up a multi-session :class:`~repro.service.scheduler.QueryServer`.
+
+        The server answers queries through a sharded scatter-gather plan over
+        this system's encrypted table (independent of the system's own query
+        ``mode``).  Use it as a context manager to start the background
+        serving thread and release the worker pool afterwards::
+
+            with system.serve(shards=3, batch_size=4) as server:
+                bob = server.open_session("bob")
+                answer = bob.query(record, k=2)
+
+        Args:
+            shards: partition count (defaults to the system's ``shards``).
+            workers: worker pool size (defaults to the system's ``workers``).
+            backend: pool backend (defaults to ``parallel_backend``).
+            batch_size: maximum queries grouped into one scan pass.
+            randomness_pool_size: when positive, precompute this many Paillier
+                obfuscation factors for the delivery phase.
+            session_pool_size: when positive, every session precomputes this
+                many factors for its query encryptions.
+        """
+        # Local import: repro.service sits on top of repro.core.
+        from repro.crypto.randomness_pool import RandomnessPool
+        from repro.service.scheduler import QueryServer
+        from repro.service.sharding import ShardedCloud
+
+        server_rng = (Random(self.owner.rng.getrandbits(63))
+                      if self.owner.rng is not None else None)
+        randomness_pool = None
+        if randomness_pool_size > 0:
+            randomness_pool = RandomnessPool(self.owner.public_key,
+                                             size=randomness_pool_size,
+                                             rng=server_rng)
+        sharded = ShardedCloud(
+            self.cloud,
+            shards=shards if shards is not None else self.shards,
+            workers=workers if workers is not None else self.workers,
+            backend=backend if backend is not None else self.parallel_backend,
+            randomness_pool=randomness_pool,
+        )
+        return QueryServer(sharded, batch_size=batch_size, rng=server_rng,
+                           session_pool_size=session_pool_size)
+
+    # -- lifecycle -------------------------------------------------------------------
+    def close(self) -> None:
+        """Release protocol resources (worker pools of parallel/sharded modes)."""
+        closer = getattr(self._protocol, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "SkNNSystem":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- accessors ------------------------------------------------------------------
     @property
     def parallel_report(self):
         """Timing breakdown of the last parallel run (parallel mode only)."""
         if isinstance(self._protocol, ParallelSkNNBasic):
-            return self._protocol.last_report
+            return self._protocol.last_parallel_report
         return None
 
     @property

@@ -15,6 +15,7 @@ from repro.crypto.paillier import (
     PaillierPublicKey,
     generate_keypair,
 )
+from repro.crypto.randomness_pool import RandomnessPool
 
 __all__ = [
     "DEFAULT_KEY_SIZE",
@@ -23,5 +24,6 @@ __all__ = [
     "PaillierKeyPair",
     "PaillierPrivateKey",
     "PaillierPublicKey",
+    "RandomnessPool",
     "generate_keypair",
 ]

@@ -1,0 +1,155 @@
+"""Precomputed Paillier randomness for hot serving paths.
+
+Paillier encryption under the ``g = N + 1`` fast path is
+
+    ``E(m) = (1 + m*N) * r^N  mod N^2``
+
+where the modular exponentiation ``r^N mod N^2`` (the *obfuscation factor*)
+dominates the cost — the ``(1 + m*N)`` part is a single multiplication.  The
+factor does not depend on the message, so a serving system can compute a stock
+of factors *off the hot path* (at deployment time, or between batches) and
+turn every hot-path encryption into one modular multiplication.
+
+Two quantities are precomputed, and with ``g = N + 1`` they coincide:
+
+* **obfuscation factors** ``r^N mod N^2`` for fresh encryptions, and
+* **encryptions of zero** — because ``E(0) = (1 + 0*N) * r^N = r^N mod N^2``,
+  a pooled factor *is* a fresh probabilistic encryption of zero, ready for
+  ciphertext re-randomization.
+
+:class:`RandomnessPool` therefore keeps a single store of factors and exposes
+both views.  Every factor is handed out **exactly once** (popped from the
+store): reusing an obfuscation factor across two encryptions would make the
+pair linkable, which breaks the semantic-security property the SkNN protocols
+rely on.  The pool is thread-safe so concurrent query sessions can share one.
+
+Used by :mod:`repro.service` for the delivery-phase masking of
+:class:`~repro.service.sharding.ShardedCloud` and (optionally) for Bob-side
+query encryption in :class:`~repro.core.roles.QueryClient`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from random import Random
+
+from repro.crypto import numtheory as nt
+from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RandomnessPool"]
+
+#: Default number of factors precomputed by the constructor.
+DEFAULT_POOL_SIZE = 128
+
+
+class RandomnessPool:
+    """A pool of single-use Paillier obfuscation factors ``r^N mod N^2``.
+
+    Args:
+        public_key: the Paillier public key the factors belong to.
+        size: number of factors to precompute immediately (and the refill
+            batch size used when the pool runs dry).
+        rng: optional deterministic randomness source (tests only).
+        precompute: when ``False`` the constructor does not precompute; call
+            :meth:`refill` explicitly (useful when construction must be cheap).
+
+    Attributes:
+        hits: hot-path requests served from the precomputed store.
+        misses: hot-path requests that had to compute a factor on demand
+            (the pool was empty — a sign ``size`` is too small for the load).
+    """
+
+    def __init__(self, public_key: PaillierPublicKey, size: int = DEFAULT_POOL_SIZE,
+                 rng: Random | None = None, precompute: bool = True) -> None:
+        if size < 1:
+            raise ConfigurationError("randomness pool size must be >= 1")
+        self.public_key = public_key
+        self.size = size
+        self.rng = rng
+        self._factors: deque[int] = deque()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.precomputed_total = 0
+        if precompute:
+            self.refill()
+
+    # -- precomputation (off the hot path) ----------------------------------
+    def _fresh_factor(self) -> int:
+        """Compute one obfuscation factor (one modular exponentiation)."""
+        r_value = nt.random_in_zn_star(self.public_key.n, self.rng)
+        return pow(r_value, self.public_key.n, self.public_key.nsquare)
+
+    def refill(self, count: int | None = None) -> int:
+        """Top the store up by ``count`` factors (default: the pool size).
+
+        This is the expensive step (one ``r^N mod N^2`` exponentiation per
+        factor) and is meant to run off the hot path.  Returns the number of
+        factors computed.
+        """
+        count = self.size if count is None else count
+        fresh = [self._fresh_factor() for _ in range(count)]
+        with self._lock:
+            self._factors.extend(fresh)
+            self.precomputed_total += len(fresh)
+        return len(fresh)
+
+    # -- hot path -----------------------------------------------------------
+    def take_factor(self) -> int:
+        """Pop one single-use factor; computes on demand when the pool is dry."""
+        with self._lock:
+            if self._factors:
+                self.hits += 1
+                return self._factors.popleft()
+            self.misses += 1
+        return self._fresh_factor()
+
+    def encrypt(self, value: int) -> Ciphertext:
+        """Encrypt a signed integer using one pooled factor (cheap multiply).
+
+        Produces the same distribution of ciphertexts as
+        :meth:`~repro.crypto.paillier.PaillierPublicKey.encrypt`; the key's
+        encryption counter is incremented so operation accounting stays
+        comparable with the non-pooled path.
+        """
+        pk = self.public_key
+        encoded = pk.encode_signed(value)
+        nude = (1 + encoded * pk.n) % pk.nsquare
+        pk.counter.encryptions += 1
+        return Ciphertext(pk, (nude * self.take_factor()) % pk.nsquare)
+
+    def encrypt_zero(self) -> Ciphertext:
+        """A fresh probabilistic encryption of zero (one pooled factor)."""
+        pk = self.public_key
+        pk.counter.encryptions += 1
+        return Ciphertext(pk, self.take_factor())
+
+    def rerandomize(self, ciphertext: Ciphertext) -> Ciphertext:
+        """Re-randomize a ciphertext by multiplying in a pooled ``E(0)``."""
+        pk = ciphertext.public_key
+        if pk != self.public_key:
+            raise ConfigurationError(
+                "ciphertext belongs to a different public key than the pool")
+        return Ciphertext(pk, pk.raw_add(ciphertext.value, self.take_factor()))
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        """Factors currently available without recomputation."""
+        with self._lock:
+            return len(self._factors)
+
+    def stats(self) -> dict[str, int]:
+        """Pool effectiveness counters (for reports and benchmarks)."""
+        return {
+            "remaining": self.remaining,
+            "hits": self.hits,
+            "misses": self.misses,
+            "precomputed_total": self.precomputed_total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"RandomnessPool(size={self.size}, remaining={self.remaining}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,51 @@
+"""Query-serving subsystem: sharded storage, batched scheduling, sessions.
+
+This package is the multi-user serving layer on top of the protocol stack:
+
+* :mod:`repro.service.sharding` — :class:`ShardedCloud` partitions the
+  encrypted table across N C1-style shards and answers query batches
+  scatter-gather style on a persistent worker pool;
+* :mod:`repro.service.scheduler` — :class:`QueryServer`, the multi-session
+  front door that queues, batches and answers concurrent queries, and
+  :class:`QueryScheduler`, its batching policy.
+
+Ciphertext precomputation lives in :class:`repro.crypto.RandomnessPool`:
+both the server (delivery-phase masking) and the sessions (query encryption)
+can draw single-use Paillier obfuscation factors from pools filled off the
+hot path.
+
+Quickstart::
+
+    from repro import SkNNSystem
+
+    system = SkNNSystem.setup(table, key_size=256, mode="sharded", shards=2)
+    with system.serve(batch_size=4) as server:
+        bob = server.open_session("bob")
+        answer = bob.query(record, k=3)
+"""
+
+from repro.service.scheduler import (
+    PendingQuery,
+    QueryScheduler,
+    QueryServer,
+    ServerStats,
+    ServiceSession,
+)
+from repro.service.sharding import (
+    BatchPhaseTimings,
+    ShardCandidate,
+    ShardedCloud,
+    TableShard,
+)
+
+__all__ = [
+    "BatchPhaseTimings",
+    "PendingQuery",
+    "QueryScheduler",
+    "QueryServer",
+    "ServerStats",
+    "ServiceSession",
+    "ShardCandidate",
+    "ShardedCloud",
+    "TableShard",
+]

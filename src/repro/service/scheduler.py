@@ -1,0 +1,380 @@
+"""Multi-client query serving: sessions, batched scheduling, per-query answers.
+
+This module turns the one-query-at-a-time protocol stack into a serving
+layer.  Three pieces cooperate:
+
+* :class:`ServiceSession` — one authorized Bob.  Each session owns its own
+  :class:`~repro.core.roles.QueryClient` (its own randomness, its own cost
+  accounting), encrypts its queries locally and reconstructs its own results
+  from the two shares, so concurrent users are cryptographically isolated
+  from each other exactly as in the paper's single-user setting.
+* :class:`QueryScheduler` — a thread-safe FIFO of submitted queries that
+  groups them into batches of at most ``batch_size``.  All queries in a batch
+  share one scan pass over the sharded store, amortizing query-encryption
+  and per-record task-serialization overhead.
+* :class:`QueryServer` — accepts many concurrent sessions, drains the
+  scheduler (either on a background serving thread started with
+  :meth:`QueryServer.start`, or synchronously via :meth:`QueryServer.flush`)
+  and resolves every :class:`PendingQuery` with a fully populated
+  :class:`~repro.core.system.QueryAnswer` including per-phase timings.
+
+The server answers queries through a :class:`~repro.service.sharding.
+ShardedCloud`, so the distance phase is scatter-gathered across shards on a
+persistent worker pool, and (when a :class:`~repro.crypto.RandomnessPool` is
+configured) the delivery-phase mask encryptions are cheap multiplications.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from random import Random
+from typing import Sequence
+
+from repro.core.roles import QueryClient
+from repro.core.sknn_base import RunStatsRecorder, SkNNRunReport
+from repro.core.system import QueryAnswer
+from repro.crypto.paillier import Ciphertext
+from repro.crypto.randomness_pool import RandomnessPool
+from repro.exceptions import ConfigurationError
+from repro.service.sharding import ShardedCloud
+
+__all__ = ["PendingQuery", "ServiceSession", "QueryScheduler", "QueryServer",
+           "ServerStats"]
+
+
+@dataclass
+class _QueryRequest:
+    """Internal record of one submitted query."""
+
+    request_id: int
+    session: "ServiceSession"
+    encrypted_query: list[Ciphertext]
+    k: int
+    encrypt_seconds: float
+    submitted_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    answer: QueryAnswer | None = None
+    error: BaseException | None = None
+
+
+class PendingQuery:
+    """Handle for a submitted query; resolves to a :class:`QueryAnswer`."""
+
+    def __init__(self, server: "QueryServer", request: _QueryRequest) -> None:
+        self._server = server
+        self._request = request
+
+    @property
+    def request_id(self) -> int:
+        """Server-wide sequence number of this query."""
+        return self._request.request_id
+
+    def done(self) -> bool:
+        """Whether the answer is available."""
+        return self._request.done.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryAnswer:
+        """Block until the answer is available and return it.
+
+        When the server's background thread is not running, the calling
+        thread drives the scheduler itself (synchronous mode), so single-
+        threaded callers never deadlock.
+        """
+        if not self._request.done.is_set() and not self._server.running:
+            self._server.flush()
+        if not self._request.done.wait(timeout):
+            raise TimeoutError(
+                f"query {self._request.request_id} not answered in time")
+        if self._request.error is not None:
+            raise self._request.error
+        assert self._request.answer is not None
+        return self._request.answer
+
+
+class ServiceSession:
+    """One authorized query user (Bob) connected to a :class:`QueryServer`."""
+
+    def __init__(self, server: "QueryServer", session_id: str,
+                 rng: Random | None = None,
+                 randomness_pool: RandomnessPool | None = None) -> None:
+        self.server = server
+        self.session_id = session_id
+        table = server.sharded.cloud.c1.encrypted_table
+        self.client = QueryClient(server.sharded.cloud.c1.public_key,
+                                  table.dimensions, rng=rng,
+                                  randomness_pool=randomness_pool)
+
+    def submit(self, query_record: Sequence[int], k: int) -> PendingQuery:
+        """Encrypt the query locally and enqueue it with the server."""
+        return self.server.submit(self, query_record, k)
+
+    def query(self, query_record: Sequence[int], k: int,
+              timeout: float | None = None) -> QueryAnswer:
+        """Convenience: submit and wait for the answer."""
+        return self.submit(query_record, k).result(timeout)
+
+
+class QueryScheduler:
+    """Thread-safe FIFO that hands out batches of at most ``batch_size``."""
+
+    def __init__(self, batch_size: int = 4) -> None:
+        if batch_size < 1:
+            raise ConfigurationError("batch size must be >= 1")
+        self.batch_size = batch_size
+        self._queue: deque[_QueryRequest] = deque()
+        # Reentrant so `pending` can be read while holding the condition.
+        self._lock = threading.RLock()
+        self.not_empty = threading.Condition(self._lock)
+
+    def enqueue(self, request: _QueryRequest) -> None:
+        """Add a request and wake the serving thread."""
+        with self.not_empty:
+            self._queue.append(request)
+            self.not_empty.notify()
+
+    def next_batch(self) -> list[_QueryRequest]:
+        """Pop up to ``batch_size`` requests (may be empty; never blocks)."""
+        with self._lock:
+            batch = []
+            while self._queue and len(batch) < self.batch_size:
+                batch.append(self._queue.popleft())
+            return batch
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, not-yet-served requests."""
+        with self._lock:
+            return len(self._queue)
+
+
+@dataclass
+class ServerStats:
+    """Aggregate serving statistics (the benchmark's throughput numbers)."""
+
+    queries_served: int = 0
+    batches_served: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of queries per executed batch."""
+        if self.batches_served == 0:
+            return 0.0
+        return self.queries_served / self.batches_served
+
+    def queries_per_second(self) -> float:
+        """Serving throughput over the server's busy time."""
+        if self.busy_seconds == 0.0:
+            return 0.0
+        return self.queries_served / self.busy_seconds
+
+
+class QueryServer:
+    """Accepts concurrent Bob sessions and serves them in scheduled batches.
+
+    Args:
+        sharded: the sharded encrypted store answering the queries.
+        batch_size: maximum queries grouped into one scan pass.
+        batch_window_seconds: how long the background serving thread waits
+            for a batch to fill before executing a partial one.
+        rng: optional deterministic randomness source; per-session client
+            RNGs are derived from it so test runs are reproducible.
+        session_pool_size: when positive, every session gets its own
+            :class:`~repro.crypto.RandomnessPool` of this size so Bob-side
+            query encryption is a cheap multiply too.
+    """
+
+    def __init__(self, sharded: ShardedCloud, batch_size: int = 4,
+                 batch_window_seconds: float = 0.01,
+                 rng: Random | None = None,
+                 session_pool_size: int = 0) -> None:
+        self.sharded = sharded
+        self.scheduler = QueryScheduler(batch_size)
+        self.batch_window_seconds = batch_window_seconds
+        self.rng = rng
+        self.session_pool_size = session_pool_size
+        self.stats = ServerStats()
+        self.sessions: dict[str, ServiceSession] = {}
+        self._request_ids = itertools.count(1)
+        self._session_ids = itertools.count(1)
+        self._serve_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- sessions -----------------------------------------------------------
+    def open_session(self, name: str | None = None) -> ServiceSession:
+        """Register a new query user and return their session."""
+        session_id = name if name is not None else f"bob-{next(self._session_ids)}"
+        if session_id in self.sessions:
+            raise ConfigurationError(f"session {session_id!r} already exists")
+        session_rng = (Random(self.rng.getrandbits(63))
+                       if self.rng is not None else None)
+        pool = None
+        if self.session_pool_size > 0:
+            pool = RandomnessPool(self.sharded.cloud.c1.public_key,
+                                  size=self.session_pool_size, rng=session_rng)
+        session = ServiceSession(self, session_id, rng=session_rng,
+                                 randomness_pool=pool)
+        self.sessions[session_id] = session
+        return session
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, session: ServiceSession, query_record: Sequence[int],
+               k: int) -> PendingQuery:
+        """Encrypt (client-side) and enqueue one query.
+
+        Malformed queries (wrong arity, bad ``k``) raise immediately at the
+        submitting caller instead of being enqueued, so they can never poison
+        a batch shared with other sessions' queries.
+        """
+        started = time.perf_counter()
+        encrypted_query = session.client.encrypt_query(query_record)
+        encrypt_elapsed = time.perf_counter() - started
+        self.sharded.validate_query(encrypted_query, k)
+        request = _QueryRequest(
+            request_id=next(self._request_ids),
+            session=session,
+            encrypted_query=encrypted_query,
+            k=k,
+            encrypt_seconds=encrypt_elapsed,
+            submitted_at=time.perf_counter(),
+        )
+        self.scheduler.enqueue(request)
+        return PendingQuery(self, request)
+
+    # -- execution ----------------------------------------------------------
+    def flush(self) -> int:
+        """Synchronously serve everything currently queued; returns count."""
+        served = 0
+        while True:
+            batch = self.scheduler.next_batch()
+            if not batch:
+                return served
+            self._serve_batch(batch)
+            served += len(batch)
+
+    def _serve_batch(self, batch: list[_QueryRequest]) -> None:
+        """Execute one batch over the sharded store and resolve its requests."""
+        # One consumer at a time: the two-cloud channel and the shard pool
+        # are shared state, so batch execution is serialized even when both
+        # a background thread and a flushing caller are active.
+        with self._serve_lock:
+            pk = self.sharded.cloud.c1.public_key
+            recorder = RunStatsRecorder(self.sharded.cloud)
+            started = time.perf_counter()
+            try:
+                all_shares = self.sharded.answer_batch(
+                    [request.encrypted_query for request in batch],
+                    [request.k for request in batch],
+                )
+            except BaseException as error:  # resolve waiters, then re-raise
+                for request in batch:
+                    request.error = error
+                    request.done.set()
+                raise
+            elapsed = time.perf_counter() - started
+            # Counters/traffic are per batch; see RunStatsRecorder for the
+            # attribution caveat under concurrent client-side encryption.
+            batch_stats = recorder.finish("SkNNb-sharded", elapsed)
+            timings = self.sharded.last_batch_timings
+            self.stats.queries_served += len(batch)
+            self.stats.batches_served += 1
+            self.stats.busy_seconds += elapsed
+
+        table = self.sharded.cloud.c1.encrypted_table
+        for request, shares in zip(batch, all_shares):
+            reconstruct_started = time.perf_counter()
+            neighbors = request.session.client.reconstruct(shares)
+            reconstruct_elapsed = time.perf_counter() - reconstruct_started
+            # Counters and traffic are per batch (the scan pass is shared);
+            # the per-query phase timings divide the shared phases evenly.
+            share = 1.0 / len(batch)
+            report = SkNNRunReport(
+                protocol="SkNNb-sharded",
+                n_records=len(table),
+                dimensions=table.dimensions,
+                k=request.k,
+                key_size=pk.key_size,
+                distance_bits=None,
+                wall_time_seconds=elapsed,
+                stats=batch_stats,
+                phase_seconds={
+                    "encrypt": request.encrypt_seconds,
+                    "queue_wait": started - request.submitted_at,
+                    "distance": timings.distance_seconds * share,
+                    "merge": timings.merge_seconds * share,
+                    "deliver": timings.deliver_seconds * share,
+                    "reconstruct": reconstruct_elapsed,
+                } if timings is not None else {},
+            )
+            request.answer = QueryAnswer(
+                neighbors=neighbors,
+                report=report,
+                client_encrypt_seconds=request.encrypt_seconds,
+                client_reconstruct_seconds=reconstruct_elapsed,
+            )
+            request.done.set()
+
+    # -- background serving thread ------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the background serving thread is active."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        """Start the background serving thread (idempotent)."""
+        if self.running:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._serve_loop,
+                                        name="sknn-query-server", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the serving thread, draining anything still queued."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        with self.scheduler.not_empty:
+            self.scheduler.not_empty.notify_all()
+        self._thread.join()
+        self._thread = None
+        self.flush()
+
+    def close(self) -> None:
+        """Stop serving and release the sharded store's worker pool."""
+        self.stop()
+        self.sharded.close()
+
+    def __enter__(self) -> "QueryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _serve_loop(self) -> None:
+        while not self._stop.is_set():
+            with self.scheduler.not_empty:
+                if self.scheduler.pending == 0:
+                    self.scheduler.not_empty.wait(timeout=0.1)
+            if self.scheduler.pending == 0:
+                continue
+            # Give the batch a short window to fill before executing it.
+            if (self.scheduler.pending < self.scheduler.batch_size
+                    and self.batch_window_seconds > 0):
+                time.sleep(self.batch_window_seconds)
+            batch = self.scheduler.next_batch()
+            if not batch:
+                continue
+            try:
+                self._serve_batch(batch)
+            except Exception:
+                # The batch's waiters were already resolved with the error;
+                # the serving thread must survive one bad batch so the other
+                # sessions keep getting answers.
+                continue

@@ -1,0 +1,294 @@
+"""Integration tests for the query-serving subsystem (repro.service)."""
+
+from __future__ import annotations
+
+import threading
+from random import Random
+
+import pytest
+
+from repro.core.cloud import FederatedCloud
+from repro.core.roles import QueryClient
+from repro.core.system import SkNNSystem
+from repro.crypto.randomness_pool import RandomnessPool
+from repro.db.datasets import synthetic_uniform
+from repro.db.encrypted_table import EncryptedTable
+from repro.db.knn import LinearScanKNN
+from repro.db.schema import Schema
+from repro.db.table import Table
+from repro.exceptions import ConfigurationError, QueryError
+from repro.service.scheduler import QueryServer
+from repro.service.sharding import ShardedCloud
+
+
+@pytest.fixture(scope="module")
+def service_table():
+    return synthetic_uniform(n_records=18, dimensions=3, distance_bits=9,
+                             seed=55)
+
+
+@pytest.fixture(scope="module")
+def service_oracle(service_table):
+    return LinearScanKNN(service_table)
+
+
+def _deploy(keypair, table, seed):
+    cloud = FederatedCloud.deploy(keypair, rng=Random(seed))
+    cloud.c1.host_database(
+        EncryptedTable.encrypt_table(table, keypair.public_key,
+                                     rng=Random(seed + 1)))
+    return cloud
+
+
+class TestShardedCloud:
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_matches_oracle_across_shard_counts(self, small_keypair,
+                                                service_table, service_oracle,
+                                                shards):
+        cloud = _deploy(small_keypair, service_table, 200 + shards)
+        client = QueryClient(small_keypair.public_key,
+                             service_table.dimensions, rng=Random(9))
+        with ShardedCloud(cloud, shards=shards, workers=2,
+                          backend="serial") as sharded:
+            for query, k in ([4, 4, 4], 3), ([7, 0, 2], 1), ([1, 8, 5], 5):
+                shares = sharded.run(client.encrypt_query(query), k)
+                neighbors = client.reconstruct(shares)
+                expected = [r.record.values
+                            for r in service_oracle.query(query, k)]
+                assert neighbors == expected
+
+    def test_distance_ties_across_shards_break_by_insertion_order(
+            self, small_keypair):
+        # Records 1, 7 and 10 are identical, and with 3 shards of 4 records
+        # they land on three different shards; the merged top-k must order
+        # them by global record index, exactly like the plaintext oracle.
+        duplicate = [5, 5, 5]
+        rows = [[0, 0, 9], duplicate, [9, 9, 0], [1, 2, 3],
+                [8, 0, 1], [0, 9, 9], [2, 2, 2], duplicate,
+                [9, 0, 9], [3, 3, 3], duplicate, [9, 9, 9]]
+        table = Table.from_rows(Schema.uniform(3, maximum=9), rows)
+        oracle = LinearScanKNN(table)
+        cloud = _deploy(small_keypair, table, 300)
+        client = QueryClient(small_keypair.public_key, 3, rng=Random(10))
+        with ShardedCloud(cloud, shards=3, workers=1,
+                          backend="serial") as sharded:
+            assert sharded.shard_sizes == [4, 4, 4]
+            for k in (2, 3, 4):
+                shares = sharded.run(client.encrypt_query(duplicate), k)
+                neighbors = client.reconstruct(shares)
+                expected = [r.record.values
+                            for r in oracle.query(duplicate, k)]
+                assert neighbors == expected
+
+    def test_batch_answers_equal_individual_answers(self, small_keypair,
+                                                    service_table,
+                                                    service_oracle):
+        cloud = _deploy(small_keypair, service_table, 400)
+        client = QueryClient(small_keypair.public_key,
+                             service_table.dimensions, rng=Random(11))
+        queries = [[2, 2, 2], [8, 1, 0], [5, 5, 5], [0, 0, 0]]
+        ks = [2, 1, 3, 2]
+        with ShardedCloud(cloud, shards=2, workers=2,
+                          backend="serial") as sharded:
+            batch_shares = sharded.answer_batch(
+                [client.encrypt_query(q) for q in queries], ks)
+            for query, k, shares in zip(queries, ks, batch_shares):
+                expected = [r.record.values
+                            for r in service_oracle.query(query, k)]
+                assert client.reconstruct(shares) == expected
+            assert sharded.last_batch_timings is not None
+            assert sharded.last_batch_timings.queries == len(queries)
+
+    def test_partition_covers_table_without_overlap(self, small_keypair,
+                                                    service_table):
+        cloud = _deploy(small_keypair, service_table, 500)
+        with ShardedCloud(cloud, shards=4, workers=1,
+                          backend="serial") as sharded:
+            covered = [index for shard in sharded.shards
+                       for index in shard.global_indices()]
+            assert covered == list(range(len(service_table)))
+
+    def test_invalid_shard_counts_rejected(self, small_keypair, service_table):
+        cloud = _deploy(small_keypair, service_table, 600)
+        with pytest.raises(ConfigurationError):
+            ShardedCloud(cloud, shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedCloud(cloud, shards=len(service_table) + 1)
+
+    def test_run_with_report_populates_phases(self, small_keypair,
+                                              service_table):
+        cloud = _deploy(small_keypair, service_table, 700)
+        client = QueryClient(small_keypair.public_key,
+                             service_table.dimensions, rng=Random(12))
+        with ShardedCloud(cloud, shards=2, workers=1,
+                          backend="serial") as sharded:
+            sharded.run_with_report(client.encrypt_query([1, 1, 1]), 2)
+            report = sharded.last_report
+        assert report is not None
+        assert report.protocol == "SkNNb-sharded"
+        assert report.n_records == len(service_table)
+        assert set(report.phase_seconds) == {"distance", "merge", "deliver"}
+        assert report.stats.c2_decryptions > 0
+
+
+class TestQueryServer:
+    def test_eight_concurrent_sessions_get_isolated_correct_answers(
+            self, small_keypair, service_table, service_oracle):
+        """Acceptance: >= 8 concurrent queries over >= 2 shards, all exact."""
+        cloud = _deploy(small_keypair, service_table, 800)
+        sharded = ShardedCloud(cloud, shards=2, workers=2, backend="thread")
+        server = QueryServer(sharded, batch_size=4, rng=Random(13))
+        queries = [[i % 9, (2 * i) % 9, (3 * i) % 9] for i in range(8)]
+        results: dict[int, list[tuple[int, ...]]] = {}
+
+        def client_thread(index: int) -> None:
+            session = server.open_session(f"bob-{index}")
+            answer = session.query(queries[index], 2, timeout=120)
+            results[index] = answer.neighbors
+
+        with server:
+            threads = [threading.Thread(target=client_thread, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        assert len(results) == 8
+        for index, neighbors in results.items():
+            expected = [r.record.values
+                        for r in service_oracle.query(queries[index], 2)]
+            assert neighbors == expected, f"session {index} got a wrong answer"
+        assert server.stats.queries_served == 8
+
+    def test_synchronous_flush_mode_without_background_thread(
+            self, small_keypair, service_table, service_oracle):
+        cloud = _deploy(small_keypair, service_table, 900)
+        sharded = ShardedCloud(cloud, shards=3, workers=1, backend="serial")
+        server = QueryServer(sharded, batch_size=3, rng=Random(14))
+        session = server.open_session()
+        pending = [session.submit([i, i, i], 2) for i in range(5)]
+        # result() drives the scheduler itself when no thread is running.
+        for i, handle in enumerate(pending):
+            expected = [r.record.values
+                        for r in service_oracle.query([i, i, i], 2)]
+            assert handle.result(timeout=60).neighbors == expected
+        assert server.stats.batches_served == 2  # 3 + 2
+        server.close()
+
+    def test_batched_answers_carry_populated_reports(self, small_keypair,
+                                                     service_table):
+        cloud = _deploy(small_keypair, service_table, 1000)
+        sharded = ShardedCloud(cloud, shards=2, workers=1, backend="serial")
+        server = QueryServer(sharded, batch_size=4, rng=Random(15))
+        session = server.open_session("bob")
+        pending = [session.submit([1, 2, 3], 2), session.submit([4, 5, 6], 1)]
+        server.flush()
+        for handle in pending:
+            answer = handle.result(timeout=60)
+            assert answer.report is not None
+            assert answer.report.protocol == "SkNNb-sharded"
+            assert {"encrypt", "queue_wait", "distance", "merge", "deliver",
+                    "reconstruct"} <= set(answer.report.phase_seconds)
+            assert answer.client_encrypt_seconds > 0
+        server.close()
+
+    def test_randomness_pools_keep_answers_exact(self, small_keypair,
+                                                 service_table,
+                                                 service_oracle):
+        cloud = _deploy(small_keypair, service_table, 1100)
+        pool = RandomnessPool(small_keypair.public_key, size=64,
+                              rng=Random(16))
+        sharded = ShardedCloud(cloud, shards=2, workers=1, backend="serial",
+                               randomness_pool=pool)
+        server = QueryServer(sharded, batch_size=4, rng=Random(17),
+                             session_pool_size=12)
+        session = server.open_session("bob")
+        answer = session.query([3, 6, 1], 3, timeout=60)
+        expected = [r.record.values for r in service_oracle.query([3, 6, 1], 3)]
+        assert answer.neighbors == expected
+        assert pool.hits > 0  # delivery masking drew from the pool
+        server.close()
+
+    def test_duplicate_session_names_rejected(self, small_keypair,
+                                              service_table):
+        cloud = _deploy(small_keypair, service_table, 1200)
+        server = QueryServer(
+            ShardedCloud(cloud, shards=2, workers=1, backend="serial"),
+            rng=Random(18))
+        server.open_session("bob")
+        with pytest.raises(ConfigurationError):
+            server.open_session("bob")
+        server.close()
+
+    def test_invalid_query_rejected_at_submission(self, small_keypair,
+                                                  service_table):
+        cloud = _deploy(small_keypair, service_table, 1300)
+        server = QueryServer(
+            ShardedCloud(cloud, shards=2, workers=1, backend="serial"),
+            rng=Random(19))
+        session = server.open_session("bob")
+        with pytest.raises(QueryError):
+            session.submit([1, 1, 1], len(service_table) + 1)
+        # Nothing was enqueued, so no batch can be poisoned by the bad query.
+        assert server.scheduler.pending == 0
+        server.close()
+
+    def test_running_server_survives_a_bad_query(self, small_keypair,
+                                                 service_table,
+                                                 service_oracle):
+        cloud = _deploy(small_keypair, service_table, 1400)
+        server = QueryServer(
+            ShardedCloud(cloud, shards=2, workers=1, backend="serial"),
+            batch_size=2, rng=Random(26))
+        with server:
+            session = server.open_session("bob")
+            with pytest.raises(QueryError):
+                session.query([9, 9], 2, timeout=60)  # wrong arity
+            # The serving thread is still alive and answers the next query.
+            answer = session.query([4, 4, 4], 2, timeout=60)
+            assert server.running
+        expected = [r.record.values for r in service_oracle.query([4, 4, 4], 2)]
+        assert answer.neighbors == expected
+
+
+class TestSystemIntegration:
+    def test_sharded_mode_end_to_end(self, service_table, service_oracle):
+        with SkNNSystem.setup(service_table, key_size=128, mode="sharded",
+                              shards=3, workers=2, parallel_backend="serial",
+                              rng=Random(20)) as system:
+            query = [6, 2, 7]
+            expected = [r.record.values for r in service_oracle.query(query, 3)]
+            assert system.query(query, 3) == expected
+            answer = system.query_with_report(query, 3)
+            assert answer.report is not None
+            assert answer.report.protocol == "SkNNb-sharded"
+
+    def test_k_default_used_when_k_omitted(self, service_table,
+                                           service_oracle):
+        with SkNNSystem.setup(service_table, key_size=128, mode="basic",
+                              k_default=2, rng=Random(21)) as system:
+            query = [5, 1, 4]
+            expected = [r.record.values for r in service_oracle.query(query, 2)]
+            assert system.query(query) == expected
+            # An explicit k still wins over the default.
+            assert len(system.query(query, 4)) == 4
+
+    def test_missing_k_without_default_rejected(self, service_table):
+        with SkNNSystem.setup(service_table, key_size=128, mode="basic",
+                              rng=Random(22)) as system:
+            with pytest.raises(QueryError):
+                system.query([1, 1, 1])
+
+    def test_serve_entry_point_round_trip(self, service_table,
+                                          service_oracle):
+        system = SkNNSystem.setup(service_table, key_size=128, mode="basic",
+                                  rng=Random(23))
+        server = system.serve(shards=2, workers=1, backend="serial",
+                              batch_size=2, randomness_pool_size=16)
+        with server:
+            session = server.open_session("bob")
+            answer = session.query([2, 7, 3], 2, timeout=120)
+        expected = [r.record.values for r in service_oracle.query([2, 7, 3], 2)]
+        assert answer.neighbors == expected
+        system.close()

@@ -84,6 +84,18 @@ class TestSkNNSystem:
         system.query([1, 1, 1], 1)
         assert system.parallel_report is None
 
+    def test_parallel_mode_report_is_populated(self, system_table):
+        """Unified reporting: parallel answers carry a real report too."""
+        with SkNNSystem.setup(system_table, key_size=128, mode="parallel",
+                              workers=2, parallel_backend="serial",
+                              rng=Random(10)) as system:
+            answer = system.query_with_report([2, 5, 1], 2)
+        assert answer.report is not None
+        assert answer.report.protocol == "SkNNb-parallel"
+        assert answer.report.n_records == len(system_table)
+        assert set(answer.report.phase_seconds) == {"distance", "selection"}
+        assert answer.report.wall_time_seconds > 0
+
 
 class TestParallelSkNN:
     @pytest.mark.parametrize("backend", ["serial", "thread"])
@@ -131,3 +143,37 @@ class TestParallelSkNN:
         shares = parallel.run(client.encrypt_query(query), 2)
         neighbors = client.reconstruct(shares)
         assert neighbors == [r.record.values for r in oracle.query(query, 2)]
+
+    def test_worker_pool_is_reused_across_queries(self, deployed_cloud,
+                                                  small_keypair, tiny_table):
+        """Pool churn fix: repeated queries run on the same executor."""
+        from repro.core.roles import QueryClient
+        client = QueryClient(small_keypair.public_key, tiny_table.dimensions,
+                             rng=Random(24))
+        with ParallelSkNNBasic(deployed_cloud, workers=2,
+                               backend="thread") as parallel:
+            parallel.run(client.encrypt_query([1, 1, 1]), 1)
+            first_executor = parallel.pool._executor
+            parallel.run(client.encrypt_query([3, 3, 3]), 1)
+            assert parallel.pool._executor is first_executor
+            assert first_executor is not None
+        assert parallel.pool.closed
+
+    def test_closed_pool_rejects_further_queries(self, deployed_cloud,
+                                                 small_keypair, tiny_table):
+        from repro.core.roles import QueryClient
+        client = QueryClient(small_keypair.public_key, tiny_table.dimensions,
+                             rng=Random(25))
+        parallel = ParallelSkNNBasic(deployed_cloud, workers=2, backend="thread")
+        parallel.close()
+        with pytest.raises(ConfigurationError):
+            parallel.run(client.encrypt_query([1, 1, 1]), 1)
+
+    def test_shared_pool_is_not_closed_by_borrower(self, deployed_cloud):
+        from repro.core.parallel import PersistentWorkerPool
+        pool = PersistentWorkerPool(workers=2, backend="thread")
+        borrower = ParallelSkNNBasic(deployed_cloud, pool=pool)
+        borrower.close()
+        assert not pool.closed
+        pool.close()
+        assert pool.closed

@@ -31,6 +31,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["project", "--figure", "9z"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert (args.shards, args.batch_size, args.clients) == (2, 4, 4)
+        assert args.backend == "process"
+
+    def test_query_accepts_sharded_mode(self):
+        args = build_parser().parse_args(["query", "--mode", "sharded"])
+        assert args.mode == "sharded"
+
 
 class TestInventoryCommand:
     def test_lists_every_figure(self, capsys):
@@ -81,6 +91,19 @@ class TestDemoCommand:
         output = capsys.readouterr().out
         assert "matches plaintext answer: True" in output
         assert "neighbor 1" in output
+
+
+class TestServeCommand:
+    def test_serve_round_trip_matches_oracle(self, capsys):
+        exit_code = main(["serve", "--n", "12", "--m", "2", "--k", "2",
+                          "--l", "7", "--key-size", "128", "--shards", "2",
+                          "--workers", "1", "--backend", "serial",
+                          "--batch-size", "2", "--clients", "2",
+                          "--queries", "4", "--pool-size", "8", "--seed", "5"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "all answers match plaintext oracle: True" in output
+        assert "queries/s" in output
 
 
 class TestProjectCommand:

@@ -1,0 +1,109 @@
+"""Unit tests for the precomputed Paillier randomness pool."""
+
+from __future__ import annotations
+
+import threading
+from random import Random
+
+import pytest
+
+from repro.crypto.randomness_pool import RandomnessPool
+from repro.exceptions import ConfigurationError
+
+
+class TestPrecomputation:
+    def test_constructor_precomputes_to_size(self, public_key):
+        pool = RandomnessPool(public_key, size=10, rng=Random(1))
+        assert pool.remaining == 10
+        assert pool.precomputed_total == 10
+
+    def test_precompute_false_defers_work(self, public_key):
+        pool = RandomnessPool(public_key, size=10, rng=Random(2),
+                              precompute=False)
+        assert pool.remaining == 0
+        assert pool.refill(4) == 4
+        assert pool.remaining == 4
+
+    def test_invalid_size_rejected(self, public_key):
+        with pytest.raises(ConfigurationError):
+            RandomnessPool(public_key, size=0)
+
+
+class TestEncryption:
+    def test_pooled_encryptions_decrypt_correctly(self, public_key, private_key):
+        pool = RandomnessPool(public_key, size=16, rng=Random(3))
+        for value in (0, 1, 42, -7, public_key.n // 3):
+            assert private_key.decrypt(pool.encrypt(value)) == value
+
+    def test_pooled_encrypt_zero_decrypts_to_zero(self, public_key, private_key):
+        pool = RandomnessPool(public_key, size=4, rng=Random(4))
+        assert private_key.decrypt(pool.encrypt_zero()) == 0
+
+    def test_rerandomize_preserves_plaintext_changes_ciphertext(
+            self, public_key, private_key):
+        pool = RandomnessPool(public_key, size=4, rng=Random(5))
+        original = public_key.encrypt(123, rng=Random(6))
+        fresh = pool.rerandomize(original)
+        assert fresh.value != original.value
+        assert private_key.decrypt(fresh) == 123
+
+    def test_rerandomize_rejects_foreign_key(self, public_key, medium_keypair):
+        pool = RandomnessPool(public_key, size=2, rng=Random(7))
+        foreign = medium_keypair.public_key.encrypt(1, rng=Random(8))
+        with pytest.raises(ConfigurationError):
+            pool.rerandomize(foreign)
+
+    def test_encryptions_are_probabilistic(self, public_key):
+        pool = RandomnessPool(public_key, size=8, rng=Random(9))
+        first = pool.encrypt(5)
+        second = pool.encrypt(5)
+        assert first.value != second.value
+
+    def test_counter_incremented_like_normal_path(self, public_key):
+        pool = RandomnessPool(public_key, size=4, rng=Random(10))
+        before = public_key.counter.encryptions
+        pool.encrypt(1)
+        pool.encrypt_zero()
+        assert public_key.counter.encryptions == before + 2
+
+
+class TestSingleUse:
+    def test_factors_are_never_reused(self, public_key):
+        pool = RandomnessPool(public_key, size=20, rng=Random(11))
+        factors = [pool.take_factor() for _ in range(20)]
+        assert len(set(factors)) == 20
+        assert pool.remaining == 0
+
+    def test_exhausted_pool_computes_on_demand_and_counts_misses(
+            self, public_key, private_key):
+        pool = RandomnessPool(public_key, size=2, rng=Random(12))
+        values = [pool.encrypt(9) for _ in range(5)]
+        assert pool.hits == 2
+        assert pool.misses == 3
+        assert len({c.value for c in values}) == 5
+        assert all(private_key.decrypt(c) == 9 for c in values)
+
+    def test_stats_snapshot(self, public_key):
+        pool = RandomnessPool(public_key, size=3, rng=Random(13))
+        pool.take_factor()
+        stats = pool.stats()
+        assert stats == {"remaining": 2, "hits": 1, "misses": 0,
+                         "precomputed_total": 3}
+
+    def test_concurrent_takers_get_distinct_factors(self, public_key):
+        pool = RandomnessPool(public_key, size=40, rng=Random(14))
+        taken: list[int] = []
+        lock = threading.Lock()
+
+        def take_some():
+            local = [pool.take_factor() for _ in range(10)]
+            with lock:
+                taken.extend(local)
+
+        threads = [threading.Thread(target=take_some) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(taken) == 40
+        assert len(set(taken)) == 40
