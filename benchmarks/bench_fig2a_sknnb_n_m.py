@@ -16,6 +16,7 @@ from benchmarks.conftest import (
     PAPER_M_VALUES,
     PAPER_N_VALUES,
     deploy_measured_system,
+    write_bench_json,
     write_result,
 )
 from benchmarks.projections import figure_2a_series
@@ -53,6 +54,12 @@ def test_fig2a_projected_paper_scale(benchmark, calibrator, results_dir):
     series = benchmark.pedantic(build, rounds=1, iterations=1)
     text = series.to_text() + "\n" + ascii_plot(series)
     write_result(results_dir, "fig2a_sknnb_n_m_K512.txt", text)
+    write_bench_json(results_dir, "fig2a_sknnb_n_m_K512", {
+        "kind": "projected", "figure": "2a",
+        "params": {"key_size": 512, "k": 5, "n_values": PAPER_N_VALUES,
+                   "m_values": PAPER_M_VALUES},
+        "rows": series.rows(),
+    })
     benchmark.extra_info.update({"figure": "2a", "kind": "projected"})
     # Shape assertions mirroring the paper's observations.
     rows = series.rows()

@@ -19,6 +19,7 @@ from benchmarks.conftest import (
     PAPER_M_VALUES,
     PAPER_N_VALUES,
     deploy_measured_system,
+    write_bench_json,
     write_result,
 )
 from benchmarks.projections import figure_2a_series
@@ -62,6 +63,13 @@ def test_fig2b_projected_paper_scale(benchmark, calibrator, results_dir):
     }])
     text = series.to_text() + "\n" + ascii_plot(series) + "\n" + factor_table
     write_result(results_dir, "fig2b_sknnb_n_m_K1024.txt", text)
+    write_bench_json(results_dir, "fig2b_sknnb_n_m_K1024", {
+        "kind": "projected", "figure": "2b",
+        "params": {"key_size": 1024, "k": 5, "n_values": PAPER_N_VALUES,
+                   "m_values": PAPER_M_VALUES},
+        "slowdown_512_to_1024": slowdown,
+        "rows": series.rows(),
+    })
     benchmark.extra_info.update({"figure": "2b", "kind": "projected",
                                  "slowdown_512_to_1024": slowdown})
     # The paper's "factor of 7" observation: accept anything clearly super-linear.

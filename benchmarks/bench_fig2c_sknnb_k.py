@@ -17,6 +17,7 @@ from benchmarks.conftest import (
     PAPER_K_VALUES,
     PAPER_KEY_SIZES,
     deploy_measured_system,
+    write_bench_json,
     write_result,
 )
 from benchmarks.projections import figure_2c_series
@@ -53,6 +54,12 @@ def test_fig2c_projected_paper_scale(benchmark, calibrator, results_dir):
     series = benchmark.pedantic(build, rounds=1, iterations=1)
     text = series.to_text() + "\n" + ascii_plot(series)
     write_result(results_dir, "fig2c_sknnb_k.txt", text)
+    write_bench_json(results_dir, "fig2c_sknnb_k", {
+        "kind": "projected", "figure": "2c",
+        "params": {"n": 2000, "m": 6, "key_sizes": PAPER_KEY_SIZES,
+                   "k_values": PAPER_K_VALUES},
+        "rows": series.rows(),
+    })
     benchmark.extra_info.update({"figure": "2c", "kind": "projected"})
     rows = series.rows()
     # Flatness in k: less than 1% change across the whole sweep.

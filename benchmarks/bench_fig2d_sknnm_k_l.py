@@ -17,6 +17,7 @@ from benchmarks.conftest import (
     PAPER_K_VALUES,
     PAPER_L_VALUES,
     deploy_measured_system,
+    write_bench_json,
     write_result,
 )
 from benchmarks.projections import figure_2d_series
@@ -60,6 +61,12 @@ def test_fig2d_projected_paper_scale(benchmark, calibrator, results_dir):
     series = benchmark.pedantic(build, rounds=1, iterations=1)
     text = series.to_text() + "\n" + ascii_plot(series)
     write_result(results_dir, "fig2d_sknnm_k_l_K512.txt", text)
+    write_bench_json(results_dir, "fig2d_sknnm_k_l_K512", {
+        "kind": "projected", "figure": "2d",
+        "params": {"n": 2000, "m": 6, "key_size": 512,
+                   "k_values": PAPER_K_VALUES, "l_values": PAPER_L_VALUES},
+        "rows": series.rows(),
+    })
     benchmark.extra_info.update({"figure": "2d", "kind": "projected"})
     rows = series.rows()
     # Roughly linear in k: the k=25 point is ~4-5x the k=5 point.

@@ -19,6 +19,7 @@ from benchmarks.conftest import (
     PAPER_K_VALUES,
     PAPER_L_VALUES,
     deploy_measured_system,
+    write_bench_json,
     write_result,
 )
 from benchmarks.projections import figure_2d_series
@@ -71,6 +72,13 @@ def test_fig2e_projected_paper_scale(benchmark, calibrator, results_dir):
     }])
     text = series.to_text() + "\n" + ascii_plot(series) + "\n" + comparison
     write_result(results_dir, "fig2e_sknnm_k_l_K1024.txt", text)
+    write_bench_json(results_dir, "fig2e_sknnm_k_l_K1024", {
+        "kind": "projected", "figure": "2e",
+        "params": {"n": 2000, "m": 6, "key_size": 1024,
+                   "k_values": PAPER_K_VALUES, "l_values": PAPER_L_VALUES},
+        "ratio_1024_over_512": minutes_1024 / minutes_512,
+        "rows": series.rows(),
+    })
     benchmark.extra_info.update({"figure": "2e", "kind": "projected",
                                  "ratio_1024_over_512": minutes_1024 / minutes_512})
     assert 4.0 < minutes_1024 / minutes_512 < 12.0

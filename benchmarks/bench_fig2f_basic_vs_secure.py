@@ -17,6 +17,7 @@ from benchmarks.conftest import (
     MEASURED_KEY_BITS,
     PAPER_K_VALUES,
     deploy_measured_system,
+    write_bench_json,
     write_result,
 )
 from benchmarks.projections import figure_2f_series
@@ -59,6 +60,12 @@ def test_fig2f_projected_paper_scale(benchmark, calibrator, results_dir):
     series = benchmark.pedantic(build, rounds=1, iterations=1)
     text = series.to_text() + "\n" + ascii_plot(series)
     write_result(results_dir, "fig2f_basic_vs_secure_K512.txt", text)
+    write_bench_json(results_dir, "fig2f_basic_vs_secure_K512", {
+        "kind": "projected", "figure": "2f",
+        "params": {"n": 2000, "m": 6, "l": 6, "key_size": 512,
+                   "k_values": PAPER_K_VALUES},
+        "rows": series.rows(),
+    })
     benchmark.extra_info.update({"figure": "2f", "kind": "projected"})
     rows = series.rows()
     # SkNNb flat in k; SkNNm at least an order of magnitude above it everywhere.

@@ -21,6 +21,7 @@ from benchmarks.conftest import (
     MEASURED_KEY_BITS,
     PAPER_N_VALUES,
     deploy_measured_system,
+    write_bench_json,
     write_result,
 )
 from benchmarks.projections import figure_3_series
@@ -70,5 +71,11 @@ def test_fig3_projected_paper_scale(benchmark, calibrator, results_dir):
     } for row in rows])
     text = series.to_text() + "\n" + ascii_plot(series) + "\n" + comparison
     write_result(results_dir, "fig3_parallel_vs_serial_K512.txt", text)
+    write_bench_json(results_dir, "fig3_parallel_vs_serial_K512", {
+        "kind": "projected", "figure": "3",
+        "params": {"m": 6, "k": 5, "key_size": 512, "workers": 6,
+                   "n_values": PAPER_N_VALUES},
+        "rows": rows,
+    })
     benchmark.extra_info.update({"figure": "3", "kind": "projected"})
     assert all(abs(row["serial"] / row["parallel"] - 6.0) < 0.01 for row in rows)

@@ -19,7 +19,7 @@ from random import Random
 
 import pytest
 
-from benchmarks.conftest import PAPER_K_VALUES, write_result
+from benchmarks.conftest import PAPER_K_VALUES, write_bench_json, write_result
 from benchmarks.projections import sminn_share_series
 from repro.analysis.reporting import format_table
 from repro.core.roles import QueryClient
@@ -35,6 +35,11 @@ def test_section52_sminn_share_projection(benchmark, results_dir):
     text = series.to_text()
     write_result(results_dir, "section52_sminn_share.txt", text)
     shares = series.series["SMINn share"]
+    write_bench_json(results_dir, "section52_sminn_share", {
+        "kind": "projected", "section": "5.2",
+        "params": {"k_values": PAPER_K_VALUES},
+        "rows": series.rows(),
+    })
     benchmark.extra_info.update({"section": "5.2", "kind": "projected",
                                  "share_k5": shares[0], "share_k25": shares[-1]})
     assert shares[-1] > shares[0]
@@ -67,3 +72,9 @@ def test_section52_bob_query_encryption_cost(benchmark, key_size, results_dir):
         "paper reported (ms)": 4 if key_size == 512 else 17,
     }])
     write_result(results_dir, f"section52_bob_cost_K{key_size}.txt", table)
+    write_bench_json(results_dir, f"section52_bob_cost_K{key_size}", {
+        "kind": "measured", "section": "5.2",
+        "params": {"m": 6, "key_size": key_size},
+        "measured_ms": measured_ms,
+        "paper_reported_ms": 4 if key_size == 512 else 17,
+    })

@@ -26,7 +26,8 @@ import os
 import time
 from random import Random
 
-from benchmarks.conftest import deploy_measured_system, write_result
+from benchmarks.conftest import (deploy_measured_system, write_bench_json,
+                                 write_result)
 from repro.analysis.reporting import format_table
 from repro.core.sknn_basic import SkNNBasic
 from repro.crypto.randomness_pool import RandomnessPool
@@ -124,6 +125,12 @@ def test_service_throughput_vs_seed_serial(benchmark, measured_keypair,
             f"queries={BENCH_QUERIES}, K=256, {os.cpu_count()} cores)\n"
             + format_table(rows))
     write_result(results_dir, "service_throughput.txt", text)
+    write_bench_json(results_dir, "service_throughput", {
+        "kind": "measured", "subsystem": "service",
+        "params": {"n": BENCH_N, "m": BENCH_M, "k": BENCH_K,
+                   "queries": BENCH_QUERIES, "quick": QUICK},
+        "rows": rows,
+    })
     benchmark.extra_info.update({
         "subsystem": "service", "kind": "measured", "n": BENCH_N,
         "m": BENCH_M, "k": BENCH_K, "queries": BENCH_QUERIES,

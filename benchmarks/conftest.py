@@ -20,6 +20,8 @@ with n, m, k, l and K — while the measured runs pin down absolute constants.
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
 from random import Random
 
@@ -28,6 +30,7 @@ import pytest
 from repro.analysis.calibration import Calibrator
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import DataOwner, QueryClient
+from repro.crypto.backend import get_backend
 from repro.crypto.paillier import PaillierKeyPair, generate_keypair
 from repro.db.datasets import synthetic_uniform
 
@@ -68,6 +71,27 @@ def write_result(results_dir: Path, name: str, text: str) -> Path:
     """Write one result table to ``benchmarks/results/<name>`` and return its path."""
     path = results_dir / name
     path.write_text(text, encoding="utf-8")
+    return path
+
+
+def write_bench_json(results_dir: Path, name: str, payload: dict) -> Path:
+    """Write machine-readable benchmark output ``BENCH_<name>.json``.
+
+    Every bench emits one of these alongside its human-readable txt table so
+    the performance trajectory is trackable across PRs (and diffable in CI
+    artifacts).  The crypto-backend name and interpreter version are stamped
+    automatically; ``payload`` carries the bench-specific params, wall-clock
+    numbers and operation counters.
+    """
+    record = {
+        "bench": name,
+        "crypto_backend": get_backend().name,
+        "python": platform.python_version(),
+    }
+    record.update(payload)
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
     return path
 
 

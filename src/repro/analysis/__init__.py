@@ -20,6 +20,7 @@ from repro.analysis.cost_model import (
     smin_counts,
     sminn_counts,
     ssed_counts,
+    ssed_scan_counts,
 )
 from repro.analysis.reporting import (
     ExperimentSeries,
@@ -32,6 +33,7 @@ __all__ = [
     "OperationCounts",
     "sm_counts",
     "ssed_counts",
+    "ssed_scan_counts",
     "sbd_counts",
     "smin_counts",
     "sminn_counts",

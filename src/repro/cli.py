@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Secure k-nearest neighbor query over encrypted data "
                     "(Elmehdwi, Samanthula & Jiang, ICDE 2014).",
     )
+    parser.add_argument(
+        "--crypto-backend", choices=["auto", "python", "gmpy2"], default=None,
+        help="bigint backend for all Paillier arithmetic (default: the "
+             "REPRO_CRYPTO_BACKEND environment variable, else auto — gmpy2 "
+             "when importable, pure Python otherwise)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     demo = subparsers.add_parser(
@@ -309,6 +314,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.crypto_backend is not None:
+        from repro.crypto.backend import set_backend
+
+        set_backend(args.crypto_backend)
     handler = _HANDLERS[args.command]
     return handler(args)
 

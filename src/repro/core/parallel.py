@@ -32,6 +32,7 @@ to release the workers.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -49,19 +50,27 @@ __all__ = [
     "ParallelRunReport",
     "PersistentWorkerPool",
     "ssed_record_worker",
-    "ssed_record_batch_worker",
+    "ssed_chunk_worker",
+    "chunk_records",
 ]
 
 Backend = Literal["thread", "process", "serial"]
 
-#: Worker task: (record_index, record ciphertext ints, query ciphertext ints,
-#: modulus N, prime p, prime q, RNG seed)
+#: Scalar reference task: (record_index, record ciphertext ints, query
+#: ciphertext ints, modulus N, prime p, prime q, RNG seed).  Kept as the
+#: per-record oracle the chunked kernel is tested against.
 WorkerTask = tuple[int, list[int], list[int], int, int, int, int]
 
-#: Batched worker task: like :data:`WorkerTask` but carrying the ciphertexts
-#: of *several* queries, so one record (de)serialization is amortized over a
-#: whole batch of queries sharing a scan pass.
-BatchWorkerTask = tuple[int, list[int], list[list[int]], int, int, int, int]
+#: Chunked worker task: (chunk start index, several records' ciphertext ints,
+#: several queries' ciphertext ints, modulus N, prime p, prime q, RNG seed,
+#: bigint backend name).  One task ships a whole contiguous slice of the
+#: table through the vectorized crypto kernel — key reconstruction,
+#: obfuscator-table reuse and batched CRT decryption are amortized over
+#: every (record, query) pair of the chunk.  The backend name travels with
+#: the task because spawned worker processes do not inherit a
+#: programmatically selected backend (e.g. the CLI's ``--crypto-backend``).
+ChunkWorkerTask = tuple[
+    int, list[list[int]], list[list[int]], int, int, int, int, str]
 
 
 @dataclass
@@ -130,27 +139,147 @@ def ssed_record_worker(task: WorkerTask) -> tuple[int, int]:
     return record_index, distance
 
 
-def ssed_record_batch_worker(task: BatchWorkerTask) -> tuple[int, list[int]]:
-    """Compute one record's squared distance to *every* query of a batch.
+#: Per-process cache of reconstructed key objects, keyed by the modulus.
+#: Worker processes persist across queries (PersistentWorkerPool), so the
+#: keys — and with them the public key's fixed-base obfuscator table — are
+#: rebuilt once per process lifetime instead of once per task.  Bounded:
+#: the serial/thread backends run workers in the driver process, where an
+#: unbounded cache would pin one ~2 MB comb table per key rotation forever.
+#: Locked: the thread backend runs workers concurrently in one process.
+_WORKER_KEYS: dict[int, tuple[PaillierPublicKey, PaillierPrivateKey]] = {}
+_WORKER_KEYS_MAX = 4
+_WORKER_KEYS_LOCK = threading.Lock()
 
-    The expensive per-task fixed costs — task serialization, key-object
-    reconstruction — are paid once per record instead of once per
-    (record, query) pair, which is what makes batched scheduling in
-    :mod:`repro.service` cheaper than issuing the queries one at a time.
+
+def _worker_keys(n: int, p: int, q: int
+                 ) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Reconstruct (or fetch the cached) key objects for a worker process."""
+    with _WORKER_KEYS_LOCK:
+        cached = _WORKER_KEYS.get(n)
+        if cached is None:
+            public_key = PaillierPublicKey(n)
+            private_key = PaillierPrivateKey(public_key, p, q)
+            cached = (public_key, private_key)
+            while len(_WORKER_KEYS) >= _WORKER_KEYS_MAX:
+                _WORKER_KEYS.pop(next(iter(_WORKER_KEYS)))
+            _WORKER_KEYS[n] = cached
+    return cached
+
+
+def _chunk_squared_distances(public_key: PaillierPublicKey,
+                             private_key: PaillierPrivateKey, rng: Random,
+                             records: list[list[int]],
+                             queries: list[list[int]]) -> list[list[int]]:
+    """Squared distances of every (record, query) pair, vectorized.
+
+    Performs the same per-attribute protocol sequence as
+    :func:`_record_squared_distance` — homomorphic difference, additive
+    masking, decryption of the masked difference, squaring, re-encryption and
+    unmasking — with three chunk-level batching effects:
+
+    * the query-side negation ``E(-q_j)`` is computed once per (chunk, query)
+      instead of once per (record, query) — a modular inversion replacing
+      ``len(records)`` full exponentiations, valid since the squared
+      difference is sign-invariant;
+    * mask and square encryptions draw obfuscators from the key's fixed-base
+      window table (built once per worker process);
+    * all decryptions run through the vectorized CRT kernel.
 
     Returns:
-        ``(record_index, [squared_distance_per_query])`` in batch order.
+        ``distances[record][query]`` for the chunk, in input order.
     """
-    record_index, record_values, queries, n, p, q, seed = task
-    public_key = PaillierPublicKey(n)
-    private_key = PaillierPrivateKey(public_key, p, q)
+    from repro.crypto.backend import get_backend
+
+    backend = get_backend()
+    mulmod, invert, powmod = backend.mulmod, backend.invert, backend.powmod
+    n = public_key.n
+    nsquare = public_key.nsquare
+    dimensions = len(queries[0]) if queries else 0
+    out: list[list[int]] = [[0] * len(queries) for _ in records]
+
+    for query_index, query_values in enumerate(queries):
+        neg_query = [invert(value, nsquare) for value in query_values]
+
+        # E(t_ij - q_j) for every record and attribute (flattened) — the
+        # modular inverse E(q_j)**-1 is an encryption of -q_j, so the
+        # product matches the serial worker's E(t_ij) * E(q_j)**(N-1).
+        diffs = [
+            mulmod(record_values[j], neg_query[j], nsquare)
+            for record_values in records
+            for j in range(dimensions)
+        ]
+
+        # Additive masking with fresh randomness, windowed obfuscators.
+        masks = [rng.randrange(n) for _ in diffs]
+        enc_masks = public_key.encrypt_batch(masks, rng=rng)
+        masked = [mulmod(diff, enc_mask.value, nsquare)
+                  for diff, enc_mask in zip(diffs, enc_masks)]
+
+        # Decrypt the masked differences, square in the clear, re-encrypt.
+        masked_plain = private_key._raw_decrypt_batch(masked)
+        enc_squares = public_key.encrypt_batch(
+            [(h * h) % n for h in masked_plain], rng=rng)
+
+        # Unmask: E((d+r)^2) * E(d)^(N-2r) * E(-r^2) and accumulate per record.
+        totals: list[Ciphertext] = []
+        for record_index in range(len(records)):
+            base = record_index * dimensions
+            total = None
+            for j in range(dimensions):
+                index = base + j
+                mask = masks[index]
+                unmask = powmod(diffs[index], (n - 2 * mask) % n, nsquare)
+                constant = (1 + (-(mask * mask) % n) * n) % nsquare
+                square = mulmod(
+                    mulmod(enc_squares[index].value, unmask, nsquare),
+                    constant, nsquare)
+                total = square if total is None else mulmod(total, square,
+                                                            nsquare)
+            totals.append(Ciphertext(public_key, total))
+
+        for record_index, distance in enumerate(
+                private_key.decrypt_residue_batch(totals)):
+            out[record_index][query_index] = distance
+    return out
+
+
+def ssed_chunk_worker(task: ChunkWorkerTask) -> tuple[int, list[list[int]]]:
+    """Vectorized distance computation for one chunk of contiguous records.
+
+    The unit of parallel work of the sharded/parallel scan paths: one task
+    carries a slice of the table plus every query of the batch, and the whole
+    slice runs through :func:`_chunk_squared_distances` as a single
+    vectorized kernel call.  The worker aligns its process-wide bigint
+    backend with the driver's (carried in the task) before computing.
+
+    Returns:
+        ``(chunk_start_index, distances[record][query])``.
+    """
+    from repro.crypto.backend import get_backend, set_backend
+
+    start_index, record_rows, queries, n, p, q, seed, backend_name = task
+    if get_backend().name != backend_name:
+        set_backend(backend_name)
+    public_key, private_key = _worker_keys(n, p, q)
     rng = Random(seed)
-    distances = [
-        _record_squared_distance(public_key, private_key, rng,
-                                 record_values, query_values)
-        for query_values in queries
-    ]
-    return record_index, distances
+    return start_index, _chunk_squared_distances(public_key, private_key, rng,
+                                                 record_rows, queries)
+
+
+def chunk_records(count: int, workers: int,
+                  tasks_per_worker: int = 4) -> list[tuple[int, int]]:
+    """Split ``count`` records into contiguous ``(start, stop)`` chunks.
+
+    Aims for ``workers * tasks_per_worker`` chunks so the pool keeps every
+    worker busy while still amortizing per-task fixed costs over many
+    records.
+    """
+    if count <= 0:
+        return []
+    target = max(workers, 1) * max(tasks_per_worker, 1)
+    size = max(1, -(-count // target))
+    return [(start, min(start + size, count))
+            for start in range(0, count, size)]
 
 
 class PersistentWorkerPool:
@@ -311,29 +440,42 @@ class ParallelSkNNBasic(SkNNProtocol):
     def _parallel_distances(self, encrypted_query: Sequence[Ciphertext]) -> list[int]:
         """Compute every record's squared distance with the persistent pool."""
         tasks = self._build_tasks(encrypted_query)
-        results = self.pool.map(ssed_record_worker, tasks)
-        distances = [0] * len(tasks)
-        for record_index, distance in results:
-            distances[record_index] = distance
+        results = self.pool.map(ssed_chunk_worker, tasks)
+        distances = [0] * len(self.cloud.c1.encrypted_table)
+        for start_index, chunk_distances in results:
+            for offset, per_query in enumerate(chunk_distances):
+                distances[start_index + offset] = per_query[0]
         return distances
 
-    def _build_tasks(self, encrypted_query: Sequence[Ciphertext]) -> list[WorkerTask]:
-        """Serialize the per-record work items for the worker pool."""
+    def _build_tasks(self, encrypted_query: Sequence[Ciphertext]
+                     ) -> list[ChunkWorkerTask]:
+        """Chunk the table into vectorized work items for the worker pool.
+
+        One task per contiguous chunk of records (a few chunks per worker),
+        each carrying the whole chunk through one vectorized kernel call —
+        see :func:`ssed_chunk_worker`.
+        """
+        from repro.crypto.backend import get_backend
+
         c1 = self.cloud.c1
         private_key = self.cloud.c2.private_key
         n = c1.public_key.n
+        backend_name = get_backend().name
         query_values = [cipher.value for cipher in encrypted_query]
-        tasks: list[WorkerTask] = []
-        for index, record in enumerate(c1.encrypted_table):
+        records = c1.encrypted_table.records
+        tasks: list[ChunkWorkerTask] = []
+        for start, stop in chunk_records(len(records), self.workers):
             seed = c1.rng.getrandbits(63)
             tasks.append((
-                index,
-                [cipher.value for cipher in record.ciphertexts],
-                query_values,
+                start,
+                [[cipher.value for cipher in record.ciphertexts]
+                 for record in records[start:stop]],
+                [query_values],
                 n,
                 private_key.p,
                 private_key.q,
                 seed,
+                backend_name,
             ))
         return tasks
 

@@ -175,7 +175,13 @@ class SkNNProtocol:
     def _compute_encrypted_distances(
         self, encrypted_query: Sequence[Ciphertext]
     ) -> list[Ciphertext]:
-        """Step 2: run SSED between the query and every record (order preserved).
+        """Step 2: SSED between the query and every record, as one batched scan.
+
+        Delegates to :meth:`~repro.protocols.ssed.
+        SecureSquaredEuclideanDistance.run_many`, which negates the shared
+        query once per attribute and pushes all ``n * m`` squarings through a
+        single batched SM round (see its docstring for the operation-count
+        effect, modeled by ``ssed_scan_counts`` in the analysis layer).
 
         Only the leading ``len(encrypted_query)`` attributes of each record
         participate in the distance; trailing label/metadata columns (when
@@ -183,10 +189,10 @@ class SkNNProtocol:
         reappear in the delivered result records.
         """
         width = len(encrypted_query)
-        return [
-            self._ssed.run(list(encrypted_query), list(record.ciphertexts[:width]))
-            for record in self.encrypted_table
-        ]
+        return self._ssed.run_many(
+            list(encrypted_query),
+            [list(record.ciphertexts[:width]) for record in self.encrypted_table],
+        )
 
     def _deliver_records(
         self, encrypted_records: Sequence[Sequence[Ciphertext]]
@@ -200,24 +206,23 @@ class SkNNProtocol:
         """
         c1 = self.cloud.c1
         c2 = self.cloud.c2
-        encrypt_mask = self.mask_encryptor or c1.encrypt
+        pk = self.public_key
         masks_for_bob: list[list[int]] = []
         masked_for_c2: list[list[Ciphertext]] = []
         for encrypted_record in encrypted_records:
-            record_masks: list[int] = []
-            record_masked: list[Ciphertext] = []
-            for ciphertext in encrypted_record:
-                mask = c1.random_in_zn()
-                record_masks.append(mask)
-                record_masked.append(ciphertext + encrypt_mask(mask))
+            record_masks = [c1.random_in_zn() for _ in encrypted_record]
+            if self.mask_encryptor is not None:
+                enc_masks = [self.mask_encryptor(mask) for mask in record_masks]
+            else:
+                enc_masks = c1.encrypt_batch(record_masks)
             masks_for_bob.append(record_masks)
-            masked_for_c2.append(record_masked)
+            masked_for_c2.append(
+                pk.add_batch(list(encrypted_record), enc_masks))
 
         c1.send(masked_for_c2, tag="SkNN.masked_results")
         received = c2.receive(expected_tag="SkNN.masked_results")
         masked_values = [
-            [c2.decrypt_residue(ciphertext) for ciphertext in record]
-            for record in received
+            c2.decrypt_residue_batch(record) for record in received
         ]
         return ResultShares(
             masks_from_c1=masks_for_bob,

@@ -55,10 +55,14 @@ class SkNNBasic(SkNNProtocol):
         indexed = list(enumerate(encrypted_distances))
         c1.send(indexed, tag="SkNNb.encrypted_distances")
 
-        # Step 3: C2 decrypts all distances and returns the top-k index list.
+        # Step 3: C2 decrypts all distances (one vectorized CRT kernel call)
+        # and returns the top-k index list.
         received = c2.receive(expected_tag="SkNNb.encrypted_distances")
+        residues = c2.decrypt_residue_batch(
+            [ciphertext for _, ciphertext in received])
         plaintext_distances = [
-            (index, c2.decrypt_residue(ciphertext)) for index, ciphertext in received
+            (index, residue)
+            for (index, _), residue in zip(received, residues)
         ]
         # Stable selection: ties are broken by record position, matching the
         # plaintext LinearScanKNN oracle.

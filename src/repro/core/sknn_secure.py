@@ -100,9 +100,10 @@ class SkNNSecure(SkNNProtocol):
         c1, c2 = self.cloud.c1, self.cloud.c2
         n = len(self.encrypted_table)
 
-        # Step 2: E(d_i) via SSED, then [d_i] via SBD, for every record.
+        # Step 2: E(d_i) via one batched SSED scan, then [d_i] via one batched
+        # SBD pass over every record's distance.
         encrypted_distances = self._compute_encrypted_distances(encrypted_query)
-        distance_bits = [self._sbd.run(enc_d) for enc_d in encrypted_distances]
+        distance_bits = self._sbd.run_batch(encrypted_distances)
 
         encrypted_results: list[list[Ciphertext]] = []
         for iteration in range(k):
@@ -118,10 +119,11 @@ class SkNNSecure(SkNNProtocol):
                 ]
 
             # tau_i = E(r_i * (d_min - d_i)), permuted before leaving C1.
-            randomized = []
-            for enc_d in encrypted_distances:
-                difference = self.sub_cipher(enc_dmin, enc_d)
-                randomized.append(difference * c1.random_nonzero())
+            pk = self.public_key
+            differences = pk.add_batch(
+                [enc_dmin] * n, pk.scalar_mul_batch(encrypted_distances, -1))
+            randomized = pk.scalar_mul_batch(
+                differences, [c1.random_nonzero() for _ in range(n)])
             permutation = list(range(n))
             c1.rng.shuffle(permutation)
             beta = [randomized[j] for j in permutation]
@@ -129,7 +131,7 @@ class SkNNSecure(SkNNProtocol):
 
             # Step 3(c): C2 marks the zero entry with an encrypted 1.
             received_beta = c2.receive(expected_tag="SkNNm.randomized_differences")
-            decrypted = [c2.decrypt_residue(item) for item in received_beta]
+            decrypted = c2.decrypt_residue_batch(received_beta)
             indicator = self._build_indicator(decrypted)
             c2.send(indicator, tag="SkNNm.indicator")
 
@@ -169,19 +171,30 @@ class SkNNSecure(SkNNProtocol):
                 "the distance domain l is likely too small for the data"
             )
         chosen = c2.rng.choice(zero_positions)
-        return [c2.encrypt(1 if idx == chosen else 0)
-                for idx in range(len(decrypted_differences))]
+        return c2.encrypt_batch([
+            1 if idx == chosen else 0
+            for idx in range(len(decrypted_differences))
+        ])
 
     def _extract_record(self, indicator: Sequence[Ciphertext]) -> list[Ciphertext]:
-        """Step 3(d): ``E(t'_{s,j}) = prod_i SM(V_i, E(t_{i,j}))``."""
+        """Step 3(d): ``E(t'_{s,j}) = prod_i SM(V_i, E(t_{i,j}))``.
+
+        All ``n * m`` products of one iteration run through a single batched
+        SM round; the per-attribute accumulation is unchanged.
+        """
         table = self.encrypted_table
         dimensions = table.dimensions
+        pairs = [
+            (enc_indicator, record.ciphertexts[j])
+            for enc_indicator, record in zip(indicator, table)
+            for j in range(dimensions)
+        ]
+        products = self._sm.run_batch(pairs)
         accumulators: list[Ciphertext | None] = [None] * dimensions
-        for enc_indicator, record in zip(indicator, table):
-            for j in range(dimensions):
-                product = self._sm.run(enc_indicator, record.ciphertexts[j])
-                accumulators[j] = product if accumulators[j] is None \
-                    else accumulators[j] + product
+        for index, product in enumerate(products):
+            j = index % dimensions
+            accumulators[j] = product if accumulators[j] is None \
+                else accumulators[j] + product
         return [cipher for cipher in accumulators if cipher is not None]
 
     def _eliminate_selected(
@@ -191,9 +204,18 @@ class SkNNSecure(SkNNProtocol):
         """Step 3(e): OR every distance bit with the record's indicator bit.
 
         For the selected record (indicator 1) this sets all bits to 1, i.e.
-        the maximum distance ``2**l - 1``; other records are unchanged.
+        the maximum distance ``2**l - 1``; other records are unchanged.  All
+        ``n * l`` ORs of an iteration form one batched SBOR round.
         """
+        pairs = [
+            (enc_indicator, bit)
+            for enc_indicator, bits in zip(indicator, distance_bits)
+            for bit in bits
+        ]
+        ored = self._sbor.run_batch(pairs)
         updated: list[list[Ciphertext]] = []
-        for enc_indicator, bits in zip(indicator, distance_bits):
-            updated.append([self._sbor.run(enc_indicator, bit) for bit in bits])
+        position = 0
+        for bits in distance_bits:
+            updated.append(ored[position:position + len(bits)])
+            position += len(bits)
         return updated

@@ -6,6 +6,17 @@ implementation (no external crypto dependencies) plus the supporting number
 theory and a JSON wire format for keys and ciphertexts.
 """
 
+from repro.crypto.backend import (
+    BACKEND_ENV_VAR,
+    BigintBackend,
+    FixedBaseExp,
+    Gmpy2Backend,
+    PythonBackend,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    set_backend,
+)
 from repro.crypto.paillier import (
     DEFAULT_KEY_SIZE,
     Ciphertext,
@@ -18,12 +29,21 @@ from repro.crypto.paillier import (
 from repro.crypto.randomness_pool import RandomnessPool
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "BigintBackend",
     "DEFAULT_KEY_SIZE",
     "Ciphertext",
+    "FixedBaseExp",
+    "Gmpy2Backend",
     "OperationCounter",
     "PaillierKeyPair",
     "PaillierPrivateKey",
     "PaillierPublicKey",
+    "PythonBackend",
     "RandomnessPool",
+    "available_backends",
     "generate_keypair",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
 ]

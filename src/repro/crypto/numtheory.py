@@ -23,6 +23,7 @@ import secrets
 from random import Random
 from typing import Iterable
 
+from repro.crypto.backend import get_backend
 from repro.exceptions import CryptoError
 
 __all__ = [
@@ -202,13 +203,15 @@ def egcd(a: int, b: int) -> tuple[int, int, int]:
 def modinv(a: int, modulus: int) -> int:
     """Return the multiplicative inverse of ``a`` modulo ``modulus``.
 
+    Routed through the active bigint backend (C-level inversion on CPython,
+    GMP when :mod:`gmpy2` is importable) — the extended-Euclid
+    implementation above remains as the reference algorithm and for the
+    Bezout coefficients.
+
     Raises:
         CryptoError: if ``a`` is not invertible modulo ``modulus``.
     """
-    g, x, _ = egcd(a % modulus, modulus)
-    if g != 1:
-        raise CryptoError(f"{a} has no inverse modulo {modulus} (gcd={g})")
-    return x % modulus
+    return get_backend().invert(a % modulus, modulus)
 
 
 def lcm(a: int, b: int) -> int:

@@ -35,6 +35,7 @@ from collections import deque
 from random import Random
 
 from repro.crypto import numtheory as nt
+from repro.crypto.backend import get_backend
 from repro.crypto.paillier import Ciphertext, PaillierPublicKey
 from repro.exceptions import ConfigurationError
 
@@ -80,7 +81,8 @@ class RandomnessPool:
     def _fresh_factor(self) -> int:
         """Compute one obfuscation factor (one modular exponentiation)."""
         r_value = nt.random_in_zn_star(self.public_key.n, self.rng)
-        return pow(r_value, self.public_key.n, self.public_key.nsquare)
+        return get_backend().powmod(r_value, self.public_key.n,
+                                    self.public_key.nsquare)
 
     def refill(self, count: int | None = None) -> int:
         """Top the store up by ``count`` factors (default: the pool size).

@@ -78,6 +78,14 @@ class Party:
         """Encrypt a signed integer under the shared public key."""
         return self.public_key.encrypt(value, rng=self.rng)
 
+    def encrypt_batch(self, values: "list[int]") -> "list[Ciphertext]":
+        """Vectorized encryption with this party's randomness source.
+
+        Obfuscators come from the key's fixed-base window table (see
+        :meth:`~repro.crypto.paillier.PaillierPublicKey.encrypt_batch`).
+        """
+        return self.public_key.encrypt_batch(values, rng=self.rng)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"
 
@@ -101,6 +109,10 @@ class DecryptorParty(Party):
     def decrypt_residue(self, ciphertext: Ciphertext) -> int:
         """Decrypt to the raw residue in ``[0, N)`` (no signed decoding)."""
         return self.private_key.decrypt_raw_residue(ciphertext)
+
+    def decrypt_residue_batch(self, ciphertexts: "list[Ciphertext]") -> "list[int]":
+        """Vectorized decryption to raw residues (no signed decoding)."""
+        return self.private_key.decrypt_residue_batch(ciphertexts)
 
 
 @dataclass

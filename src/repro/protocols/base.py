@@ -82,6 +82,21 @@ class TwoPartyProtocol:
         """Fresh probabilistic encryption of a constant by P1."""
         return self.p1.encrypt(value)
 
+    # -- vectorized ciphertext helpers ----------------------------------------
+    def neg_batch(self, ciphertexts: "list[Ciphertext]") -> "list[Ciphertext]":
+        """Vectorized homomorphic negation ``E(-a)`` (inverse shortcut).
+
+        Counted as one exponentiation per element, like the textbook
+        ``E(a)**(N-1)`` it replaces (see
+        :meth:`~repro.crypto.paillier.PaillierPublicKey.scalar_mul_batch`).
+        """
+        return self.pk.scalar_mul_batch(ciphertexts, -1)
+
+    def sub_batch(self, left: "list[Ciphertext]",
+                  right: "list[Ciphertext]") -> "list[Ciphertext]":
+        """Vectorized homomorphic subtraction ``E(a_i - b_i)``."""
+        return self.pk.add_batch(left, self.neg_batch(right))
+
     def require(self, condition: bool, message: str) -> None:
         """Raise :class:`ProtocolError` when a protocol precondition fails."""
         if not condition:

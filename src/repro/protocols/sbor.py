@@ -13,6 +13,8 @@ protocol for symmetry and for testing.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.crypto.paillier import Ciphertext
 from repro.protocols.base import TwoPartyProtocol
 from repro.protocols.sm import SecureMultiplication
@@ -38,6 +40,20 @@ class SecureBitOr(TwoPartyProtocol):
         enc_and = self._sm.run(enc_bit_a, enc_bit_b)
         # E(o1 + o2) * E(o1*o2)^{N-1}  ==  E(o1 + o2 - o1*o2)
         return self.sub(enc_bit_a + enc_bit_b, enc_and)
+
+    def run_batch(self, pairs: Sequence[tuple[Ciphertext, Ciphertext]]
+                  ) -> list[Ciphertext]:
+        """Vectorized OR over many bit pairs (one batched SM round).
+
+        Per-pair operation counts match ``[self.run(a, b) for a, b in pairs]``
+        exactly; SkNN_m's elimination phase calls this with all ``n * l``
+        (indicator, distance-bit) pairs of an iteration.
+        """
+        if not pairs:
+            return []
+        enc_ands = self._sm.run_batch(pairs)
+        sums = self.pk.add_batch([a for a, _ in pairs], [b for _, b in pairs])
+        return self.pk.add_batch(sums, self.neg_batch(enc_ands))
 
 
 class SecureBitXor(TwoPartyProtocol):

@@ -19,6 +19,8 @@ What each party sees
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.crypto.paillier import Ciphertext
 from repro.protocols.base import TwoPartyProtocol
 
@@ -79,3 +81,51 @@ class SecureMultiplication(TwoPartyProtocol):
         h_b = self.p2.decrypt_residue(masked_b)
         h = (h_a * h_b) % self.pk.n
         return self.p2.encrypt(h)
+
+    # -- batched execution -------------------------------------------------------
+    def run_batch(self, pairs: Sequence[tuple[Ciphertext, Ciphertext]]
+                  ) -> list[Ciphertext]:
+        """Compute ``Epk(a_i * b_i)`` for a whole vector of operand pairs.
+
+        Functionally (and in per-pair operation counts: 3 encryptions, 2
+        decryptions, 2 exponentiations, 5 homomorphic additions) identical to
+        ``[self.run(a, b) for a, b in pairs]``, but executed as one protocol
+        round: both parties exchange two messages total instead of two per
+        pair, every encryption draws its obfuscator from the key's fixed-base
+        window table, and decryptions run through the vectorized CRT kernel.
+        The protocols' scan loops call this with all ``n`` records of a round.
+        """
+        if not pairs:
+            return []
+        n = self.pk.n
+        enc_a_vec = [a for a, _ in pairs]
+        enc_b_vec = [b for _, b in pairs]
+
+        # Step 1: P1 masks every operand with fresh randomness.
+        masks_a = [self.p1.random_in_zn() for _ in pairs]
+        masks_b = [self.p1.random_in_zn() for _ in pairs]
+        masked_a = self.pk.add_batch(enc_a_vec, self.p1.encrypt_batch(masks_a))
+        masked_b = self.pk.add_batch(enc_b_vec, self.p1.encrypt_batch(masks_b))
+        self.p1.send([masked_a, masked_b], tag="SM.batch_masked_operands")
+
+        # Step 2: P2 decrypts all masked operands and multiplies them.
+        received_a, received_b = self.p2.receive(
+            expected_tag="SM.batch_masked_operands")
+        h_a = self.p2.decrypt_residue_batch(received_a)
+        h_b = self.p2.decrypt_residue_batch(received_b)
+        products = [(x * y) % n for x, y in zip(h_a, h_b)]
+        self.p2.send(self.p2.encrypt_batch(products),
+                     tag="SM.batch_masked_products")
+
+        # Step 3: P1 strips the cross terms from every product.
+        received = self.p1.receive(expected_tag="SM.batch_masked_products")
+        cross_a = self.pk.scalar_mul_batch(
+            enc_a_vec, [n - r_b for r_b in masks_b])
+        cross_b = self.pk.scalar_mul_batch(
+            enc_b_vec, [n - r_a for r_a in masks_a])
+        stripped = self.pk.add_batch(
+            self.pk.add_batch(received, cross_a), cross_b)
+        return [
+            self.add_plain(cipher, -(r_a * r_b) % n)
+            for cipher, r_a, r_b in zip(stripped, masks_a, masks_b)
+        ]

@@ -75,7 +75,6 @@ class SecureMinimum(TwoPartyProtocol):
         # Randomly choose the oblivious functionality F.
         f_is_u_greater = bool(self.p1.rng.getrandbits(1))
 
-        w_vector: list[Ciphertext] = []
         gamma_vector: list[Ciphertext] = []
         l_vector: list[Ciphertext] = []
         gamma_masks: list[int] = []
@@ -83,33 +82,10 @@ class SecureMinimum(TwoPartyProtocol):
         enc_h_previous = self.p1.encrypt(0)
         for enc_u_bit, enc_v_bit in zip(enc_u_bits, enc_v_bits):
             enc_uv = self._sm.run(enc_u_bit, enc_v_bit)
-
-            if f_is_u_greater:
-                # W_i = E(u_i * (1 - v_i));  Gamma_i = E(v_i - u_i + rhat_i)
-                enc_w = self.sub(enc_u_bit, enc_uv)
-                enc_diff = self.sub(enc_v_bit, enc_u_bit)
-            else:
-                # W_i = E(v_i * (1 - u_i));  Gamma_i = E(u_i - v_i + rhat_i)
-                enc_w = self.sub(enc_v_bit, enc_uv)
-                enc_diff = self.sub(enc_u_bit, enc_v_bit)
-            rhat = self.p1.random_nonzero()
+            _, enc_gamma, enc_l, rhat, enc_h_previous = \
+                self._p1_bit_vectors(enc_u_bit, enc_v_bit, enc_uv,
+                                     f_is_u_greater, enc_h_previous)
             gamma_masks.append(rhat)
-            enc_gamma = enc_diff + self.p1.encrypt(rhat)
-
-            # G_i = E(u_i XOR v_i), reusing the product computed above.
-            enc_g = self._xor.xor_from_product(enc_u_bit, enc_v_bit, enc_uv)
-
-            # H_i = H_{i-1}^{r_i} * G_i  — marks the first differing bit.
-            r_i = self.p1.random_nonzero()
-            enc_h = (enc_h_previous * r_i) + enc_g
-            enc_h_previous = enc_h
-
-            # Phi_i = E(-1) * H_i;  L_i = W_i * Phi_i^{r'_i}
-            enc_phi = self.add_plain(enc_h, n - 1)
-            r_prime = self.p1.random_nonzero()
-            enc_l = enc_w + (enc_phi * r_prime)
-
-            w_vector.append(enc_w)
             gamma_vector.append(enc_gamma)
             l_vector.append(enc_l)
 
@@ -145,6 +121,145 @@ class SecureMinimum(TwoPartyProtocol):
                 enc_min_bit = enc_v_bits[i] + enc_lambda
             minimum_bits.append(enc_min_bit)
         return minimum_bits
+
+    # -- shared P1 bookkeeping -------------------------------------------------
+    def _p1_bit_vectors(
+        self, enc_u_bit: Ciphertext, enc_v_bit: Ciphertext,
+        enc_uv: Ciphertext, f_is_u_greater: bool, enc_h_previous: Ciphertext,
+    ) -> tuple[Ciphertext, Ciphertext, Ciphertext, int, Ciphertext]:
+        """One bit's W/Gamma/G/H/Phi/L bookkeeping (step 1 of Algorithm 3).
+
+        Shared between the scalar and the batched execution paths; the SM
+        product ``Epk(u_i * v_i)`` is supplied by the caller.
+
+        Returns:
+            ``(W_i, Gamma_i, L_i, rhat_i, H_i)``.
+        """
+        n = self.pk.n
+        if f_is_u_greater:
+            # W_i = E(u_i * (1 - v_i));  Gamma_i = E(v_i - u_i + rhat_i)
+            enc_w = self.sub(enc_u_bit, enc_uv)
+            enc_diff = self.sub(enc_v_bit, enc_u_bit)
+        else:
+            # W_i = E(v_i * (1 - u_i));  Gamma_i = E(u_i - v_i + rhat_i)
+            enc_w = self.sub(enc_v_bit, enc_uv)
+            enc_diff = self.sub(enc_u_bit, enc_v_bit)
+        rhat = self.p1.random_nonzero()
+        enc_gamma = enc_diff + self.p1.encrypt(rhat)
+
+        # G_i = E(u_i XOR v_i), reusing the product computed above.
+        enc_g = self._xor.xor_from_product(enc_u_bit, enc_v_bit, enc_uv)
+
+        # H_i = H_{i-1}^{r_i} * G_i  — marks the first differing bit.
+        r_i = self.p1.random_nonzero()
+        enc_h = (enc_h_previous * r_i) + enc_g
+
+        # Phi_i = E(-1) * H_i;  L_i = W_i * Phi_i^{r'_i}
+        enc_phi = self.add_plain(enc_h, n - 1)
+        r_prime = self.p1.random_nonzero()
+        enc_l = enc_w + (enc_phi * r_prime)
+        return enc_w, enc_gamma, enc_l, rhat, enc_h
+
+    # -- batched execution -----------------------------------------------------
+    def run_batch(
+        self, pairs: Sequence[tuple[Sequence[Ciphertext], Sequence[Ciphertext]]]
+    ) -> list[list[Ciphertext]]:
+        """Compute ``[min(u_i, v_i)]`` for a whole vector of bit-vector pairs.
+
+        Functionally (and in per-pair operation counts) identical to
+        ``[self.run(u, v) for u, v in pairs]``, executed as one three-message
+        round: every pair's per-bit SM products run through one batched SM
+        invocation, P2 decrypts all permuted L vectors with the vectorized
+        CRT kernel, and each pair keeps its own oblivious-functionality coin
+        and permutations so the security argument is unchanged.  SMIN_n's
+        tournament rounds call this with all pairs of a level.
+
+        Args:
+            pairs: ``(u_bits, v_bits)`` tuples; every bit vector across all
+                pairs must share one length (MSB first).
+
+        Returns:
+            The encrypted minimum bit vector of each pair, in input order.
+        """
+        if not pairs:
+            return []
+        lengths = {len(bits) for pair in pairs for bits in pair}
+        self.require(len(lengths) == 1,
+                     "all bit vectors in a batch must share one length")
+        bit_length = lengths.pop()
+        self.require(bit_length > 0, "bit vectors must be non-empty")
+        n = self.pk.n
+
+        # ---- P1: step 1 for every pair --------------------------------------
+        f_flags = [bool(self.p1.rng.getrandbits(1)) for _ in pairs]
+        sm_inputs: list[tuple[Ciphertext, Ciphertext]] = []
+        for enc_u_bits, enc_v_bits in pairs:
+            sm_inputs.extend(zip(enc_u_bits, enc_v_bits))
+        products = self._sm.run_batch(sm_inputs)
+
+        payload = []
+        pair_states: list[tuple[list[int], list[int]]] = []
+        for index, (enc_u_bits, enc_v_bits) in enumerate(pairs):
+            f_is_u_greater = f_flags[index]
+            enc_h_previous = self.p1.encrypt(0)
+            gamma_vector: list[Ciphertext] = []
+            l_vector: list[Ciphertext] = []
+            gamma_masks: list[int] = []
+            for i in range(bit_length):
+                enc_uv = products[index * bit_length + i]
+                _, enc_gamma, enc_l, rhat, enc_h_previous = \
+                    self._p1_bit_vectors(enc_u_bits[i], enc_v_bits[i], enc_uv,
+                                         f_is_u_greater, enc_h_previous)
+                gamma_masks.append(rhat)
+                gamma_vector.append(enc_gamma)
+                l_vector.append(enc_l)
+
+            permutation_gamma = list(range(bit_length))
+            permutation_l = list(range(bit_length))
+            self.p1.rng.shuffle(permutation_gamma)
+            self.p1.rng.shuffle(permutation_l)
+            payload.append([
+                [gamma_vector[j] for j in permutation_gamma],
+                [l_vector[j] for j in permutation_l],
+            ])
+            pair_states.append((gamma_masks, permutation_gamma))
+        self.p1.send(payload, tag="SMIN.batch_gamma_and_l")
+
+        # ---- P2: step 2 for every pair --------------------------------------
+        received_payload = self.p2.receive(expected_tag="SMIN.batch_gamma_and_l")
+        flat_l = [cipher for _, permuted_l in received_payload
+                  for cipher in permuted_l]
+        decrypted_l = self.p2.decrypt_residue_batch(flat_l)
+        alphas: list[int] = []
+        m_primes: list[list[Ciphertext]] = []
+        for index, (permuted_gamma, _) in enumerate(received_payload):
+            window = decrypted_l[index * bit_length:(index + 1) * bit_length]
+            alpha = 1 if any(value == 1 for value in window) else 0
+            alphas.append(alpha)
+            m_primes.append(self.pk.scalar_mul_batch(permuted_gamma, alpha))
+        enc_alphas = self.p2.encrypt_batch(alphas)
+        self.p2.send([m_primes, enc_alphas], tag="SMIN.batch_masked_minimums")
+
+        # ---- P1: step 3 for every pair --------------------------------------
+        received_m, received_alphas = self.p1.receive(
+            expected_tag="SMIN.batch_masked_minimums")
+        results: list[list[Ciphertext]] = []
+        for index, (enc_u_bits, enc_v_bits) in enumerate(pairs):
+            gamma_masks, permutation_gamma = pair_states[index]
+            enc_alpha = received_alphas[index]
+            unpermuted: list[Ciphertext | None] = [None] * bit_length
+            for position, original_index in enumerate(permutation_gamma):
+                unpermuted[original_index] = received_m[index][position]
+            # lambda_i = M~_i * E(alpha)^{N - rhat_i}
+            lambdas = self.pk.add_batch(
+                unpermuted,
+                self.pk.scalar_mul_batch(
+                    [enc_alpha] * bit_length,
+                    [n - mask for mask in gamma_masks]),
+            )
+            base_bits = enc_u_bits if f_flags[index] else enc_v_bits
+            results.append(self.pk.add_batch(list(base_bits), lambdas))
+        return results
 
     # -- P2 side -------------------------------------------------------------
     def _p2_decide_alpha(self) -> tuple[list[Ciphertext], Ciphertext]:

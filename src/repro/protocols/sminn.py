@@ -68,13 +68,19 @@ class SecureMinimumOfN(TwoPartyProtocol):
     # -- topologies ------------------------------------------------------------
     def _run_tournament(self, encrypted_values: Sequence[Sequence[Ciphertext]]
                         ) -> list[Ciphertext]:
-        """The paper's bottom-up binary execution tree (Figure 1)."""
+        """The paper's bottom-up binary execution tree (Figure 1).
+
+        All pairs of a tree level are independent, so each level executes as
+        one batched SMIN round (:meth:`SecureMinimum.run_batch`): the same
+        ``n - 1`` SMIN invocations overall, grouped into ``ceil(log2 n)``
+        vectorized message exchanges instead of ``n - 1`` sequential ones.
+        """
         survivors: list[list[Ciphertext]] = [list(bits) for bits in encrypted_values]
         while len(survivors) > 1:
-            next_round: list[list[Ciphertext]] = []
             # Pair adjacent survivors; an odd one out advances unchanged.
-            for j in range(0, len(survivors) - 1, 2):
-                next_round.append(self._smin.run(survivors[j], survivors[j + 1]))
+            pairs = [(survivors[j], survivors[j + 1])
+                     for j in range(0, len(survivors) - 1, 2)]
+            next_round = self._smin.run_batch(pairs)
             if len(survivors) % 2 == 1:
                 next_round.append(survivors[-1])
             survivors = next_round

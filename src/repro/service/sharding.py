@@ -17,9 +17,12 @@ C1 into shards does not change the protocol's leakage profile.  The single C2
 :class:`ShardedCloud` keeps the shards inside one process and executes their
 record scans on a shared :class:`~repro.core.parallel.PersistentWorkerPool`
 (created once, reused across queries).  Batches of queries share a single
-scan pass: each worker task carries one record and *all* queries of the
-batch, so record serialization and key-object reconstruction are amortized
-(see :func:`~repro.core.parallel.ssed_record_batch_worker`).
+scan pass: each worker task carries one contiguous *chunk* of a shard's
+records and *all* queries of the batch, and the whole chunk runs through one
+vectorized crypto-kernel call — record serialization, key-object
+reconstruction, obfuscator precomputation and batched CRT decryption are all
+amortized across the chunk (see
+:func:`~repro.core.parallel.ssed_chunk_worker`).
 """
 
 from __future__ import annotations
@@ -31,9 +34,10 @@ from typing import Sequence
 
 from repro.core.cloud import FederatedCloud
 from repro.core.parallel import (
-    BatchWorkerTask,
+    ChunkWorkerTask,
     PersistentWorkerPool,
-    ssed_record_batch_worker,
+    chunk_records,
+    ssed_chunk_worker,
 )
 from repro.core.roles import ResultShares
 from repro.core.sknn_base import RunStatsRecorder, SkNNRunReport
@@ -184,25 +188,38 @@ class ShardedCloud:
     # -- scatter-gather query plan ------------------------------------------
     def _build_batch_tasks(
         self, encrypted_queries: Sequence[Sequence[Ciphertext]]
-    ) -> list[BatchWorkerTask]:
-        """One task per record, each carrying every query of the batch."""
+    ) -> list[ChunkWorkerTask]:
+        """One task per record chunk, each carrying every query of the batch.
+
+        Chunks never cross shard boundaries (each shard is an independent
+        C1-role server), and every task ships its whole record slice through
+        one vectorized kernel call — see
+        :func:`~repro.core.parallel.ssed_chunk_worker`.
+        """
+        from repro.crypto.backend import get_backend
+
         c1 = self.cloud.c1
         private_key = self.cloud.c2.private_key
         n = c1.public_key.n
+        backend_name = get_backend().name
         query_values = [[cipher.value for cipher in query]
                         for query in encrypted_queries]
-        tasks: list[BatchWorkerTask] = []
+        workers_per_shard = max(1, self.pool.workers // len(self.shards))
+        tasks: list[ChunkWorkerTask] = []
         for shard in self.shards:
-            for offset, record in enumerate(shard.records):
+            for start, stop in chunk_records(len(shard.records),
+                                             workers_per_shard):
                 seed = c1.rng.getrandbits(63)
                 tasks.append((
-                    shard.start + offset,
-                    [cipher.value for cipher in record.ciphertexts],
+                    shard.start + start,
+                    [[cipher.value for cipher in record.ciphertexts]
+                     for record in shard.records[start:stop]],
                     query_values,
                     n,
                     private_key.p,
                     private_key.q,
                     seed,
+                    backend_name,
                 ))
         return tasks
 
@@ -215,12 +232,13 @@ class ShardedCloud:
         squared distances SkNN_b reveals to the C2 role.
         """
         tasks = self._build_batch_tasks(encrypted_queries)
-        results = self.pool.map(ssed_record_batch_worker, tasks)
-        n_records = len(tasks)
+        results = self.pool.map(ssed_chunk_worker, tasks)
+        n_records = len(self.cloud.c1.encrypted_table)
         distances = [[0] * n_records for _ in encrypted_queries]
-        for global_index, per_query in results:
-            for query_index, distance in enumerate(per_query):
-                distances[query_index][global_index] = distance
+        for start_index, chunk_distances in results:
+            for offset, per_query in enumerate(chunk_distances):
+                for query_index, distance in enumerate(per_query):
+                    distances[query_index][start_index + offset] = distance
         return distances
 
     def shard_top_k(self, distances: Sequence[int], k: int) -> list[list[ShardCandidate]]:

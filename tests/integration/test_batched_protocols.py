@@ -1,0 +1,176 @@
+"""Equivalence of the batched protocol rounds with the scalar reference paths.
+
+The vectorized kernel refactor (batched SM/SSED/SBD/SMIN rounds, chunked
+worker scans) must be a pure performance change: every batched execution has
+to produce the same functional outputs as the per-item scalar protocols, and
+the full query protocols built on top of it must keep matching the plaintext
+kNN oracle end-to-end.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.core.cloud import FederatedCloud
+from repro.core.parallel import (
+    chunk_records,
+    ssed_chunk_worker,
+    ssed_record_worker,
+)
+from repro.core.roles import DataOwner, QueryClient
+from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_secure import SkNNSecure
+from repro.db.datasets import synthetic_uniform
+from repro.db.knn import LinearScanKNN
+from repro.protocols.encoding import bits_to_int, encrypt_bits
+from repro.protocols.sbd import SecureBitDecomposition
+from repro.protocols.smin import SecureMinimum
+from repro.protocols.sm import SecureMultiplication
+from repro.protocols.ssed import SecureSquaredEuclideanDistance
+
+
+class TestBatchedSubProtocols:
+    def test_sm_batch_matches_scalar_outputs(self, setting):
+        protocol = SecureMultiplication(setting)
+        public = setting.public_key
+        operands = [(3, 4), (-7, 2), (0, 99), (250, 250), (-5, -6)]
+        pairs = [(public.encrypt(a), public.encrypt(b)) for a, b in operands]
+        batch = protocol.run_batch(pairs)
+        scalar = [protocol.run(a, b) for a, b in pairs]
+        decrypt = setting.decryptor.decrypt_signed
+        assert [decrypt(c) for c in batch] == [decrypt(c) for c in scalar]
+        assert [decrypt(c) for c in batch] == [a * b for a, b in operands]
+
+    def test_sm_batch_empty_input(self, setting):
+        assert SecureMultiplication(setting).run_batch([]) == []
+
+    def test_ssed_run_many_matches_scalar_runs(self, setting):
+        protocol = SecureSquaredEuclideanDistance(setting)
+        public = setting.public_key
+        query = [1, 5, 2]
+        records = [[4, 5, 6], [1, 5, 2], [0, 0, 0], [7, 1, 3]]
+        enc_query = public.encrypt_vector(query)
+        enc_records = [public.encrypt_vector(r) for r in records]
+        batch = protocol.run_many(enc_query, enc_records)
+        scalar = [protocol.run(enc_query, enc_record)
+                  for enc_record in enc_records]
+        decrypt = setting.decryptor.decrypt_signed
+        assert [decrypt(c) for c in batch] == [decrypt(c) for c in scalar]
+        expected = [sum((a - b) ** 2 for a, b in zip(query, record))
+                    for record in records]
+        assert [decrypt(c) for c in batch] == expected
+
+    def test_ssed_run_many_truncates_label_columns(self, setting):
+        protocol = SecureSquaredEuclideanDistance(setting)
+        public = setting.public_key
+        enc_query = public.encrypt_vector([1, 2])
+        enc_record = public.encrypt_vector([3, 4, 999])  # trailing label
+        [total] = protocol.run_many(enc_query, [enc_record])
+        assert setting.decryptor.decrypt_signed(total) == (1-3)**2 + (2-4)**2
+
+    def test_sbd_batch_matches_scalar_runs(self, setting):
+        protocol = SecureBitDecomposition(setting, bit_length=7)
+        public = setting.public_key
+        values = [0, 1, 63, 64, 127, 90]
+        batch = protocol.run_batch([public.encrypt(v) for v in values])
+        decrypt = setting.decryptor.decrypt_signed
+        for value, enc_bits in zip(values, batch):
+            bits = [decrypt(b) for b in enc_bits]
+            assert bits_to_int(bits) == value
+
+    def test_smin_batch_matches_scalar_runs(self, setting):
+        protocol = SecureMinimum(setting)
+        public = setting.public_key
+        cases = [(5, 9), (9, 5), (7, 7), (0, 31), (16, 15), (31, 0)]
+        pairs = [(encrypt_bits(public, u, 5), encrypt_bits(public, v, 5))
+                 for u, v in cases]
+        batch = protocol.run_batch(pairs)
+        decrypt = setting.decryptor.decrypt_signed
+        for (u, v), enc_bits in zip(cases, batch):
+            assert bits_to_int([decrypt(b) for b in enc_bits]) == min(u, v)
+
+    def test_smin_batch_rejects_mixed_lengths(self, setting):
+        protocol = SecureMinimum(setting)
+        public = setting.public_key
+        from repro.exceptions import ProtocolError
+        with pytest.raises(ProtocolError):
+            protocol.run_batch([
+                (encrypt_bits(public, 1, 4), encrypt_bits(public, 2, 5)),
+            ])
+
+
+class TestChunkedWorkers:
+    def test_chunk_worker_matches_record_worker(self, small_keypair):
+        """The vectorized chunk kernel returns the same plaintext distances
+        as the per-record scalar worker on identical inputs."""
+        public = small_keypair.public_key
+        private = small_keypair.private_key
+        rng = Random(31)
+        records = [[rng.randrange(0, 40) for _ in range(3)] for _ in range(5)]
+        queries = [[rng.randrange(0, 40) for _ in range(3)] for _ in range(2)]
+        enc_records = [[c.value for c in public.encrypt_vector(r, rng=rng)]
+                       for r in records]
+        enc_queries = [[c.value for c in public.encrypt_vector(q, rng=rng)]
+                       for q in queries]
+        n, p, q = public.n, private.p, private.q
+
+        from repro.crypto.backend import get_backend
+        start, chunk = ssed_chunk_worker(
+            (0, enc_records, enc_queries, n, p, q, 77, get_backend().name))
+        assert start == 0
+        for record_index, record in enumerate(records):
+            for query_index, query in enumerate(queries):
+                expected = sum((a - b) ** 2 for a, b in zip(record, query))
+                assert chunk[record_index][query_index] == expected
+                # scalar reference worker agrees
+                _, scalar_distance = ssed_record_worker(
+                    (record_index, enc_records[record_index],
+                     enc_queries[query_index], n, p, q, 78))
+                assert scalar_distance == expected
+
+    def test_chunk_records_partitioning(self):
+        assert chunk_records(0, 4) == []
+        chunks = chunk_records(10, 2, tasks_per_worker=2)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 10
+        rebuilt = [i for start, stop in chunks for i in range(start, stop)]
+        assert rebuilt == list(range(10))
+        assert chunk_records(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestEndToEndOracleEquivalence:
+    @pytest.fixture()
+    def workload(self, medium_keypair):
+        table = synthetic_uniform(n_records=12, dimensions=3,
+                                  distance_bits=9, seed=321)
+        owner = DataOwner(table, keypair=medium_keypair, rng=Random(322))
+        cloud = FederatedCloud.deploy(medium_keypair, rng=Random(323))
+        cloud.c1.host_database(owner.encrypt_database())
+        client = QueryClient(medium_keypair.public_key, 3, rng=Random(324))
+        return table, cloud, client
+
+    def test_batched_sknn_basic_matches_oracle(self, workload):
+        table, cloud, client = workload
+        oracle = LinearScanKNN(table)
+        protocol = SkNNBasic(cloud)
+        for seed in range(3):
+            query = [Random(seed).randrange(0, 16) for _ in range(3)]
+            shares = protocol.run(client.encrypt_query(query), 4)
+            neighbors = client.reconstruct(shares)
+            expected = [r.record.values for r in oracle.query(query, 4)]
+            assert [tuple(v) for v in expected] == neighbors
+
+    def test_batched_sknn_secure_matches_oracle(self, workload):
+        table, cloud, client = workload
+        oracle = LinearScanKNN(table)
+        protocol = SkNNSecure(cloud, distance_bits=9)
+        query = [3, 7, 1]
+        shares = protocol.run(client.encrypt_query(query), 3)
+        neighbors = client.reconstruct(shares)
+        expected_distances = sorted(
+            r.squared_distance for r in oracle.query(query, 3))
+        from repro.db.knn import squared_euclidean
+        got_distances = sorted(squared_euclidean(record, query)
+                               for record in neighbors)
+        assert got_distances == expected_distances

@@ -21,6 +21,7 @@ from repro.analysis.cost_model import (
     smin_counts,
     sm_counts,
     ssed_counts,
+    ssed_scan_counts,
 )
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import DataOwner, QueryClient
@@ -62,6 +63,23 @@ class TestSubProtocolCounts:
                                         expected.decryptions,
                                         expected.exponentiations)
 
+    @pytest.mark.parametrize("dimensions,records", [(1, 4), (3, 5)])
+    def test_ssed_scan_exact(self, setting, dimensions, records):
+        """The batched scan must match its own model exactly (Section 4.4)."""
+        protocol = SecureSquaredEuclideanDistance(setting)
+        pk = setting.public_key
+        query = pk.encrypt_vector(list(range(dimensions)))
+        table = [pk.encrypt_vector([i + j for j in range(dimensions)])
+                 for i in range(records)]
+        pk.counter.reset()
+        setting.decryptor.private_key.counter.reset()
+        protocol.run_many(query, table)
+        expected = ssed_scan_counts(records, dimensions)
+        assert pk.counter.encryptions == expected.encryptions
+        assert setting.decryptor.private_key.counter.decryptions == \
+            expected.decryptions
+        assert pk.counter.exponentiations == expected.exponentiations
+
     @pytest.mark.parametrize("bit_length", [4, 8])
     def test_sbd_within_tolerance(self, setting, bit_length):
         """SBD's cost depends on random mask parities: expected +- l/2."""
@@ -102,7 +120,9 @@ class TestQueryProtocolCounts:
         protocol = SkNNBasic(cloud)
         protocol.run_with_report(client.encrypt_query([1, 2, 3]), 2)
         stats = protocol.last_report.stats
-        expected = sknn_basic_counts(10, 3, 2)
+        # The implementation runs the vectorized distance scan (query
+        # negation hoisted across records), modeled by batched=True.
+        expected = sknn_basic_counts(10, 3, 2, batched=True)
         assert stats.total_encryptions == expected.encryptions
         assert stats.total_decryptions == expected.decryptions
         assert stats.total_exponentiations == expected.exponentiations
