@@ -37,11 +37,16 @@ from repro.core import (
     SkNNSecure,
     SkNNSystem,
 )
-from repro.crypto import RandomnessPool, generate_keypair
+from repro.crypto import (
+    PrecomputeConfig,
+    PrecomputeEngine,
+    RandomnessPool,
+    generate_keypair,
+)
 from repro.db import Schema, Table
 from repro.service import QueryServer, ShardedCloud
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -55,6 +60,8 @@ __all__ = [
     "FederatedCloud",
     "QueryServer",
     "ShardedCloud",
+    "PrecomputeConfig",
+    "PrecomputeEngine",
     "RandomnessPool",
     "generate_keypair",
     "Schema",

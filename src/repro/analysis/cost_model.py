@@ -28,14 +28,17 @@ from repro.exceptions import ConfigurationError
 
 __all__ = [
     "OperationCounts",
+    "OfflineOnlineCounts",
     "sm_counts",
     "ssed_counts",
     "ssed_scan_counts",
+    "ssed_scan_split_counts",
     "sbd_counts",
     "smin_counts",
     "sminn_counts",
     "sbor_counts",
     "sknn_basic_counts",
+    "sknn_basic_split_counts",
     "sknn_secure_counts",
     "sknn_secure_breakdown",
 ]
@@ -80,6 +83,33 @@ class OperationCounts:
         }
 
 
+@dataclass(frozen=True)
+class OfflineOnlineCounts:
+    """Operation counts split by when a precomputing deployment pays them.
+
+    ``offline`` holds the work a :class:`~repro.crypto.precompute.
+    PrecomputeEngine` moves off the query critical path — each offline
+    *encryption* is one ``r^N mod N^2`` obfuscator exponentiation performed
+    during a pool refill.  ``online`` holds the residual query-time work:
+    decryptions and the exponentiations whose base is query-dependent (and
+    therefore cannot be precomputed).  Hot-path modular multiplications are
+    not counted, matching the paper's Section 4.4 accounting.
+    """
+
+    offline: OperationCounts
+    online: OperationCounts
+
+    @property
+    def total(self) -> float:
+        """Total primitive operations across both phases."""
+        return self.offline.total + self.online.total
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Plain-dictionary view used by the reporting helpers."""
+        return {"offline": self.offline.as_dict(),
+                "online": self.online.as_dict()}
+
+
 # ---------------------------------------------------------------------------
 # Sub-protocol formulas (Section 3)
 # ---------------------------------------------------------------------------
@@ -100,7 +130,8 @@ def ssed_counts(dimensions: int) -> OperationCounts:
     return per_attribute * dimensions
 
 
-def ssed_scan_counts(n_records: int, dimensions: int) -> OperationCounts:
+def ssed_scan_counts(n_records: int, dimensions: int,
+                     precomputed: bool = False) -> OperationCounts:
     """The batched SSED distance scan: one query against ``n`` records.
 
     The vectorized kernel (:meth:`~repro.protocols.ssed.
@@ -109,11 +140,40 @@ def ssed_scan_counts(n_records: int, dimensions: int) -> OperationCounts:
     costs ``m`` exponentiations plus ``n`` SSED bodies of 2 exponentiations
     each — ``2*n*m + m`` total instead of the textbook ``3*n*m``.
     Encryption and decryption counts are unchanged.
+
+    With ``precomputed=True`` the scan runs the squaring specialization
+    (:meth:`~repro.protocols.sm.SecureMultiplication.run_square_batch`)
+    that a precomputation engine enables: one engine mask tuple and one
+    pooled re-encryption per attribute (2 encryptions, both payable
+    offline), one decryption of the masked difference and one unmasking
+    exponentiation — ``2*n*m`` encryptions, ``n*m`` decryptions and
+    ``n*m + m`` exponentiations.
     """
     _require_positive(n_records, "n_records")
     _require_positive(dimensions, "dimensions")
+    if precomputed:
+        per_attribute = OperationCounts(encryptions=2, decryptions=1,
+                                        exponentiations=1)
+        return (per_attribute * (n_records * dimensions)
+                + OperationCounts(exponentiations=dimensions))
     squarings = sm_counts() * (n_records * dimensions)
     return squarings + OperationCounts(exponentiations=dimensions)
+
+
+def ssed_scan_split_counts(n_records: int,
+                           dimensions: int) -> OfflineOnlineCounts:
+    """Offline/online split of the precomputed SSED distance scan.
+
+    All ``2*n*m`` encryptions of the squaring pipeline are obfuscator
+    exponentiations payable during pool refills; the decryptions and the
+    unmasking/negation exponentiations remain query-time work.
+    """
+    counts = ssed_scan_counts(n_records, dimensions, precomputed=True)
+    return OfflineOnlineCounts(
+        offline=OperationCounts(encryptions=counts.encryptions),
+        online=OperationCounts(decryptions=counts.decryptions,
+                               exponentiations=counts.exponentiations),
+    )
 
 
 def sbd_counts(bit_length: int) -> OperationCounts:
@@ -164,7 +224,8 @@ def sbor_counts() -> OperationCounts:
 # ---------------------------------------------------------------------------
 
 def sknn_basic_counts(n_records: int, dimensions: int, k: int,
-                      batched: bool = False) -> OperationCounts:
+                      batched: bool = False,
+                      precomputed: bool = False) -> OperationCounts:
     """SkNN_b (Algorithm 5): ``O(n * m + k)`` operations.
 
     The distance phase dominates: one SSED per record.  C2 additionally
@@ -179,11 +240,16 @@ def sknn_basic_counts(n_records: int, dimensions: int, k: int,
             (used by the paper-scale projections); ``True`` models this
             repository's vectorized implementation, whose distance scan
             hoists the shared query negation (:func:`ssed_scan_counts`).
+        precomputed: model the warm-pool pipeline (squaring-specialized
+            scan, engine mask tuples); implies the batched scan shape.
     """
     _require_positive(n_records, "n_records")
     _require_positive(dimensions, "dimensions")
     _require_positive(k, "k")
-    if batched:
+    if precomputed:
+        distance_phase = ssed_scan_counts(n_records, dimensions,
+                                          precomputed=True)
+    elif batched:
         distance_phase = ssed_scan_counts(n_records, dimensions)
     else:
         distance_phase = ssed_counts(dimensions) * n_records
@@ -191,6 +257,25 @@ def sknn_basic_counts(n_records: int, dimensions: int, k: int,
     delivery_phase = OperationCounts(encryptions=k * dimensions,
                                      decryptions=k * dimensions)
     return distance_phase + selection_phase + delivery_phase
+
+
+def sknn_basic_split_counts(n_records: int, dimensions: int,
+                            k: int) -> OfflineOnlineCounts:
+    """Offline/online split of a warm-pool SkNN_b query.
+
+    Offline (pool refills): every encryption of the precomputed pipeline —
+    ``n*m`` scan mask tuples, ``n*m`` square re-encryptions and ``k*m``
+    delivery mask tuples, one obfuscator exponentiation each.  Online: the
+    ``n*m`` masked-difference and ``n + k*m`` distance/delivery decryptions,
+    plus the ``n*m`` unmasking and ``m`` query-negation exponentiations.
+    The sum equals ``sknn_basic_counts(..., precomputed=True)``.
+    """
+    counts = sknn_basic_counts(n_records, dimensions, k, precomputed=True)
+    return OfflineOnlineCounts(
+        offline=OperationCounts(encryptions=counts.encryptions),
+        online=OperationCounts(decryptions=counts.decryptions,
+                               exponentiations=counts.exponentiations),
+    )
 
 
 def sknn_secure_breakdown(n_records: int, dimensions: int, k: int,

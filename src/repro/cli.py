@@ -55,6 +55,9 @@ EXPERIMENT_INVENTORY: tuple[dict[str, str], ...] = (
     {"figure": "beyond-paper", "description": "sharded serving throughput "
      "(shards x workers x batch x randomness pool)",
      "bench": "benchmarks/bench_service_throughput.py"},
+    {"figure": "beyond-paper", "description": "offline/online split: warm "
+     "precompute pools vs inline SkNN_b latency",
+     "bench": "benchmarks/bench_online_latency.py"},
 )
 
 
@@ -90,6 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Paillier key size in bits")
     query.add_argument("--mode", choices=["basic", "secure", "parallel", "sharded"],
                        default="basic", help="protocol to run")
+    query.add_argument("--precompute", type=int, default=0,
+                       help="warm a precomputation engine sized for this many "
+                            "queries before answering (0 disables); moves the "
+                            "obfuscator/mask exponentiations off the online "
+                            "path")
     query.add_argument("--seed", type=int, default=0, help="workload seed")
 
     calibrate = subparsers.add_parser(
@@ -133,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="total queries across all sessions")
     serve.add_argument("--pool-size", type=int, default=64,
                        help="precomputed randomness pool size (0 disables)")
+    serve.add_argument("--precompute", type=int, default=0,
+                       help="size the sharded store's precomputation engine "
+                            "for this many queries (0 disables); the server "
+                            "refills it in idle scheduler slots")
+    serve.add_argument("--precompute-producer", action="store_true",
+                       help="also run the engine's background producer thread")
     serve.add_argument("--seed", type=int, default=0, help="workload seed")
 
     subparsers.add_parser(
@@ -170,10 +184,21 @@ def _run_query(args: argparse.Namespace) -> int:
     rng = Random(args.seed + 1)
     query = [rng.randint(0, max(a.maximum for a in table.schema))
              for _ in range(args.m)]
-    print(f"{table.describe()}; query={query}, k={args.k}, mode={args.mode}")
+    print(f"{table.describe()}; query={query}, k={args.k}, mode={args.mode}"
+          + (f", precompute={args.precompute}" if args.precompute else ""))
     with SkNNSystem.setup(table, key_size=args.key_size, mode=args.mode,
-                          rng=Random(args.seed + 2)) as system:
+                          k_default=args.k, rng=Random(args.seed + 2),
+                          precompute=args.precompute) as system:
         answer = system.query_with_report(query, args.k)
+        engines = [engine for engine in (system.precompute_engine,
+                                         system.decryptor_precompute_engine)
+                   if engine is not None]
+        if engines:
+            offline = sum(e.offline.encryptions for e in engines)
+            pooled = sum(e.pool_hit_total() for e in engines)
+            print(f"precompute: {offline} offline exponentiations across "
+                  f"{len(engines)} per-cloud engines, "
+                  f"{pooled} pooled items consumed")
     for rank, record in enumerate(answer.neighbors, start=1):
         print(f"  neighbor {rank}: {record}")
     expected_distances = sorted(
@@ -257,7 +282,9 @@ def _run_serve(args: argparse.Namespace) -> int:
                               rng=Random(args.seed + 2))
     server = system.serve(batch_size=args.batch_size,
                           randomness_pool_size=args.pool_size,
-                          session_pool_size=min(args.pool_size, 4 * args.m))
+                          session_pool_size=min(args.pool_size, 4 * args.m),
+                          precompute=args.precompute,
+                          precompute_producer=args.precompute_producer)
 
     answers: dict[int, object] = {}
 

@@ -17,6 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import used for annotations only
+    from repro.crypto.precompute import PrecomputeEngine
 
 from repro.crypto.paillier import PaillierKeyPair, PaillierPrivateKey, PaillierPublicKey
 from repro.db.encrypted_table import EncryptedTable
@@ -93,6 +97,24 @@ class FederatedCloud:
         """View of the federated cloud as a two-party protocol setting."""
         return TwoPartySetting(evaluator=self.c1, decryptor=self.c2,
                                channel=self.channel)
+
+    @property
+    def engine(self) -> "PrecomputeEngine | None":
+        """C1's precomputation engine (or ``None``)."""
+        return self.c1.engine
+
+    def attach_engine(self, engine: "PrecomputeEngine | None",
+                      decryptor_engine: "PrecomputeEngine | None" = None
+                      ) -> None:
+        """Attach per-cloud :class:`~repro.crypto.precompute.PrecomputeEngine`s.
+
+        ``engine`` serves C1's masks/constants, ``decryptor_engine`` C2's
+        re-encryptions and 0/1 constants — one engine per cloud, each filled
+        with its own randomness, mirroring the non-colluding model.
+        Protocols constructed over this cloud (before or after the call —
+        resolution is dynamic) pick them up automatically.
+        """
+        self.setting.attach_engine(engine, decryptor_engine)
 
     def reset_counters(self) -> None:
         """Reset crypto-operation counters and channel accounting."""

@@ -63,14 +63,20 @@ WorkerTask = tuple[int, list[int], list[int], int, int, int, int]
 
 #: Chunked worker task: (chunk start index, several records' ciphertext ints,
 #: several queries' ciphertext ints, modulus N, prime p, prime q, RNG seed,
-#: bigint backend name).  One task ships a whole contiguous slice of the
-#: table through the vectorized crypto kernel — key reconstruction,
-#: obfuscator-table reuse and batched CRT decryption are amortized over
-#: every (record, query) pair of the chunk.  The backend name travels with
-#: the task because spawned worker processes do not inherit a
+#: bigint backend name[, pool slice]).  One task ships a whole contiguous
+#: slice of the table through the vectorized crypto kernel — key
+#: reconstruction, obfuscator-table reuse and batched CRT decryption are
+#: amortized over every (record, query) pair of the chunk.  The backend name
+#: travels with the task because spawned worker processes do not inherit a
 #: programmatically selected backend (e.g. the CLI's ``--crypto-backend``).
+#: The optional ninth element is a *pool slice*: single-use precomputed
+#: ``r^N`` obfuscation factors drained from the driver's per-shard
+#: precomputation pools, so the worker's mask/square encryptions are hot-path
+#: multiplications while its per-process key cache stays warm.  Eight-element
+#: tasks (no slice) remain valid.
 ChunkWorkerTask = tuple[
-    int, list[list[int]], list[list[int]], int, int, int, int, str]
+    int, list[list[int]], list[list[int]], int, int, int, int, str,
+    "list[int] | None"]
 
 
 @dataclass
@@ -169,7 +175,8 @@ def _worker_keys(n: int, p: int, q: int
 def _chunk_squared_distances(public_key: PaillierPublicKey,
                              private_key: PaillierPrivateKey, rng: Random,
                              records: list[list[int]],
-                             queries: list[list[int]]) -> list[list[int]]:
+                             queries: list[list[int]],
+                             pool=None) -> list[list[int]]:
     """Squared distances of every (record, query) pair, vectorized.
 
     Performs the same per-attribute protocol sequence as
@@ -209,16 +216,17 @@ def _chunk_squared_distances(public_key: PaillierPublicKey,
             for j in range(dimensions)
         ]
 
-        # Additive masking with fresh randomness, windowed obfuscators.
+        # Additive masking with fresh randomness; obfuscators come from the
+        # shipped pool slice while it lasts, then the windowed comb.
         masks = [rng.randrange(n) for _ in diffs]
-        enc_masks = public_key.encrypt_batch(masks, rng=rng)
+        enc_masks = public_key.encrypt_batch(masks, rng=rng, pool=pool)
         masked = [mulmod(diff, enc_mask.value, nsquare)
                   for diff, enc_mask in zip(diffs, enc_masks)]
 
         # Decrypt the masked differences, square in the clear, re-encrypt.
         masked_plain = private_key._raw_decrypt_batch(masked)
         enc_squares = public_key.encrypt_batch(
-            [(h * h) % n for h in masked_plain], rng=rng)
+            [(h * h) % n for h in masked_plain], rng=rng, pool=pool)
 
         # Unmask: E((d+r)^2) * E(d)^(N-2r) * E(-r^2) and accumulate per record.
         totals: list[Ciphertext] = []
@@ -256,14 +264,19 @@ def ssed_chunk_worker(task: ChunkWorkerTask) -> tuple[int, list[list[int]]]:
         ``(chunk_start_index, distances[record][query])``.
     """
     from repro.crypto.backend import get_backend, set_backend
+    from repro.crypto.randomness_pool import RandomnessPool
 
-    start_index, record_rows, queries, n, p, q, seed, backend_name = task
+    start_index, record_rows, queries, n, p, q, seed, backend_name = task[:8]
+    pool_slice = task[8] if len(task) > 8 else None
     if get_backend().name != backend_name:
         set_backend(backend_name)
     public_key, private_key = _worker_keys(n, p, q)
+    pool = (RandomnessPool.from_factors(public_key, list(pool_slice))
+            if pool_slice else None)
     rng = Random(seed)
     return start_index, _chunk_squared_distances(public_key, private_key, rng,
-                                                 record_rows, queries)
+                                                 record_rows, queries,
+                                                 pool=pool)
 
 
 def chunk_records(count: int, workers: int,
@@ -356,7 +369,8 @@ class ParallelSkNNBasic(SkNNProtocol):
 
     def __init__(self, cloud: FederatedCloud, workers: int = 6,
                  backend: Backend = "process",
-                 pool: PersistentWorkerPool | None = None) -> None:
+                 pool: PersistentWorkerPool | None = None,
+                 precompute=None) -> None:
         """Create a parallel SkNN_b runner.
 
         Args:
@@ -369,6 +383,10 @@ class ParallelSkNNBasic(SkNNProtocol):
                 (e.g. across the shards of a :class:`~repro.service.sharding.
                 ShardedCloud`); when given, ``workers``/``backend`` are taken
                 from the pool and :meth:`close` leaves it running.
+            precompute: optional :class:`~repro.crypto.precompute.
+                PrecomputeEngine`; its obfuscator pool is drained into the
+                chunk tasks (pool slices) so worker-side encryptions are
+                multiplications, and the delivery phase uses its mask tuples.
         """
         super().__init__(cloud)
         if pool is not None:
@@ -377,6 +395,9 @@ class ParallelSkNNBasic(SkNNProtocol):
         else:
             self.pool = PersistentWorkerPool(workers=workers, backend=backend)
             self._owns_pool = True
+        self.precompute = precompute
+        if precompute is not None and cloud.engine is not precompute:
+            cloud.attach_engine(precompute, cloud.c2.engine)
         self.workers = self.pool.workers
         self.backend = self.pool.backend
         self.last_parallel_report: ParallelRunReport | None = None
@@ -463,9 +484,16 @@ class ParallelSkNNBasic(SkNNProtocol):
         backend_name = get_backend().name
         query_values = [cipher.value for cipher in encrypted_query]
         records = c1.encrypted_table.records
+        dimensions = len(query_values)
         tasks: list[ChunkWorkerTask] = []
         for start, stop in chunk_records(len(records), self.workers):
             seed = c1.rng.getrandbits(63)
+            pool_slice = None
+            if self.precompute is not None:
+                # One mask and one square encryption per (record, attribute).
+                wanted = 2 * (stop - start) * dimensions
+                pool_slice = (self.precompute.obfuscators
+                              .take_available(wanted) or None)
             tasks.append((
                 start,
                 [[cipher.value for cipher in record.ciphertexts]
@@ -476,6 +504,7 @@ class ParallelSkNNBasic(SkNNProtocol):
                 private_key.q,
                 seed,
                 backend_name,
+                pool_slice,
             ))
         return tasks
 

@@ -159,10 +159,10 @@ class QueryClient:
                 f"query has {len(query)} attributes, expected {self.dimensions}"
             )
         started = time.perf_counter()
-        if self.randomness_pool is not None:
-            encrypted = [self.randomness_pool.encrypt(value) for value in query]
-        else:
-            encrypted = self.public_key.encrypt_vector(list(query), rng=self.rng)
+        # One vectorized kernel call either way; a session pool supplies
+        # precomputed r^N factors (comb fallback when it runs dry).
+        encrypted = self.public_key.encrypt_batch(
+            list(query), rng=self.rng, pool=self.randomness_pool)
         self.last_cost.encrypt_query_seconds = time.perf_counter() - started
         return encrypted
 

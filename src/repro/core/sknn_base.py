@@ -194,6 +194,11 @@ class SkNNProtocol:
             [list(record.ciphertexts[:width]) for record in self.encrypted_table],
         )
 
+    @property
+    def engine(self):
+        """The deployment's precomputation engine (dynamic, may be None)."""
+        return self.cloud.engine
+
     def _deliver_records(
         self, encrypted_records: Sequence[Sequence[Ciphertext]]
     ) -> ResultShares:
@@ -203,18 +208,30 @@ class SkNNProtocol:
         masked ciphertexts to C2; C2 decrypts them (seeing only uniformly
         random values) and would forward them to Bob; C1 sends the masks to
         Bob directly.  The returned :class:`ResultShares` carries both halves.
+
+        Mask sourcing precedence: precomputed engine mask tuples (both the
+        value and its encryption paid offline) > the legacy
+        ``mask_encryptor`` hook (pooled obfuscators) > fresh batch
+        encryption.
         """
         c1 = self.cloud.c1
         c2 = self.cloud.c2
         pk = self.public_key
+        engine = self.engine
         masks_for_bob: list[list[int]] = []
         masked_for_c2: list[list[Ciphertext]] = []
         for encrypted_record in encrypted_records:
-            record_masks = [c1.random_in_zn() for _ in encrypted_record]
-            if self.mask_encryptor is not None:
-                enc_masks = [self.mask_encryptor(mask) for mask in record_masks]
+            if engine is not None:
+                tuples = engine.take_masks(len(encrypted_record))
+                record_masks = [r for r, _ in tuples]
+                enc_masks = [c for _, c in tuples]
             else:
-                enc_masks = c1.encrypt_batch(record_masks)
+                record_masks = [c1.random_in_zn() for _ in encrypted_record]
+                if self.mask_encryptor is not None:
+                    enc_masks = [self.mask_encryptor(mask)
+                                 for mask in record_masks]
+                else:
+                    enc_masks = c1.encrypt_batch(record_masks)
             masks_for_bob.append(record_masks)
             masked_for_c2.append(
                 pk.add_batch(list(encrypted_record), enc_masks))

@@ -171,10 +171,15 @@ class SkNNSecure(SkNNProtocol):
                 "the distance domain l is likely too small for the data"
             )
         chosen = c2.rng.choice(zero_positions)
-        return c2.encrypt_batch([
-            1 if idx == chosen else 0
-            for idx in range(len(decrypted_differences))
-        ])
+        bits = [1 if idx == chosen else 0
+                for idx in range(len(decrypted_differences))]
+        engine = c2.engine
+        if engine is not None:
+            # All n indicator encryptions are of 0/1 — served straight from
+            # C2's own constant pools when it runs an engine (the indicator
+            # is C2's secret, so the pool randomness must be C2's too).
+            return engine.encrypt_constants(bits)
+        return c2.encrypt_batch(bits)
 
     def _extract_record(self, indicator: Sequence[Ciphertext]) -> list[Ciphertext]:
         """Step 3(d): ``E(t'_{s,j}) = prod_i SM(V_i, E(t_{i,j}))``.

@@ -73,7 +73,8 @@ class SkNNSystem:
                  client: QueryClient, mode: Mode = "secure",
                  distance_bits: int | None = None, workers: int = 6,
                  parallel_backend: str = "process", shards: int = 2,
-                 k_default: int | None = None) -> None:
+                 k_default: int | None = None,
+                 precompute: int = 0) -> None:
         self.owner = owner
         self.cloud = cloud
         self.client = client
@@ -86,6 +87,8 @@ class SkNNSystem:
             distance_bits if distance_bits is not None
             else owner.distance_bit_length()
         )
+        if precompute > 0:
+            self._attach_precompute(precompute)
         self._protocol = self._build_protocol()
 
     # -- construction ------------------------------------------------------------
@@ -94,7 +97,8 @@ class SkNNSystem:
               k_default: int | None = None, rng: Random | None = None,
               distance_bits: int | None = None, workers: int = 6,
               parallel_backend: str = "process", shards: int = 2,
-              latency_model: LatencyModel | None = None) -> "SkNNSystem":
+              latency_model: LatencyModel | None = None,
+              precompute: int = 0) -> "SkNNSystem":
         """Stand up the whole system from a plaintext table.
 
         Args:
@@ -113,6 +117,10 @@ class SkNNSystem:
             parallel_backend: ``"process"``, ``"thread"`` or ``"serial"``.
             shards: partition count for the sharded mode.
             latency_model: optional simulated network latency between clouds.
+            precompute: when positive, attach a warmed
+                :class:`~repro.crypto.precompute.PrecomputeEngine` sized to
+                cover roughly this many queries, so the online path consumes
+                pooled obfuscators, constants and mask tuples.
         """
         owner = DataOwner(table, key_size=key_size, rng=rng)
         cloud = FederatedCloud.deploy(owner.keypair, rng=rng,
@@ -121,7 +129,56 @@ class SkNNSystem:
         client = QueryClient(owner.public_key, table.dimensions, rng=rng)
         return cls(owner, cloud, client, mode=mode, distance_bits=distance_bits,
                    workers=workers, parallel_backend=parallel_backend,
-                   shards=shards, k_default=k_default)
+                   shards=shards, k_default=k_default, precompute=precompute)
+
+    def _attach_precompute(self, queries: int) -> None:
+        """Build, warm and attach per-cloud precomputation engines.
+
+        C1 and C2 each get their own engine (filled with their own
+        randomness, as the non-colluding model requires): C1's covers mask
+        tuples and P1 constants, C2's the obfuscators of its re-encryptions
+        and the 0/1 constant pools.
+        """
+        # Local import: keeps module import cost low for engine-less users.
+        from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
+
+        table = self.owner.table
+        load = dict(n_records=len(table), dimensions=table.dimensions,
+                    k=self.k_default or 1, queries=queries,
+                    sbd_bit_length=(self.distance_bits
+                                    if self.mode == "secure" else None))
+
+        def engine_rng() -> Random | None:
+            if self.owner.rng is None:
+                return None
+            return Random(self.owner.rng.getrandbits(63))
+
+        config = PrecomputeConfig.for_query_load(
+            worker_scan=self.mode in ("parallel", "sharded"), **load)
+        if self.mode == "sharded":
+            # The sharded store's per-shard pools provide the worker slices
+            # themselves; the engine only needs fallback obfuscators.
+            from dataclasses import replace
+            config = replace(config,
+                             obfuscators=2 * table.dimensions * queries + 16)
+        c1_engine = PrecomputeEngine(
+            self.owner.public_key, rng=engine_rng(), config=config)
+        c2_engine = PrecomputeEngine(
+            self.owner.public_key, rng=engine_rng(),
+            config=PrecomputeConfig.for_decryptor_load(**load))
+        c1_engine.warm()
+        c2_engine.warm()
+        self.cloud.attach_engine(c1_engine, c2_engine)
+
+    @property
+    def precompute_engine(self):
+        """C1's attached precomputation engine, when one exists."""
+        return self.cloud.engine
+
+    @property
+    def decryptor_precompute_engine(self):
+        """C2's attached precomputation engine, when one exists."""
+        return self.cloud.c2.engine
 
     def _build_protocol(self):
         """Instantiate the protocol object matching the configured mode."""
@@ -131,13 +188,15 @@ class SkNNSystem:
             return SkNNSecure(self.cloud, distance_bits=self.distance_bits)
         if self.mode == "parallel":
             return ParallelSkNNBasic(self.cloud, workers=self.workers,
-                                     backend=self.parallel_backend)
+                                     backend=self.parallel_backend,
+                                     precompute=self.cloud.engine)
         if self.mode == "sharded":
             # Local import: repro.service sits on top of repro.core.
             from repro.service.sharding import ShardedCloud
             return ShardedCloud(self.cloud, shards=self.shards,
                                 workers=self.workers,
-                                backend=self.parallel_backend)
+                                backend=self.parallel_backend,
+                                precompute=self.cloud.engine)
         raise ConfigurationError(f"unknown mode {self.mode!r}")
 
     # -- queries ------------------------------------------------------------------
@@ -186,7 +245,9 @@ class SkNNSystem:
     def serve(self, shards: int | None = None, workers: int | None = None,
               backend: str | None = None, batch_size: int = 4,
               randomness_pool_size: int = 0,
-              session_pool_size: int = 0) -> "QueryServer":
+              session_pool_size: int = 0,
+              precompute: int = 0,
+              precompute_producer: bool = False) -> "QueryServer":
         """Stand up a multi-session :class:`~repro.service.scheduler.QueryServer`.
 
         The server answers queries through a sharded scatter-gather plan over
@@ -207,16 +268,46 @@ class SkNNSystem:
                 obfuscation factors for the delivery phase.
             session_pool_size: when positive, every session precomputes this
                 many factors for its query encryptions.
+            precompute: when positive, the sharded store owns a warmed
+                :class:`~repro.crypto.precompute.PrecomputeEngine` sized to
+                cover roughly this many queries; the server refills it (and
+                the per-shard worker pools) in idle scheduler slots.
+            precompute_producer: additionally start the engine's background
+                producer thread, so pools refill even while batches execute.
         """
         # Local import: repro.service sits on top of repro.core.
+        from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
         from repro.crypto.randomness_pool import RandomnessPool
         from repro.service.scheduler import QueryServer
         from repro.service.sharding import ShardedCloud
 
         server_rng = (Random(self.owner.rng.getrandbits(63))
                       if self.owner.rng is not None else None)
+        engine = None
+        if precompute > 0:
+            # Reuse an engine already attached at setup time (its warmed
+            # pools are paid for) instead of replacing it with a cold one.
+            engine = self.cloud.engine
+            if engine is None:
+                from dataclasses import replace
+
+                table = self.owner.table
+                config = PrecomputeConfig.for_query_load(
+                    n_records=len(table), dimensions=table.dimensions,
+                    k=self.k_default or 1, queries=precompute,
+                    worker_scan=True)
+                # The sharded store's per-shard pools provide the worker
+                # slices; the engine itself only needs fallback obfuscators.
+                config = replace(
+                    config,
+                    obfuscators=2 * table.dimensions * precompute + 16)
+                engine = PrecomputeEngine(self.owner.public_key,
+                                          rng=server_rng, config=config)
+                engine.warm()
         randomness_pool = None
-        if randomness_pool_size > 0:
+        if randomness_pool_size > 0 and engine is None:
+            # The legacy delivery-mask pool; superseded (and its only
+            # consumer skipped) when a precompute engine is present.
             randomness_pool = RandomnessPool(self.owner.public_key,
                                              size=randomness_pool_size,
                                              rng=server_rng)
@@ -226,7 +317,10 @@ class SkNNSystem:
             workers=workers if workers is not None else self.workers,
             backend=backend if backend is not None else self.parallel_backend,
             randomness_pool=randomness_pool,
+            precompute=engine,
         )
+        if engine is not None and precompute_producer:
+            engine.start_producer()
         return QueryServer(sharded, batch_size=batch_size, rng=server_rng,
                            session_pool_size=session_pool_size)
 

@@ -26,6 +26,13 @@ from repro.crypto.paillier import (
     PaillierPublicKey,
     generate_keypair,
 )
+from repro.crypto.precompute import (
+    MASK_NONZERO,
+    MASK_SBD,
+    MASK_ZN,
+    PrecomputeConfig,
+    PrecomputeEngine,
+)
 from repro.crypto.randomness_pool import RandomnessPool
 
 __all__ = [
@@ -35,10 +42,15 @@ __all__ = [
     "Ciphertext",
     "FixedBaseExp",
     "Gmpy2Backend",
+    "MASK_NONZERO",
+    "MASK_SBD",
+    "MASK_ZN",
     "OperationCounter",
     "PaillierKeyPair",
     "PaillierPrivateKey",
     "PaillierPublicKey",
+    "PrecomputeConfig",
+    "PrecomputeEngine",
     "PythonBackend",
     "RandomnessPool",
     "available_backends",

@@ -29,7 +29,10 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from random import Random
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import used for annotations only
+    from repro.crypto.randomness_pool import RandomnessPool
 
 from repro.crypto import numtheory as nt
 from repro.crypto.backend import FixedBaseExp, get_backend
@@ -117,6 +120,9 @@ class PaillierPublicKey:
         # encryption path (see _windowed_obfuscators).
         self._obfuscator_comb: FixedBaseExp | None = None
         self._obfuscator_lock = threading.Lock()
+        # Optional precomputed obfuscator source (a RandomnessPool) consumed
+        # by raw_encrypt/encrypt_batch when no explicit nonce is given.
+        self._attached_pool: "RandomnessPool | None" = None
 
     # -- representation ----------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -161,12 +167,35 @@ class PaillierPublicKey:
             return value - self.n
         return value
 
+    # -- precomputed obfuscators --------------------------------------------
+    def attach_randomness_pool(self, pool: "RandomnessPool | None") -> None:
+        """Attach (or detach, with ``None``) a precomputed obfuscator source.
+
+        While attached, :meth:`raw_encrypt` and :meth:`encrypt_batch` consume
+        the pool's single-use ``r^N`` factors whenever no explicit nonce is
+        supplied, falling back to their usual obfuscator generation when the
+        pool runs dry.  Pool hits/misses are recorded on the pool; the key's
+        :class:`OperationCounter` advances exactly as on the non-pooled path.
+        """
+        if pool is not None and pool.public_key != self:
+            raise EncryptionError(
+                "randomness pool belongs to a different public key")
+        self._attached_pool = pool
+
+    @property
+    def attached_pool(self) -> "RandomnessPool | None":
+        """The currently attached precomputed obfuscator source (or None)."""
+        return self._attached_pool
+
     # -- encryption ---------------------------------------------------------
     def raw_encrypt(self, plaintext: int, r_value: int | None = None,
                     rng: Random | None = None) -> int:
         """Encrypt ``plaintext`` (already reduced mod N) to a raw ciphertext.
 
         ``c = (1 + m*N) * r^N  mod N^2`` using the ``g = N+1`` fast path.
+        When a randomness pool is attached and no explicit nonce is given,
+        the obfuscation factor is popped from the pool (one multiplication
+        on the hot path instead of a full exponentiation).
 
         Args:
             plaintext: message in ``[0, N)``.
@@ -176,9 +205,14 @@ class PaillierPublicKey:
         """
         backend = get_backend()
         m = plaintext % self.n
+        nude = (1 + m * self.n) % self.nsquare
+        if r_value is None and self._attached_pool is not None:
+            factor = self._attached_pool.take_available_one()
+            if factor is not None:
+                self.counter.encryptions += 1
+                return backend.mulmod(nude, factor, self.nsquare)
         if r_value is None:
             r_value = nt.random_in_zn_star(self.n, rng)
-        nude = (1 + m * self.n) % self.nsquare
         obfuscator = backend.powmod(r_value, self.n, self.nsquare)
         self.counter.encryptions += 1
         return backend.mulmod(nude, obfuscator, self.nsquare)
@@ -191,8 +225,13 @@ class PaillierPublicKey:
 
     def encrypt_vector(self, values: Sequence[int],
                        rng: Random | None = None) -> list["Ciphertext"]:
-        """Attribute-wise encryption of a vector (the paper's ``Epk(t_i)``)."""
-        return [self.encrypt(v, rng=rng) for v in values]
+        """Attribute-wise encryption of a vector (the paper's ``Epk(t_i)``).
+
+        Routes through :meth:`encrypt_batch`, so vector callers get the
+        fixed-base comb (and any attached randomness pool) for free instead
+        of a per-element Python loop over the scalar path.
+        """
+        return self.encrypt_batch(list(values), rng=rng)
 
     def encrypt_zero(self, rng: Random | None = None) -> "Ciphertext":
         """Fresh probabilistic encryption of zero (used for re-randomization)."""
@@ -259,13 +298,20 @@ class PaillierPublicKey:
 
     def encrypt_batch(self, values: Sequence[int], rng: Random | None = None,
                       r_values: Sequence[int] | None = None,
-                      windowed: bool = True) -> list["Ciphertext"]:
+                      windowed: bool = True,
+                      pool: "RandomnessPool | None" = None) -> list["Ciphertext"]:
         """Encrypt a vector of signed integers in one vectorized kernel call.
 
         Element-wise equivalent to ``[self.encrypt(v) for v in values]`` (and
         bit-identical to it when explicit ``r_values`` are supplied), while
         amortizing counter bookkeeping and attribute dispatch over the whole
         vector and sourcing obfuscators from the fixed-base window table.
+
+        Obfuscator precedence: explicit ``r_values`` > precomputed pool
+        (the ``pool`` argument, else an attached randomness pool) > the
+        fixed-base comb (``windowed=True``) > textbook ``r**N``.  A pool
+        covers as many elements as it has factors available; the remainder
+        falls through to the next source, so a dry pool never stalls a batch.
 
         Args:
             values: signed plaintexts (each ``|v| < N/2``).
@@ -276,6 +322,9 @@ class PaillierPublicKey:
             windowed: when ``True`` (default) draw obfuscators from the
                 per-key comb table; ``False`` computes textbook ``r**N``
                 factors (same cost profile as the scalar path).
+            pool: optional :class:`~repro.crypto.randomness_pool.
+                RandomnessPool` of precomputed factors, overriding any
+                key-attached pool for this call.
 
         Returns:
             One :class:`Ciphertext` per value, in order.
@@ -290,16 +339,22 @@ class PaillierPublicKey:
                 raise EncryptionError(
                     "encrypt_batch needs exactly one nonce per value")
             factors = [backend.powmod(r, n, nsquare) for r in r_values]
-        elif windowed:
-            comb = self._windowed_obfuscators(rng)
-            comb_pow = comb.pow
-            factors = [comb_pow(nt.random_below(n - 1, rng) + 1)
-                       for _ in encoded]
         else:
-            factors = [
-                backend.powmod(nt.random_in_zn_star(n, rng), n, nsquare)
-                for _ in encoded
-            ]
+            if pool is None:
+                pool = self._attached_pool
+            factors = (pool.take_available(len(encoded))
+                       if pool is not None and encoded else [])
+            missing = len(encoded) - len(factors)
+            if missing > 0 and windowed:
+                comb = self._windowed_obfuscators(rng)
+                comb_pow = comb.pow
+                factors.extend(comb_pow(nt.random_below(n - 1, rng) + 1)
+                               for _ in range(missing))
+            elif missing > 0:
+                factors.extend(
+                    backend.powmod(nt.random_in_zn_star(n, rng), n, nsquare)
+                    for _ in range(missing)
+                )
         self.counter.encryptions += len(encoded)
         return [
             Ciphertext(self, mulmod((1 + m * n) % nsquare, factor, nsquare))

@@ -98,6 +98,16 @@ class RandomnessPool:
             self.precomputed_total += len(fresh)
         return len(fresh)
 
+    @classmethod
+    def from_factors(cls, public_key: PaillierPublicKey,
+                     factors: "list[int]") -> "RandomnessPool":
+        """Wrap already-computed factors (e.g. a pool slice shipped to a
+        worker process) in a pool; no precomputation happens locally."""
+        pool = cls(public_key, size=max(len(factors), 1), precompute=False)
+        with pool._lock:
+            pool._factors.extend(factors)
+        return pool
+
     # -- hot path -----------------------------------------------------------
     def take_factor(self) -> int:
         """Pop one single-use factor; computes on demand when the pool is dry."""
@@ -107,6 +117,26 @@ class RandomnessPool:
                 return self._factors.popleft()
             self.misses += 1
         return self._fresh_factor()
+
+    def take_available(self, count: int) -> "list[int]":
+        """Pop up to ``count`` factors *without* computing missing ones.
+
+        The batch encryption path uses this to consume whatever the pool has
+        and cover the shortfall with its own (comb-windowed) obfuscators, so
+        a dry pool degrades gracefully instead of stalling the hot path.
+        ``hits`` advances by the number served, ``misses`` by the shortfall.
+        """
+        with self._lock:
+            served = min(count, len(self._factors))
+            taken = [self._factors.popleft() for _ in range(served)]
+            self.hits += served
+            self.misses += count - served
+        return taken
+
+    def take_available_one(self) -> "int | None":
+        """Pop one factor, or ``None`` when dry (no on-demand computation)."""
+        taken = self.take_available(1)
+        return taken[0] if taken else None
 
     def encrypt(self, value: int) -> Ciphertext:
         """Encrypt a signed integer using one pooled factor (cheap multiply).
@@ -121,6 +151,15 @@ class RandomnessPool:
         nude = (1 + encoded * pk.n) % pk.nsquare
         pk.counter.encryptions += 1
         return Ciphertext(pk, (nude * self.take_factor()) % pk.nsquare)
+
+    def encrypt_batch(self, values: "list[int]") -> "list[Ciphertext]":
+        """Vectorized pooled encryption (delegates to the key's batch kernel).
+
+        Available factors are consumed first; any shortfall falls back to the
+        key's fixed-base comb path, so the call never blocks on a dry pool.
+        Counter parity with the non-pooled batch path is exact.
+        """
+        return self.public_key.encrypt_batch(values, rng=self.rng, pool=self)
 
     def encrypt_zero(self) -> Ciphertext:
         """A fresh probabilistic encryption of zero (one pooled factor)."""

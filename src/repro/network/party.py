@@ -18,6 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import used for annotations only
+    from repro.crypto.precompute import PrecomputeEngine
 
 from repro.crypto.paillier import (
     Ciphertext,
@@ -42,6 +46,12 @@ class Party:
         self.public_key = public_key
         self.channel = channel
         self.rng = rng if rng is not None else Random()
+        #: optional precomputation engine owned by *this* party (set through
+        #: :meth:`TwoPartySetting.attach_engine`).  Pools are filled with the
+        #: owning party's randomness, so engines are never shared across the
+        #: trust boundary: protocols source P1 material from the evaluator's
+        #: engine and P2 material from the decryptor's.
+        self.engine: "PrecomputeEngine | None" = None
         if name not in (channel.endpoint_a, channel.endpoint_b):
             raise ConfigurationError(
                 f"party {name!r} is not an endpoint of the supplied channel"
@@ -75,16 +85,24 @@ class Party:
         return self.rng.randrange(self.public_key.n)
 
     def encrypt(self, value: int) -> Ciphertext:
-        """Encrypt a signed integer under the shared public key."""
+        """Encrypt a signed integer under the shared public key.
+
+        When this party owns a precomputation engine, the obfuscation factor
+        comes from the engine's pool (one hot-path multiplication).
+        """
+        if self.engine is not None:
+            return self.engine.encrypt(value)
         return self.public_key.encrypt(value, rng=self.rng)
 
     def encrypt_batch(self, values: "list[int]") -> "list[Ciphertext]":
         """Vectorized encryption with this party's randomness source.
 
-        Obfuscators come from the key's fixed-base window table (see
+        Obfuscators come from this party's engine pool when one is attached,
+        then from the key's fixed-base window table (see
         :meth:`~repro.crypto.paillier.PaillierPublicKey.encrypt_batch`).
         """
-        return self.public_key.encrypt_batch(values, rng=self.rng)
+        pool = self.engine.obfuscators if self.engine is not None else None
+        return self.public_key.encrypt_batch(values, rng=self.rng, pool=pool)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}(name={self.name!r})"
@@ -157,6 +175,36 @@ class TwoPartySetting:
     def public_key(self) -> PaillierPublicKey:
         """The shared Paillier public key."""
         return self.evaluator.public_key
+
+    @property
+    def engine(self) -> "PrecomputeEngine | None":
+        """The evaluator's (P1's) precomputation engine (or ``None``).
+
+        Stored on the party objects so that every ``TwoPartySetting`` view
+        of the same deployment (they are constructed on the fly) resolves to
+        the same engines, regardless of attachment order.
+        """
+        return self.evaluator.engine
+
+    def attach_engine(self, engine: "PrecomputeEngine | None",
+                      decryptor_engine: "PrecomputeEngine | None" = None
+                      ) -> None:
+        """Attach per-party precomputation engines to this deployment.
+
+        ``engine`` becomes the evaluator's (P1's) source of mask tuples and
+        constants; ``decryptor_engine`` (optional) the decryptor's (P2's)
+        source for its re-encryptions and parity/alpha/indicator constants.
+        The two are kept separate on purpose: each party's pools hold that
+        party's own randomness, matching the paper's non-colluding model —
+        a missing decryptor engine simply means P2 encrypts inline.  Pass
+        ``None`` (twice) to detach.
+        """
+        for party, new_engine in ((self.evaluator, engine),
+                                  (self.decryptor, decryptor_engine)):
+            previous = party.engine
+            if previous is not None and previous is not new_engine:
+                previous.detach()
+            party.engine = new_engine
 
     def reset_counters(self) -> None:
         """Reset crypto-operation counters and channel accounting."""

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import used for annotations only
+    from repro.crypto.precompute import PrecomputeEngine
 
 from repro.crypto.paillier import Ciphertext, PaillierPublicKey
 from repro.exceptions import ProtocolError
@@ -64,6 +67,64 @@ class TwoPartyProtocol:
     def pk(self) -> PaillierPublicKey:
         """The shared Paillier public key."""
         return self.setting.public_key
+
+    @property
+    def engine(self) -> "PrecomputeEngine | None":
+        """P1's precomputation engine, when one is attached.
+
+        Resolution is dynamic (engines live on the party objects), so
+        attaching an engine after protocol construction still takes effect.
+        P2-side material goes through :meth:`encrypt_pooled_constant` with
+        the decryptor party, which resolves that party's *own* engine —
+        pools are never shared across the trust boundary.
+        """
+        return getattr(self.setting, "engine", None)
+
+    @staticmethod
+    def engine_for(party) -> "PrecomputeEngine | None":
+        """The engine owned by ``party`` (or ``None``)."""
+        return getattr(party, "engine", None)
+
+    # -- precomputed material with graceful fallback ---------------------------
+    def take_mask(self, kind: str = "zn",
+                  sbd_upper: int | None = None) -> "tuple[int, Ciphertext]":
+        """One P1 additive mask ``(r, E(r))`` — pooled offline when possible.
+
+        Falls back to sampling with P1's rng and a fresh encryption when no
+        engine is attached; operation counts are identical either way (one
+        encryption), only *where* the obfuscator exponentiation happened
+        differs.
+        """
+        engine = self.engine
+        if engine is not None:
+            return engine.take_mask(kind, sbd_upper=sbd_upper)
+        if sbd_upper is not None:
+            r = self.p1.rng.randrange(sbd_upper)
+        elif kind == "nonzero":
+            r = self.p1.random_nonzero()
+        else:
+            r = self.p1.random_in_zn()
+        return r, self.p1.encrypt(r)
+
+    def encrypt_pooled_constant(self, party, value: int) -> Ciphertext:
+        """A fresh encryption of a constant by ``party``.
+
+        Served from the party's own engine pools when it owns one (the
+        randomness must be the encrypting party's — a pool filled by the
+        other party would let it link or unmask the ciphertext).
+        """
+        engine = self.engine_for(party)
+        if engine is not None:
+            return engine.encrypt_constant(value)
+        return party.encrypt(value)
+
+    def encrypt_pooled_constants(self, party,
+                                 values: "list[int]") -> "list[Ciphertext]":
+        """Vectorized :meth:`encrypt_pooled_constant`."""
+        engine = self.engine_for(party)
+        if engine is not None:
+            return engine.encrypt_constants(values)
+        return party.encrypt_batch(values)
 
     # -- ciphertext helpers -----------------------------------------------------
     def sub(self, left: Ciphertext, right: Ciphertext) -> Ciphertext:

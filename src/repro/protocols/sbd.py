@@ -104,15 +104,21 @@ class SecureBitDecomposition(TwoPartyProtocol):
     def _extract_lsb_batch(
         self, enc_values: list[Ciphertext]
     ) -> tuple[list[Ciphertext], list[Ciphertext]]:
-        """One bit round over every value: LSBs and halved remainders."""
-        masks = [self._p1_sample_mask() for _ in enc_values]
-        masked = self.pk.add_batch(enc_values, self.p1.encrypt_batch(masks))
+        """One bit round over every value: LSBs and halved remainders.
+
+        Mask tuples and the parity/un-flip constants come from the
+        precomputation engine when one is attached (SBD-range mask pool,
+        E(0)/E(1) constant pools), with inline fallbacks otherwise.
+        """
+        mask_tuples = [self._p1_take_mask() for _ in enc_values]
+        masks = [r for r, _ in mask_tuples]
+        masked = self.pk.add_batch(enc_values, [c for _, c in mask_tuples])
         self.p1.send(masked, tag="SBD.batch_masked_values")
 
         received_masked = self.p2.receive(expected_tag="SBD.batch_masked_values")
         parities = [y % 2
                     for y in self.p2.decrypt_residue_batch(received_masked)]
-        self.p2.send(self.p2.encrypt_batch(parities),
+        self.p2.send(self.encrypt_pooled_constants(self.p2, parities),
                      tag="SBD.batch_masked_parities")
 
         received = self.p1.receive(expected_tag="SBD.batch_masked_parities")
@@ -120,7 +126,8 @@ class SecureBitDecomposition(TwoPartyProtocol):
         # as the scalar path: one E(1) and one subtraction per odd mask).
         odd_indices = [i for i, mask in enumerate(masks) if mask % 2 == 1]
         if odd_indices:
-            ones = self.p1.encrypt_batch([1] * len(odd_indices))
+            ones = self.encrypt_pooled_constants(
+                self.p1, [1] * len(odd_indices))
             flipped = self.pk.add_batch(
                 ones, self.neg_batch([received[i] for i in odd_indices]))
             enc_bits = list(received)
@@ -139,8 +146,8 @@ class SecureBitDecomposition(TwoPartyProtocol):
     # -- one round: extract the least significant bit -----------------------------
     def _extract_lsb(self, enc_value: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
         """Extract ``Epk(value mod 2)`` and return it with ``Epk(value // 2)``."""
-        mask = self._p1_sample_mask()
-        masked = enc_value + self.p1.encrypt(mask)
+        mask, enc_mask = self._p1_take_mask()
+        masked = enc_value + enc_mask
         self.p1.send(masked, tag="SBD.masked_value")
 
         enc_masked_parity = self._p2_parity_of_masked()
@@ -154,10 +161,15 @@ class SecureBitDecomposition(TwoPartyProtocol):
         enc_halved = self.sub(enc_value, enc_bit) * self._inv_two
         return enc_bit, enc_halved
 
-    def _p1_sample_mask(self) -> int:
-        """Sample a mask uniform in ``[0, N - 2**l)`` so ``z + r < N`` always."""
+    def _p1_take_mask(self) -> tuple[int, Ciphertext]:
+        """A mask tuple ``(r, E(r))`` with ``r`` uniform in ``[0, N - 2**l)``.
+
+        Served from the engine's SBD-range pool when attached (the pool's
+        range is validated against this instance's ``l``); otherwise sampled
+        and encrypted inline, so ``z + r < N`` always either way.
+        """
         upper = self.pk.n - (1 << self.bit_length)
-        return self.p1.rng.randrange(upper)
+        return self.take_mask("sbd", sbd_upper=upper)
 
     def _p1_unmask_parity(self, enc_masked_parity: Ciphertext,
                           mask: int) -> Ciphertext:
@@ -168,11 +180,12 @@ class SecureBitDecomposition(TwoPartyProtocol):
         """
         if mask % 2 == 0:
             return enc_masked_parity
-        return self.sub(self.p1.encrypt(1), enc_masked_parity)
+        return self.sub(self.encrypt_pooled_constant(self.p1, 1),
+                        enc_masked_parity)
 
     # -- P2 step -------------------------------------------------------------------
     def _p2_parity_of_masked(self) -> Ciphertext:
         """P2 decrypts the masked value and returns the encryption of its parity."""
         masked = self.p2.receive(expected_tag="SBD.masked_value")
         y = self.p2.decrypt_residue(masked)
-        return self.p2.encrypt(y % 2)
+        return self.encrypt_pooled_constant(self.p2, y % 2)

@@ -55,11 +55,16 @@ class SecureMultiplication(TwoPartyProtocol):
     def _p1_mask_operands(
         self, enc_a: Ciphertext, enc_b: Ciphertext
     ) -> tuple[Ciphertext, Ciphertext, int, int]:
-        """Step 1: P1 additively masks both operands with fresh randomness."""
-        r_a = self.p1.random_in_zn()
-        r_b = self.p1.random_in_zn()
-        masked_a = enc_a + self.p1.encrypt(r_a)
-        masked_b = enc_b + self.p1.encrypt(r_b)
+        """Step 1: P1 additively masks both operands with fresh randomness.
+
+        The mask tuples ``(r, E(r))`` come from the precomputation engine
+        when one is attached, turning the two mask encryptions into hot-path
+        multiplications; the fallback samples and encrypts inline.
+        """
+        r_a, enc_r_a = self.take_mask()
+        r_b, enc_r_b = self.take_mask()
+        masked_a = enc_a + enc_r_a
+        masked_b = enc_b + enc_r_b
         return masked_a, masked_b, r_a, r_b
 
     def _p1_unmask(self, product_cipher: Ciphertext, enc_a: Ciphertext,
@@ -101,11 +106,23 @@ class SecureMultiplication(TwoPartyProtocol):
         enc_a_vec = [a for a, _ in pairs]
         enc_b_vec = [b for _, b in pairs]
 
-        # Step 1: P1 masks every operand with fresh randomness.
-        masks_a = [self.p1.random_in_zn() for _ in pairs]
-        masks_b = [self.p1.random_in_zn() for _ in pairs]
-        masked_a = self.pk.add_batch(enc_a_vec, self.p1.encrypt_batch(masks_a))
-        masked_b = self.pk.add_batch(enc_b_vec, self.p1.encrypt_batch(masks_b))
+        # Step 1: P1 masks every operand with fresh randomness (precomputed
+        # mask tuples when an engine is attached).
+        engine = self.engine
+        if engine is not None:
+            tuples_a = engine.take_masks(len(pairs))
+            tuples_b = engine.take_masks(len(pairs))
+            masks_a = [r for r, _ in tuples_a]
+            masks_b = [r for r, _ in tuples_b]
+            enc_masks_a = [c for _, c in tuples_a]
+            enc_masks_b = [c for _, c in tuples_b]
+        else:
+            masks_a = [self.p1.random_in_zn() for _ in pairs]
+            masks_b = [self.p1.random_in_zn() for _ in pairs]
+            enc_masks_a = self.p1.encrypt_batch(masks_a)
+            enc_masks_b = self.p1.encrypt_batch(masks_b)
+        masked_a = self.pk.add_batch(enc_a_vec, enc_masks_a)
+        masked_b = self.pk.add_batch(enc_b_vec, enc_masks_b)
         self.p1.send([masked_a, masked_b], tag="SM.batch_masked_operands")
 
         # Step 2: P2 decrypts all masked operands and multiplies them.
@@ -128,4 +145,49 @@ class SecureMultiplication(TwoPartyProtocol):
         return [
             self.add_plain(cipher, -(r_a * r_b) % n)
             for cipher, r_a, r_b in zip(stripped, masks_a, masks_b)
+        ]
+
+    def run_square_batch(self, ciphertexts: Sequence[Ciphertext]
+                         ) -> list[Ciphertext]:
+        """Compute ``Epk(a_i^2)`` for a vector, built for warm mask pools.
+
+        The specialization of :meth:`run_batch` to squaring pairs ``(a, a)``
+        that the precomputed pipeline uses: because both operands are equal,
+        *one* additive mask per element suffices — P1 sends ``E(a + r)``
+        (mask tuple from the engine, a hot-path multiplication), P2 decrypts
+        ``h = a + r``, squares in the clear and returns ``E(h^2)`` (pooled
+        obfuscator), and P1 strips ``a^2 = h^2 - 2*r*a - r^2`` with a single
+        exponentiation ``E(a)^{N - 2r}`` plus a plaintext-constant addition.
+
+        Per element: 2 encryptions (both precomputable), 1 decryption and 1
+        exponentiation — versus 3/2/2 for the generic pair path — which is
+        what makes the warm-pool online scan nearly powmod-free on the
+        encryption side.  Leakage is unchanged: P2 still sees only the
+        uniformly masked value ``a + r mod N``.
+
+        Modeled by ``ssed_scan_counts(..., precomputed=True)`` in the
+        analysis layer.
+        """
+        if not ciphertexts:
+            return []
+        n = self.pk.n
+        mask_tuples = (self.engine.take_masks(len(ciphertexts))
+                       if self.engine is not None
+                       else [self.take_mask() for _ in ciphertexts])
+        masked = self.pk.add_batch(list(ciphertexts),
+                                   [c for _, c in mask_tuples])
+        self.p1.send(masked, tag="SM.batch_masked_squares")
+
+        received_masked = self.p2.receive(expected_tag="SM.batch_masked_squares")
+        h_values = self.p2.decrypt_residue_batch(received_masked)
+        self.p2.send(self.p2.encrypt_batch([(h * h) % n for h in h_values]),
+                     tag="SM.batch_square_products")
+
+        received = self.p1.receive(expected_tag="SM.batch_square_products")
+        unmask = self.pk.scalar_mul_batch(
+            list(ciphertexts), [(n - 2 * r) % n for r, _ in mask_tuples])
+        stripped = self.pk.add_batch(received, unmask)
+        return [
+            self.add_plain(cipher, -(r * r) % n)
+            for cipher, (r, _) in zip(stripped, mask_tuples)
         ]

@@ -79,7 +79,7 @@ class SecureMinimum(TwoPartyProtocol):
         l_vector: list[Ciphertext] = []
         gamma_masks: list[int] = []
 
-        enc_h_previous = self.p1.encrypt(0)
+        enc_h_previous = self.encrypt_pooled_constant(self.p1, 0)
         for enc_u_bit, enc_v_bit in zip(enc_u_bits, enc_v_bits):
             enc_uv = self._sm.run(enc_u_bit, enc_v_bit)
             _, enc_gamma, enc_l, rhat, enc_h_previous = \
@@ -144,8 +144,10 @@ class SecureMinimum(TwoPartyProtocol):
             # W_i = E(v_i * (1 - u_i));  Gamma_i = E(u_i - v_i + rhat_i)
             enc_w = self.sub(enc_v_bit, enc_uv)
             enc_diff = self.sub(enc_u_bit, enc_v_bit)
-        rhat = self.p1.random_nonzero()
-        enc_gamma = enc_diff + self.p1.encrypt(rhat)
+        # Randomized difference mask: a precomputed nonzero tuple when an
+        # engine is attached (``E(rhat)`` paid offline), inline otherwise.
+        rhat, enc_rhat = self.take_mask("nonzero")
+        enc_gamma = enc_diff + enc_rhat
 
         # G_i = E(u_i XOR v_i), reusing the product computed above.
         enc_g = self._xor.xor_from_product(enc_u_bit, enc_v_bit, enc_uv)
@@ -201,7 +203,7 @@ class SecureMinimum(TwoPartyProtocol):
         pair_states: list[tuple[list[int], list[int]]] = []
         for index, (enc_u_bits, enc_v_bits) in enumerate(pairs):
             f_is_u_greater = f_flags[index]
-            enc_h_previous = self.p1.encrypt(0)
+            enc_h_previous = self.encrypt_pooled_constant(self.p1, 0)
             gamma_vector: list[Ciphertext] = []
             l_vector: list[Ciphertext] = []
             gamma_masks: list[int] = []
@@ -237,7 +239,7 @@ class SecureMinimum(TwoPartyProtocol):
             alpha = 1 if any(value == 1 for value in window) else 0
             alphas.append(alpha)
             m_primes.append(self.pk.scalar_mul_batch(permuted_gamma, alpha))
-        enc_alphas = self.p2.encrypt_batch(alphas)
+        enc_alphas = self.encrypt_pooled_constants(self.p2, alphas)
         self.p2.send([m_primes, enc_alphas], tag="SMIN.batch_masked_minimums")
 
         # ---- P1: step 3 for every pair --------------------------------------
@@ -274,5 +276,5 @@ class SecureMinimum(TwoPartyProtocol):
         decrypted_l = [self.p2.decrypt_residue(c) for c in permuted_l]
         alpha = 1 if any(value == 1 for value in decrypted_l) else 0
         m_prime = [enc_gamma * alpha for enc_gamma in permuted_gamma]
-        enc_alpha = self.p2.encrypt(alpha)
+        enc_alpha = self.encrypt_pooled_constant(self.p2, alpha)
         return m_prime, enc_alpha

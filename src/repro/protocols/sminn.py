@@ -74,6 +74,9 @@ class SecureMinimumOfN(TwoPartyProtocol):
         one batched SMIN round (:meth:`SecureMinimum.run_batch`): the same
         ``n - 1`` SMIN invocations overall, grouped into ``ceil(log2 n)``
         vectorized message exchanges instead of ``n - 1`` sequential ones.
+        When a precomputation engine is attached to the setting, every level
+        draws its ``rhat``/``H_0``/``alpha`` material from the engine's pools
+        through the shared SMIN instance.
         """
         survivors: list[list[Ciphertext]] = [list(bits) for bits in encrypted_values]
         while len(survivors) > 1:

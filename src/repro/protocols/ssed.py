@@ -99,8 +99,15 @@ class SecureSquaredEuclideanDistance(TwoPartyProtocol):
         diffs: list[Ciphertext] = []
         for enc_y in enc_y_list:
             diffs.extend(self.pk.add_batch(list(enc_y[:width]), neg_x))
-        # E((y_ij - x_j)^2) in one batched SM round.
-        squares = self._sm.run_batch([(diff, diff) for diff in diffs])
+        # E((y_ij - x_j)^2) in one batched round.  With a precomputation
+        # engine attached the squaring specialization applies (one engine
+        # mask tuple, one decryption and one exponentiation per attribute
+        # instead of the generic SM pair costs) — the offline/online split
+        # the serving layer's warm pools rely on.
+        if self.engine is not None:
+            squares = self._sm.run_square_batch(diffs)
+        else:
+            squares = self._sm.run_batch([(diff, diff) for diff in diffs])
         # Per-record homomorphic accumulation.
         totals: list[Ciphertext] = []
         for index in range(len(enc_y_list)):

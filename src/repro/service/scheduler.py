@@ -186,17 +186,25 @@ class QueryServer:
         session_pool_size: when positive, every session gets its own
             :class:`~repro.crypto.RandomnessPool` of this size so Bob-side
             query encryption is a cheap multiply too.
+        precompute_idle_budget: cap on the number of pool items the serving
+            thread precomputes per idle scheduler slot (only relevant when
+            the sharded store carries a
+            :class:`~repro.crypto.precompute.PrecomputeEngine`); keeps each
+            refill burst short so a freshly enqueued query is picked up
+            promptly.
     """
 
     def __init__(self, sharded: ShardedCloud, batch_size: int = 4,
                  batch_window_seconds: float = 0.01,
                  rng: Random | None = None,
-                 session_pool_size: int = 0) -> None:
+                 session_pool_size: int = 0,
+                 precompute_idle_budget: int = 32) -> None:
         self.sharded = sharded
         self.scheduler = QueryScheduler(batch_size)
         self.batch_window_seconds = batch_window_seconds
         self.rng = rng
         self.session_pool_size = session_pool_size
+        self.precompute_idle_budget = precompute_idle_budget
         self.stats = ServerStats()
         self.sessions: dict[str, ServiceSession] = {}
         self._request_ids = itertools.count(1)
@@ -363,6 +371,10 @@ class QueryServer:
                 if self.scheduler.pending == 0:
                     self.scheduler.not_empty.wait(timeout=0.1)
             if self.scheduler.pending == 0:
+                # Idle slot: spend it refilling the precomputation pools so
+                # the next query's obfuscators/masks are already paid for.
+                if self.precompute_idle_budget > 0:
+                    self.sharded.refill_precompute(self.precompute_idle_budget)
                 continue
             # Give the batch a short window to fill before executing it.
             if (self.scheduler.pending < self.scheduler.batch_size

@@ -43,6 +43,7 @@ from repro.core.roles import ResultShares
 from repro.core.sknn_base import RunStatsRecorder, SkNNRunReport
 from repro.core.sknn_basic import SkNNBasic
 from repro.crypto.paillier import Ciphertext
+from repro.crypto.precompute import PrecomputeEngine
 from repro.crypto.randomness_pool import RandomnessPool
 from repro.db.encrypted_table import EncryptedRecord
 from repro.exceptions import ConfigurationError
@@ -109,12 +110,21 @@ class ShardedCloud:
         pool: optionally share an existing pool instead of owning one.
         randomness_pool: optional precomputed Paillier randomness; when given,
             the delivery-phase mask encryptions become cheap multiplications.
+        precompute: optional :class:`~repro.crypto.precompute.
+            PrecomputeEngine`; when given it is attached to the cloud (the
+            delivery phase consumes its mask tuples), one per-shard
+            obfuscator pool is derived from it, and every chunk task ships a
+            slice of its shard's pool so worker-side encryptions run
+            powmod-free while warm.  Refill the pools off the hot path with
+            :meth:`refill_precompute` (the serving layer does this in idle
+            scheduler slots).
     """
 
     def __init__(self, cloud: FederatedCloud, shards: int = 2,
                  workers: int = 4, backend: str = "process",
                  pool: PersistentWorkerPool | None = None,
-                 randomness_pool: RandomnessPool | None = None) -> None:
+                 randomness_pool: RandomnessPool | None = None,
+                 precompute: PrecomputeEngine | None = None) -> None:
         table = cloud.c1.encrypted_table
         if shards < 1:
             raise ConfigurationError("shard count must be >= 1")
@@ -130,13 +140,32 @@ class ShardedCloud:
             self._owns_pool = True
         self.randomness_pool = randomness_pool
         self.shards = self._partition(table.records, shards)
+        self.precompute = precompute
+        if precompute is not None and cloud.engine is not precompute:
+            # Attach as C1's engine, preserving any C2 engine already there.
+            cloud.attach_engine(precompute, cloud.c2.engine)
+        # One obfuscator pool per shard, drained into the chunk tasks of
+        # that shard (the workers' pool slices) and refilled from idle time.
+        # Sized so one full refill covers one query batch: the chunk worker
+        # encrypts one mask and one square per (record, attribute) pair.
+        # (The chunk worker plays both cloud roles by construction — see
+        # repro.core.parallel — so a single slice feeds both encryptions.)
+        self.shard_pools: tuple[RandomnessPool, ...] = tuple(
+            RandomnessPool(cloud.c1.public_key,
+                           size=max(2 * len(shard) * table.dimensions, 1),
+                           rng=precompute.rng, precompute=False)
+            for shard in self.shards
+        ) if precompute is not None else ()
         # The delivery phase (masking + two-share hand-off) is exactly
         # Algorithm 5 steps 4-6; reuse the serial protocol's implementation.
         self._delivery = SkNNBasic(cloud)
-        if randomness_pool is not None:
+        if randomness_pool is not None and precompute is None:
             self._delivery.mask_encryptor = randomness_pool.encrypt
         self.last_batch_timings: BatchPhaseTimings | None = None
         self.last_report: SkNNRunReport | None = None
+        if precompute is not None:
+            # Deployment-time prefill (off the query path by definition).
+            self.refill_precompute()
 
     @staticmethod
     def _partition(records: Sequence[EncryptedRecord],
@@ -155,8 +184,29 @@ class ShardedCloud:
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
         """Release the worker pool (no-op for a shared pool)."""
+        if self.precompute is not None:
+            self.precompute.stop_producer()
         if self._owns_pool:
             self.pool.close()
+
+    # -- precomputation (off the query critical path) ------------------------
+    def refill_precompute(self, budget: int | None = None) -> int:
+        """Top up the engine and per-shard pools; returns items precomputed.
+
+        Meant to run between queries (the serving layer calls it from idle
+        scheduler slots).  The budget is split between the engine's typed
+        pools and the per-shard obfuscator pools that feed worker slices.
+        """
+        if self.precompute is None:
+            return 0
+        produced = self.precompute.refill(budget)
+        for shard_pool in self.shard_pools:
+            deficit = shard_pool.size - shard_pool.remaining
+            if budget is not None:
+                deficit = min(deficit, max(budget - produced, 0))
+            if deficit > 0:
+                produced += shard_pool.refill(deficit)
+        return produced
 
     def __enter__(self) -> "ShardedCloud":
         return self
@@ -205,11 +255,23 @@ class ShardedCloud:
         query_values = [[cipher.value for cipher in query]
                         for query in encrypted_queries]
         workers_per_shard = max(1, self.pool.workers // len(self.shards))
+        dimensions = len(encrypted_queries[0]) if encrypted_queries else 0
         tasks: list[ChunkWorkerTask] = []
         for shard in self.shards:
+            shard_pool = (self.shard_pools[shard.shard_id]
+                          if self.shard_pools else None)
             for start, stop in chunk_records(len(shard.records),
                                              workers_per_shard):
                 seed = c1.rng.getrandbits(63)
+                # The chunk worker encrypts one mask and one square per
+                # (record, attribute, query) pair — drain that many factors
+                # from the shard's pool (whatever is available) so the
+                # worker's encryptions are multiplications while warm.
+                pool_slice = None
+                if shard_pool is not None:
+                    wanted = 2 * (stop - start) * dimensions * len(
+                        encrypted_queries)
+                    pool_slice = shard_pool.take_available(wanted) or None
                 tasks.append((
                     shard.start + start,
                     [[cipher.value for cipher in record.ciphertexts]
@@ -220,6 +282,7 @@ class ShardedCloud:
                     private_key.q,
                     seed,
                     backend_name,
+                    pool_slice,
                 ))
         return tasks
 

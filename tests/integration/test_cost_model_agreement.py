@@ -17,16 +17,19 @@ import pytest
 from repro.analysis.cost_model import (
     sbd_counts,
     sknn_basic_counts,
+    sknn_basic_split_counts,
     sknn_secure_counts,
     smin_counts,
     sm_counts,
     ssed_counts,
     ssed_scan_counts,
+    ssed_scan_split_counts,
 )
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import DataOwner, QueryClient
 from repro.core.sknn_basic import SkNNBasic
 from repro.core.sknn_secure import SkNNSecure
+from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
 from repro.db.datasets import synthetic_uniform
 from repro.protocols.encoding import encrypt_bits
 from repro.protocols.sbd import SecureBitDecomposition
@@ -126,6 +129,106 @@ class TestQueryProtocolCounts:
         assert stats.total_encryptions == expected.encryptions
         assert stats.total_decryptions == expected.decryptions
         assert stats.total_exponentiations == expected.exponentiations
+
+    def test_sknn_basic_precomputed_counts_match_split_model(
+            self, small_keypair):
+        """Warm-pool SkNN_b: online counters match the split's online side
+        and the engines' pooled takes match its offline side exactly."""
+        n, m, k = 10, 3, 2
+        table = synthetic_uniform(n_records=n, dimensions=m, distance_bits=8,
+                                  seed=5)
+        cloud, client = self.deploy(table, small_keypair, seed=402)
+        # One engine per cloud, each with its own randomness (the model's
+        # non-colluding split): C1's serves mask tuples, C2's the obfuscators
+        # of its square re-encryptions.
+        c1_engine = PrecomputeEngine(
+            small_keypair.public_key, rng=Random(403),
+            config=PrecomputeConfig.for_query_load(n, m, k, queries=1))
+        c2_engine = PrecomputeEngine(
+            small_keypair.public_key, rng=Random(408),
+            config=PrecomputeConfig.for_decryptor_load(n, m, k, queries=1))
+        c1_engine.warm()
+        c2_engine.warm()
+        cloud.attach_engine(c1_engine, c2_engine)
+        try:
+            encrypted_query = client.encrypt_query([1, 2, 3])
+            protocol = SkNNBasic(cloud)
+            protocol.run_with_report(encrypted_query, k)
+            stats = protocol.last_report.stats
+        finally:
+            cloud.attach_engine(None)
+
+        split = sknn_basic_split_counts(n, m, k)
+        # Counter parity: every pooled take still counts as one logical
+        # encryption, so total encryptions equal the offline-side model...
+        assert stats.total_encryptions == split.offline.encryptions
+        # ...while decryptions and exponentiations are the online residue.
+        assert stats.total_decryptions == split.online.decryptions
+        assert stats.total_exponentiations == split.online.exponentiations
+        # The pools served every precomputable operation (no misses): the
+        # two engines' offline ledgers cover all pooled takes of the query.
+        pooled = c1_engine.pool_hit_total() + c2_engine.pool_hit_total()
+        assert pooled >= split.offline.encryptions
+        assert sum(c1_engine.misses.values()) == 0
+        assert c2_engine.obfuscators.misses == 0
+        # The split model is self-consistent with the precomputed pipeline.
+        combined = split.offline + split.online
+        expected = sknn_basic_counts(n, m, k, precomputed=True)
+        assert combined == expected
+
+    def test_ssed_scan_precomputed_split_exact(self, small_keypair):
+        """The squaring-specialized scan matches its own split model."""
+        records, dimensions = 5, 3
+        cloud, _ = self.deploy(
+            synthetic_uniform(n_records=records, dimensions=dimensions,
+                              distance_bits=8, seed=7),
+            small_keypair, seed=404)
+        pk = small_keypair.public_key
+        engine = PrecomputeEngine(
+            pk, rng=Random(405),
+            config=PrecomputeConfig(obfuscators=64, zn_masks=64))
+        engine.warm()
+        cloud.attach_engine(engine)
+        try:
+            protocol = SecureSquaredEuclideanDistance(cloud.setting)
+            query = pk.encrypt_vector(list(range(dimensions)))
+            table = [pk.encrypt_vector([i + j for j in range(dimensions)])
+                     for i in range(records)]
+            pk.counter.reset()
+            cloud.c2.private_key.counter.reset()
+            protocol.run_many(query, table)
+        finally:
+            cloud.attach_engine(None)
+        split = ssed_scan_split_counts(records, dimensions)
+        assert pk.counter.encryptions == split.offline.encryptions
+        assert cloud.c2.private_key.counter.decryptions == \
+            split.online.decryptions
+        assert pk.counter.exponentiations == split.online.exponentiations
+
+    def test_smin_engine_parity(self, small_keypair):
+        """SMIN with pooled material keeps the exact Section 4.4 counts."""
+        from repro.network.party import TwoPartySetting
+
+        setting = TwoPartySetting.create(small_keypair, rng=Random(406))
+        bit_length = 4
+        engine = PrecomputeEngine(
+            small_keypair.public_key, rng=Random(407),
+            config=PrecomputeConfig(obfuscators=64, zeros=8, ones=8,
+                                    zn_masks=32, nonzero_masks=16))
+        engine.warm()
+        setting.attach_engine(engine)
+        try:
+            protocol = SecureMinimum(setting)
+            result = protocol.run_instrumented(
+                encrypt_bits(setting.public_key, 3, bit_length),
+                encrypt_bits(setting.public_key, 5, bit_length),
+            )
+        finally:
+            setting.attach_engine(None)
+        expected = smin_counts(bit_length)
+        assert totals(result.stats) == (expected.encryptions,
+                                        expected.decryptions,
+                                        expected.exponentiations)
 
     def test_sknn_secure_counts_close_to_model(self, small_keypair):
         """SkNN_m has randomized branches; the model must agree within 15%."""

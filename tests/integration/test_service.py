@@ -210,6 +210,40 @@ class TestQueryServer:
         assert pool.hits > 0  # delivery masking drew from the pool
         server.close()
 
+    def test_precompute_engine_keeps_answers_exact_and_refills(
+            self, small_keypair, service_table, service_oracle):
+        """Warm engine: delivery masks and worker slices come from pools,
+        answers stay oracle-exact, and idle refills restore the targets."""
+        from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
+
+        cloud = _deploy(small_keypair, service_table, 1150)
+        engine = PrecomputeEngine(
+            small_keypair.public_key, rng=Random(18),
+            config=PrecomputeConfig.for_query_load(
+                len(service_table), service_table.dimensions, k=3, queries=2))
+        engine.warm()
+        sharded = ShardedCloud(cloud, shards=2, workers=1, backend="serial",
+                               precompute=engine)
+        try:
+            sharded.refill_precompute()
+            assert all(pool.remaining > 0 for pool in sharded.shard_pools)
+            server = QueryServer(sharded, batch_size=4, rng=Random(19))
+            session = server.open_session("bob")
+            answer = session.query([3, 6, 1], 3, timeout=60)
+            expected = [r.record.values
+                        for r in service_oracle.query([3, 6, 1], 3)]
+            assert answer.neighbors == expected
+            # The query drained pooled material...
+            assert engine.pool_hit_total() > 0
+            shard_hits = sum(pool.hits for pool in sharded.shard_pools)
+            assert shard_hits > 0
+            # ...and an off-path refill tops everything back up.
+            assert sharded.refill_precompute() > 0
+            assert not engine.deficits()
+            server.close()
+        finally:
+            cloud.attach_engine(None)
+
     def test_duplicate_session_names_rejected(self, small_keypair,
                                               service_table):
         cloud = _deploy(small_keypair, service_table, 1200)

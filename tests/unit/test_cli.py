@@ -41,6 +41,14 @@ class TestParser:
         args = build_parser().parse_args(["query", "--mode", "sharded"])
         assert args.mode == "sharded"
 
+    def test_precompute_knobs(self):
+        args = build_parser().parse_args(["query", "--precompute", "3"])
+        assert args.precompute == 3
+        args = build_parser().parse_args(
+            ["serve", "--precompute", "2", "--precompute-producer"])
+        assert args.precompute == 2
+        assert args.precompute_producer is True
+
 
 class TestInventoryCommand:
     def test_lists_every_figure(self, capsys):
@@ -83,6 +91,15 @@ class TestQueryCommand:
         assert exit_code == 0
         assert "matches plaintext answer: True" in capsys.readouterr().out
 
+    def test_precomputed_query_round_trip(self, capsys):
+        exit_code = main(["query", "--n", "10", "--m", "2", "--k", "2",
+                          "--l", "7", "--key-size", "128", "--mode", "basic",
+                          "--precompute", "1", "--seed", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "matches plaintext answer: True" in output
+        assert "offline" in output
+
 
 class TestDemoCommand:
     def test_demo_basic_mode(self, capsys):
@@ -104,6 +121,17 @@ class TestServeCommand:
         output = capsys.readouterr().out
         assert "all answers match plaintext oracle: True" in output
         assert "queries/s" in output
+
+    def test_serve_with_precompute_engine(self, capsys):
+        exit_code = main(["serve", "--n", "10", "--m", "2", "--k", "2",
+                          "--l", "7", "--key-size", "128", "--shards", "2",
+                          "--workers", "1", "--backend", "serial",
+                          "--batch-size", "2", "--clients", "2",
+                          "--queries", "2", "--pool-size", "0",
+                          "--precompute", "2", "--seed", "6"])
+        assert exit_code == 0
+        assert "all answers match plaintext oracle: True" in \
+            capsys.readouterr().out
 
 
 class TestProjectCommand:

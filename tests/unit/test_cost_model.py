@@ -6,16 +6,20 @@ import pytest
 
 from repro.analysis.calibration import Calibrator, PaillierTimings
 from repro.analysis.cost_model import (
+    OfflineOnlineCounts,
     OperationCounts,
     sbd_counts,
     sbor_counts,
     sknn_basic_counts,
+    sknn_basic_split_counts,
     sknn_secure_breakdown,
     sknn_secure_counts,
     sm_counts,
     smin_counts,
     sminn_counts,
     ssed_counts,
+    ssed_scan_counts,
+    ssed_scan_split_counts,
 )
 from repro.exceptions import ConfigurationError
 
@@ -127,6 +131,57 @@ class TestQueryProtocolFormulas:
             sknn_basic_counts(0, 6, 5)
         with pytest.raises(ConfigurationError):
             sknn_secure_counts(10, 6, 5, 0)
+
+
+class TestOfflineOnlineSplit:
+    def test_precomputed_scan_counts(self):
+        """2 enc + 1 dec + 1 exp per attribute, plus the hoisted negations."""
+        counts = ssed_scan_counts(10, 3, precomputed=True)
+        assert counts == OperationCounts(encryptions=60, decryptions=30,
+                                         exponentiations=33)
+
+    def test_precomputed_scan_cheaper_online_than_generic(self):
+        generic = ssed_scan_counts(50, 6)
+        precomputed = ssed_scan_counts(50, 6, precomputed=True)
+        assert precomputed.decryptions < generic.decryptions
+        assert precomputed.exponentiations < generic.exponentiations
+
+    def test_scan_split_sums_to_precomputed_counts(self):
+        split = ssed_scan_split_counts(20, 4)
+        combined = split.offline + split.online
+        assert combined == ssed_scan_counts(20, 4, precomputed=True)
+
+    def test_scan_split_offline_is_encryptions_only(self):
+        split = ssed_scan_split_counts(20, 4)
+        assert split.offline.decryptions == 0
+        assert split.offline.exponentiations == 0
+        assert split.online.encryptions == 0
+
+    def test_sknnb_split_sums_to_precomputed_counts(self):
+        split = sknn_basic_split_counts(30, 5, 3)
+        combined = split.offline + split.online
+        assert combined == sknn_basic_counts(30, 5, 3, precomputed=True)
+
+    def test_sknnb_split_shape(self):
+        n, m, k = 30, 5, 3
+        split = sknn_basic_split_counts(n, m, k)
+        assert split.offline.encryptions == 2 * n * m + k * m
+        assert split.online.decryptions == n * m + n + k * m
+        assert split.online.exponentiations == n * m + m
+
+    def test_split_total_and_dict(self):
+        split = OfflineOnlineCounts(
+            offline=OperationCounts(encryptions=2),
+            online=OperationCounts(decryptions=1, exponentiations=3))
+        assert split.total == 6
+        assert split.as_dict()["offline"]["encryptions"] == 2
+        assert split.as_dict()["online"]["exponentiations"] == 3
+
+    def test_warm_online_work_is_less_than_inline(self):
+        """The point of the engine: the online residue shrinks a lot."""
+        inline = sknn_basic_counts(100, 6, 5, batched=True)
+        split = sknn_basic_split_counts(100, 6, 5)
+        assert split.online.total < 0.5 * inline.total
 
 
 class TestCalibrator:

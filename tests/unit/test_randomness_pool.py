@@ -90,6 +90,16 @@ class TestSingleUse:
         assert stats == {"remaining": 2, "hits": 1, "misses": 0,
                          "precomputed_total": 3}
 
+    def test_take_available_never_computes(self, public_key):
+        pool = RandomnessPool(public_key, size=3, rng=Random(20))
+        taken = pool.take_available(5)
+        assert len(taken) == 3
+        assert pool.remaining == 0
+        assert pool.hits == 3
+        assert pool.misses == 2
+        assert pool.take_available(2) == []
+        assert pool.take_available_one() is None
+
     def test_concurrent_takers_get_distinct_factors(self, public_key):
         pool = RandomnessPool(public_key, size=40, rng=Random(14))
         taken: list[int] = []
@@ -107,3 +117,48 @@ class TestSingleUse:
             thread.join()
         assert len(taken) == 40
         assert len(set(taken)) == 40
+
+
+class TestBatchWiring:
+    """The pool feeds the vectorized encryption kernel (PR 3 satellite)."""
+
+    def test_encrypt_batch_consumes_pool_with_counter_parity(
+            self, public_key, private_key):
+        pool = RandomnessPool(public_key, size=4, rng=Random(30))
+        before = public_key.counter.encryptions
+        ciphertexts = pool.encrypt_batch([1, 2, 3, 4, 5, 6])
+        # Parity: six logical encryptions, regardless of the factor source.
+        assert public_key.counter.encryptions == before + 6
+        # Pool hits/misses account for the split: 4 pooled, 2 comb-windowed.
+        assert pool.hits == 4
+        assert pool.misses == 2
+        assert pool.remaining == 0
+        assert private_key.decrypt_batch(ciphertexts) == [1, 2, 3, 4, 5, 6]
+
+    def test_explicit_pool_argument_beats_windowed_path(self, public_key,
+                                                        private_key):
+        pool = RandomnessPool(public_key, size=2, rng=Random(31))
+        ciphertexts = public_key.encrypt_batch([7, 8], pool=pool)
+        assert pool.hits == 2
+        assert private_key.decrypt_batch(ciphertexts) == [7, 8]
+
+    def test_drained_pool_batch_never_reuses_factors(self, public_key):
+        pool = RandomnessPool(public_key, size=2, rng=Random(32))
+        values = pool.encrypt_batch([9] * 6)
+        assert len({c.value for c in values}) == 6
+
+    def test_from_factors_wraps_a_pool_slice(self, public_key, private_key):
+        source = RandomnessPool(public_key, size=3, rng=Random(33))
+        slice_pool = RandomnessPool.from_factors(public_key,
+                                                 source.take_available(3))
+        assert slice_pool.remaining == 3
+        assert private_key.decrypt(slice_pool.encrypt(11)) == 11
+
+    def test_encrypt_vector_routes_through_batch_kernel(self, public_key,
+                                                        private_key):
+        before = public_key.counter.snapshot()
+        ciphertexts = public_key.encrypt_vector([1, -2, 300], rng=Random(34))
+        after = public_key.counter.snapshot()
+        assert after["encryptions"] == before["encryptions"] + 3
+        assert after["exponentiations"] == before["exponentiations"]
+        assert [private_key.decrypt(c) for c in ciphertexts] == [1, -2, 300]
