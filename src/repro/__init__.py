@@ -15,7 +15,10 @@ ICDE 2014).  The package contains:
 * :mod:`repro.analysis` — the analytic cost model and calibrated projections
   used to regenerate the paper's figures;
 * :mod:`repro.service` — the multi-client serving layer: sharded encrypted
-  storage, batched query scheduling and precomputed ciphertext randomness.
+  storage, batched query scheduling and precomputed ciphertext randomness;
+* :mod:`repro.transport` — the distributed runtime: C1 and C2 as separate
+  OS processes exchanging length-prefixed TCP frames (party daemons, wire
+  codec, local supervisor, remote query clients).
 
 Quickstart::
 

@@ -91,8 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="distance domain bit length")
     query.add_argument("--key-size", type=int, default=256,
                        help="Paillier key size in bits")
-    query.add_argument("--mode", choices=["basic", "secure", "parallel", "sharded"],
-                       default="basic", help="protocol to run")
+    query.add_argument("--mode",
+                       choices=["basic", "secure", "parallel", "sharded",
+                                "distributed"],
+                       default="basic",
+                       help="protocol to run (distributed spawns a local "
+                            "C1+C2 daemon pair and queries them over TCP)")
+    query.add_argument("--connect-c1", metavar="HOST:PORT", default=None,
+                       help="address of an already-running C1 daemon; with "
+                            "--connect-c2, the command provisions the pair "
+                            "and queries over TCP instead of simulating")
+    query.add_argument("--connect-c2", metavar="HOST:PORT", default=None,
+                       help="address of an already-running C2 daemon")
     query.add_argument("--precompute", type=int, default=0,
                        help="warm a precomputation engine sized for this many "
                             "queries before answering (0 disables); moves the "
@@ -149,6 +159,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also run the engine's background producer thread")
     serve.add_argument("--seed", type=int, default=0, help="workload seed")
 
+    party = subparsers.add_parser(
+        "party", help="run one cloud party (C1 or C2) as a network daemon")
+    party.add_argument("--role", choices=["c1", "c2"], required=True,
+                       help="which cloud this process plays")
+    party.add_argument("--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+                       help="listen address (port 0 = ephemeral; "
+                            "default: 127.0.0.1:0)")
+    party.add_argument("--port-file", default=None,
+                       help="write the bound 'host port' here once listening "
+                            "(how supervisors discover ephemeral ports)")
+    party.add_argument("--pool-cache", default=None,
+                       help="persist warmed precompute pools to this file at "
+                            "shutdown and reload them at startup, so a "
+                            "restarted party starts hot")
+    party.add_argument("--log-level", default="info",
+                       choices=["debug", "info", "warning", "error"],
+                       help="daemon log verbosity (default: info)")
+
     subparsers.add_parser(
         "inventory", help="list every reproduced table/figure and its bench target")
 
@@ -184,6 +212,12 @@ def _run_query(args: argparse.Namespace) -> int:
     rng = Random(args.seed + 1)
     query = [rng.randint(0, max(a.maximum for a in table.schema))
              for _ in range(args.m)]
+    if (args.connect_c1 is None) != (args.connect_c2 is None):
+        print("--connect-c1 and --connect-c2 must be given together",
+              file=sys.stderr)
+        return 2
+    if args.connect_c1 is not None:
+        return _run_query_connected(args, table, query)
     print(f"{table.describe()}; query={query}, k={args.k}, mode={args.mode}"
           + (f", precompute={args.precompute}" if args.precompute else ""))
     with SkNNSystem.setup(table, key_size=args.key_size, mode=args.mode,
@@ -209,6 +243,61 @@ def _run_query(args: argparse.Namespace) -> int:
     matches = returned_distances == expected_distances
     print(f"matches plaintext answer: {matches}")
     return 0 if matches else 1
+
+
+def _run_query_connected(args: argparse.Namespace, table, query) -> int:
+    """Provision a running daemon pair and answer one query over TCP."""
+    from repro.core.roles import DataOwner, QueryClient
+    from repro.transport.client import RemoteCloud
+    from repro.transport.daemon import parse_address
+
+    protocol_mode = args.mode if args.mode in ("basic", "secure") else "secure"
+    owner = DataOwner(table, key_size=args.key_size, rng=Random(args.seed + 2))
+    client = QueryClient(owner.public_key, table.dimensions,
+                         rng=Random(args.seed + 3))
+    print(f"{table.describe()}; query={query}, k={args.k}, "
+          f"protocol={protocol_mode}, C1={args.connect_c1}, "
+          f"C2={args.connect_c2}")
+    remote = RemoteCloud(parse_address(args.connect_c1),
+                         parse_address(args.connect_c2))
+    try:
+        remote.provision(owner.keypair, owner.encrypt_database(),
+                         distance_bits=max(args.l,
+                                           owner.distance_bit_length()),
+                         seed=args.seed + 4,
+                         precompute_queries=1 if args.precompute else 0)
+        shares, report = remote.query(client.encrypt_query(query), args.k,
+                                      mode=protocol_mode)
+    finally:
+        remote.close()
+    neighbors = client.reconstruct(shares)
+    for rank, record in enumerate(neighbors, start=1):
+        print(f"  neighbor {rank}: {record}")
+    if report is not None:
+        print(f"cloud wall time: {report.wall_time_seconds:.2f} s, "
+              f"bytes on the wire: {report.stats.bytes_transferred}")
+    expected = [r.record.values
+                for r in LinearScanKNN(table).query(query, args.k)]
+    matches = neighbors == expected
+    print(f"matches plaintext answer: {matches}")
+    return 0 if matches else 1
+
+
+def _run_party(args: argparse.Namespace) -> int:
+    """Run one cloud party daemon until SIGTERM/SIGINT."""
+    import logging
+
+    from repro.transport.daemon import PartyDaemon, parse_address
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    host, port = parse_address(args.listen)
+    daemon = PartyDaemon(args.role, host=host, port=port,
+                         port_file=args.port_file,
+                         pool_cache=args.pool_cache)
+    daemon.serve_forever()
+    return 0
 
 
 def _run_calibrate(args: argparse.Namespace) -> int:
@@ -333,6 +422,7 @@ _HANDLERS = {
     "calibrate": _run_calibrate,
     "project": _run_project,
     "serve": _run_serve,
+    "party": _run_party,
     "inventory": _run_inventory,
 }
 

@@ -51,14 +51,22 @@ class ResultShares:
             one row per neighbor (``k`` rows of ``m`` values).
         masked_values_from_c2: the decrypted masked attributes
             ``gamma'_{j,h} = t'_{j,h} + r_{j,h} mod N`` C2 sends to Bob.
+            ``None`` while C2's half has not crossed C1's process (the
+            distributed C1 daemon returns such half-open shares; Bob's
+            client fetches the other half from the C2 daemon by
+            ``delivery_id`` and assembles the complete shares).
         modulus: the Paillier modulus ``N`` needed for the final subtraction.
+        delivery_id: the id under which C2 filed (or holds) its half.
     """
 
     masks_from_c1: list[list[int]]
-    masked_values_from_c2: list[list[int]]
+    masked_values_from_c2: list[list[int]] | None
     modulus: int
+    delivery_id: int | None = None
 
     def __post_init__(self) -> None:
+        if self.masked_values_from_c2 is None:
+            return
         if len(self.masks_from_c1) != len(self.masked_values_from_c2):
             raise QueryError("result shares have mismatching neighbor counts")
         for masks, masked in zip(self.masks_from_c1, self.masked_values_from_c2):
@@ -172,6 +180,10 @@ class QueryClient:
         Implements the final step of Algorithms 5 and 6:
         ``t'_{j,h} = gamma'_{j,h} - r_{j,h} mod N``.
         """
+        if shares.masked_values_from_c2 is None:
+            raise QueryError(
+                "shares are missing C2's half — fetch it from the C2 daemon "
+                f"(delivery id {shares.delivery_id}) before reconstructing")
         started = time.perf_counter()
         records = []
         for masks, masked in zip(shares.masks_from_c1, shares.masked_values_from_c2):

@@ -15,9 +15,10 @@ what the subclasses implement.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import ResultShares
@@ -25,9 +26,15 @@ from repro.crypto.paillier import Ciphertext
 from repro.db.encrypted_table import EncryptedTable
 from repro.exceptions import QueryError
 from repro.network.stats import ProtocolRunStats
+from repro.protocols.base import P2StepDispatcher
 from repro.protocols.ssed import SecureSquaredEuclideanDistance
 
 __all__ = ["SkNNProtocol", "SkNNRunReport", "RunStatsRecorder"]
+
+#: process-wide delivery ids — unique across every protocol instance, so the
+#: C2-side share store (or a daemon's share mailbox) can never collide even
+#: when several protocol objects share one cloud.
+_DELIVERY_IDS = itertools.count(1)
 
 
 class RunStatsRecorder:
@@ -109,12 +116,46 @@ class SkNNRunReport:
         row.update(self.stats.as_row())
         return row
 
+    def as_payload(self) -> dict[str, Any]:
+        """Lossless wire form — a C1 daemon ships its report to the client."""
+        return {
+            "protocol": self.protocol,
+            "n_records": self.n_records,
+            "dimensions": self.dimensions,
+            "k": self.k,
+            "key_size": self.key_size,
+            "distance_bits": self.distance_bits,
+            "wall_time_seconds": self.wall_time_seconds,
+            "stats": self.stats.as_payload(),
+            "phase_seconds": dict(self.phase_seconds),
+        }
 
-class SkNNProtocol:
-    """Base class for the SkNN_b and SkNN_m query protocols."""
+    @classmethod
+    def from_payload(cls, data: dict[str, Any]) -> "SkNNRunReport":
+        """Rebuild from :meth:`as_payload` output."""
+        fields = dict(data)
+        fields["stats"] = ProtocolRunStats.from_payload(fields["stats"])
+        return cls(**fields)
+
+
+class SkNNProtocol(P2StepDispatcher):
+    """Base class for the SkNN_b and SkNN_m query protocols.
+
+    Like the sub-protocols, the cloud-level protocols register their C2
+    steps in :attr:`P2_STEPS` and drive them through :meth:`p2_step` (the
+    inherited :class:`~repro.protocols.base.P2StepDispatcher` machinery),
+    so the same implementation runs over the in-memory channel (handler
+    executed inline) and over TCP (handler executed by the remote C2
+    daemon when the frame arrives).
+    """
 
     #: protocol name used in reports ("SkNNb" / "SkNNm")
     name = "SkNN"
+
+    #: incoming-message tag -> name of the C2 handler method consuming it
+    P2_STEPS: dict[str, str] = {
+        "SkNN.masked_results": "_p2_decrypt_delivery",
+    }
 
     def __init__(self, cloud: FederatedCloud,
                  feature_dimensions: int | None = None) -> None:
@@ -140,6 +181,11 @@ class SkNNProtocol:
         #: per-attribute mask encryptions use precomputed obfuscation factors
         #: instead of fresh modular exponentiations.
         self.mask_encryptor = None
+
+    # -- P2 step dispatch ---------------------------------------------------------
+    @property
+    def _p2_channel(self):
+        return self.cloud.channel
 
     # -- accessors ----------------------------------------------------------------
     @property
@@ -206,8 +252,14 @@ class SkNNProtocol:
 
         C1 masks every attribute with a fresh random value and sends the
         masked ciphertexts to C2; C2 decrypts them (seeing only uniformly
-        random values) and would forward them to Bob; C1 sends the masks to
-        Bob directly.  The returned :class:`ResultShares` carries both halves.
+        random values) and forwards them to Bob; C1 sends the masks to Bob
+        directly.  The payload carries a delivery id so C2 can file the
+        decrypted share for the right query.  In the simulated runtime the
+        share is collected from C2's in-process store; in the distributed
+        runtime it stays on the C2 daemon (``masked_values_from_c2`` is
+        ``None``) and Bob fetches it over his own connection to C2 using
+        the returned ``delivery_id`` — C1's process never sees it, exactly
+        as the paper's trust model requires.
 
         Mask sourcing precedence: precomputed engine mask tuples (both the
         value and its encryption paid offline) > the legacy
@@ -215,7 +267,6 @@ class SkNNProtocol:
         encryption.
         """
         c1 = self.cloud.c1
-        c2 = self.cloud.c2
         pk = self.public_key
         engine = self.engine
         masks_for_bob: list[list[int]] = []
@@ -236,16 +287,28 @@ class SkNNProtocol:
             masked_for_c2.append(
                 pk.add_batch(list(encrypted_record), enc_masks))
 
-        c1.send(masked_for_c2, tag="SkNN.masked_results")
-        received = c2.receive(expected_tag="SkNN.masked_results")
-        masked_values = [
-            c2.decrypt_residue_batch(record) for record in received
-        ]
+        delivery_id = next(_DELIVERY_IDS)
+        c1.send([delivery_id, masked_for_c2], tag="SkNN.masked_results")
+        self.p2_step("SkNN.masked_results")
+        if getattr(self.cloud.channel, "runs_both_parties", True):
+            masked_values = self.cloud.c2.take_delivery(delivery_id)
+        else:
+            masked_values = None
         return ResultShares(
             masks_from_c1=masks_for_bob,
             masked_values_from_c2=masked_values,
             modulus=self.public_key.n,
+            delivery_id=delivery_id,
         )
+
+    def _p2_decrypt_delivery(self) -> None:
+        """C2's half of the delivery phase: decrypt and file the share."""
+        c2 = self.cloud.c2
+        delivery_id, received = c2.receive(expected_tag="SkNN.masked_results")
+        masked_values = [
+            c2.decrypt_residue_batch(record) for record in received
+        ]
+        c2.deliver_share(delivery_id, masked_values)
 
     # -- instrumented execution -----------------------------------------------------
     def run(self, encrypted_query: Sequence[Ciphertext], k: int) -> ResultShares:

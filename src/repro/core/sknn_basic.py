@@ -34,6 +34,9 @@ class SkNNBasic(SkNNProtocol):
 
     name = "SkNNb"
 
+    P2_STEPS = dict(SkNNProtocol.P2_STEPS,
+                    **{"SkNNb.encrypted_distances": "_p2_select_top_k"})
+
     def run(self, encrypted_query: Sequence[Ciphertext], k: int) -> ResultShares:
         """Answer a kNN query, revealing distances to C2 and access patterns.
 
@@ -46,18 +49,33 @@ class SkNNBasic(SkNNProtocol):
             attribute values decrypted by C2).
         """
         self._validate_query(encrypted_query, k)
-        c1, c2 = self.cloud.c1, self.cloud.c2
+        c1 = self.cloud.c1
 
         # Step 2: C1 and C2 jointly compute E(d_i) for every record.
         encrypted_distances = self._compute_encrypted_distances(encrypted_query)
 
-        # Step 2(c): C1 sends the (index, E(d_i)) pairs to C2.
+        # Step 2(c): C1 sends the (index, E(d_i), k) triple list to C2.
         indexed = list(enumerate(encrypted_distances))
-        c1.send(indexed, tag="SkNNb.encrypted_distances")
+        c1.send([k, indexed], tag="SkNNb.encrypted_distances")
 
-        # Step 3: C2 decrypts all distances (one vectorized CRT kernel call)
-        # and returns the top-k index list.
-        received = c2.receive(expected_tag="SkNNb.encrypted_distances")
+        # Step 3: C2 decrypts all distances and returns the top-k index list.
+        self.p2_step("SkNNb.encrypted_distances")
+
+        # Step 4: C1 selects the encrypted records named by the index list.
+        delta = c1.receive(expected_tag="SkNNb.topk_indices")
+        selected_records = [
+            list(self.encrypted_table.record_at(index).ciphertexts) for index in delta
+        ]
+
+        # Steps 4-6: mask, decrypt, and hand both shares to Bob.
+        return self._deliver_records(selected_records)
+
+    # -- C2 step ---------------------------------------------------------------
+    def _p2_select_top_k(self) -> None:
+        """Step 3: C2 decrypts all distances (one vectorized CRT kernel call)
+        and returns the top-k index list."""
+        c2 = self.cloud.c2
+        k, received = c2.receive(expected_tag="SkNNb.encrypted_distances")
         residues = c2.decrypt_residue_batch(
             [ciphertext for _, ciphertext in received])
         plaintext_distances = [
@@ -69,12 +87,3 @@ class SkNNBasic(SkNNProtocol):
         plaintext_distances.sort(key=lambda pair: (pair[1], pair[0]))
         top_k_indices = [index for index, _ in plaintext_distances[:k]]
         c2.send(top_k_indices, tag="SkNNb.topk_indices")
-
-        # Step 4: C1 selects the encrypted records named by the index list.
-        delta = c1.receive(expected_tag="SkNNb.topk_indices")
-        selected_records = [
-            list(self.encrypted_table.record_at(index).ciphertexts) for index in delta
-        ]
-
-        # Steps 4-6: mask, decrypt, and hand both shares to Bob.
-        return self._deliver_records(selected_records)

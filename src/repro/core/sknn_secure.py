@@ -52,6 +52,9 @@ class SkNNSecure(SkNNProtocol):
 
     name = "SkNNm"
 
+    P2_STEPS = dict(SkNNProtocol.P2_STEPS,
+                    **{"SkNNm.randomized_differences": "_p2_locate_minimum"})
+
     def __init__(self, cloud: FederatedCloud, distance_bits: int,
                  sminn_topology: str = "tournament",
                  reexpand_each_iteration: bool = True,
@@ -97,7 +100,7 @@ class SkNNSecure(SkNNProtocol):
             The two result shares for Bob.
         """
         self._validate_query(encrypted_query, k)
-        c1, c2 = self.cloud.c1, self.cloud.c2
+        c1 = self.cloud.c1
         n = len(self.encrypted_table)
 
         # Step 2: E(d_i) via one batched SSED scan, then [d_i] via one batched
@@ -130,10 +133,7 @@ class SkNNSecure(SkNNProtocol):
             c1.send(beta, tag="SkNNm.randomized_differences")
 
             # Step 3(c): C2 marks the zero entry with an encrypted 1.
-            received_beta = c2.receive(expected_tag="SkNNm.randomized_differences")
-            decrypted = c2.decrypt_residue_batch(received_beta)
-            indicator = self._build_indicator(decrypted)
-            c2.send(indicator, tag="SkNNm.indicator")
+            self.p2_step("SkNNm.randomized_differences")
 
             # Step 3(d): C1 un-permutes U into V and extracts the record.
             received_u = c1.receive(expected_tag="SkNNm.indicator")
@@ -154,6 +154,15 @@ class SkNNSecure(SkNNProtocol):
     def sub_cipher(self, left: Ciphertext, right: Ciphertext) -> Ciphertext:
         """Homomorphic subtraction ``E(a - b)``."""
         return left + (right * (self.public_key.n - 1))
+
+    def _p2_locate_minimum(self) -> None:
+        """Step 3(c): C2 decrypts the permuted differences and replies with
+        the encrypted indicator vector marking (one) minimum position."""
+        c2 = self.cloud.c2
+        received_beta = c2.receive(expected_tag="SkNNm.randomized_differences")
+        decrypted = c2.decrypt_residue_batch(received_beta)
+        indicator = self._build_indicator(decrypted)
+        c2.send(indicator, tag="SkNNm.indicator")
 
     def _build_indicator(self, decrypted_differences: list[int]) -> list[Ciphertext]:
         """C2's step 3(c): encrypt a 1 at (one) zero position, 0 elsewhere.

@@ -30,6 +30,8 @@ from typing import TYPE_CHECKING, Literal, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - imports used for annotations only
     from repro.service.scheduler import QueryServer
+    from repro.transport.client import RemoteCloud
+    from repro.transport.supervisor import LocalSupervisor
 
 from repro.core.cloud import FederatedCloud
 from repro.core.parallel import ParallelSkNNBasic
@@ -43,7 +45,7 @@ from repro.network.latency import LatencyModel
 
 __all__ = ["QueryAnswer", "SkNNSystem"]
 
-Mode = Literal["basic", "secure", "parallel", "sharded"]
+Mode = Literal["basic", "secure", "parallel", "sharded", "distributed"]
 
 
 @dataclass
@@ -69,12 +71,17 @@ class QueryAnswer:
 class SkNNSystem:
     """A complete deployment of the SkNN setting (Alice + C1 + C2 + Bob)."""
 
-    def __init__(self, owner: DataOwner, cloud: FederatedCloud,
+    def __init__(self, owner: DataOwner, cloud: FederatedCloud | None,
                  client: QueryClient, mode: Mode = "secure",
                  distance_bits: int | None = None, workers: int = 6,
                  parallel_backend: str = "process", shards: int = 2,
                  k_default: int | None = None,
-                 precompute: int = 0) -> None:
+                 precompute: int = 0,
+                 remote: "RemoteCloud | None" = None,
+                 supervisor: "LocalSupervisor | None" = None) -> None:
+        if cloud is None and remote is None:
+            raise ConfigurationError(
+                "a system needs either a local cloud or a remote daemon pair")
         self.owner = owner
         self.cloud = cloud
         self.client = client
@@ -83,11 +90,15 @@ class SkNNSystem:
         self.parallel_backend = parallel_backend
         self.shards = shards
         self.k_default = k_default
+        #: distributed mode: the provisioned daemon pair and (when this
+        #: system spawned it) the supervisor owning the two subprocesses
+        self.remote = remote
+        self.supervisor = supervisor
         self.distance_bits = (
             distance_bits if distance_bits is not None
             else owner.distance_bit_length()
         )
-        if precompute > 0:
+        if precompute > 0 and cloud is not None:
             self._attach_precompute(precompute)
         self._protocol = self._build_protocol()
 
@@ -120,13 +131,40 @@ class SkNNSystem:
             precompute: when positive, attach a warmed
                 :class:`~repro.crypto.precompute.PrecomputeEngine` sized to
                 cover roughly this many queries, so the online path consumes
-                pooled obfuscators, constants and mask tuples.
+                pooled obfuscators, constants and mask tuples.  In
+                distributed mode each daemon warms its own party-local
+                engine instead.
+
+        ``mode="distributed"`` spawns a local C1+C2 daemon pair (two real OS
+        processes talking length-prefixed TCP frames), provisions them with
+        the encrypted table and the secret key, and answers queries over the
+        wire with the fully secure SkNN_m protocol.  The system owns the
+        subprocesses; :meth:`close` (or the context manager) shuts them
+        down.
         """
         owner = DataOwner(table, key_size=key_size, rng=rng)
+        client = QueryClient(owner.public_key, table.dimensions, rng=rng)
+        if mode == "distributed":
+            # Local import: the transport stack is only needed here.
+            from repro.transport.supervisor import LocalSupervisor
+
+            supervisor = LocalSupervisor().start()
+            try:
+                remote = supervisor.provision_from_owner(
+                    owner,
+                    distance_bits=distance_bits,
+                    seed=rng.getrandbits(31) if rng is not None else None,
+                    precompute_queries=precompute,
+                    k_default=k_default or 1)
+            except BaseException:
+                supervisor.shutdown()
+                raise
+            return cls(owner, None, client, mode=mode,
+                       distance_bits=distance_bits, k_default=k_default,
+                       remote=remote, supervisor=supervisor)
         cloud = FederatedCloud.deploy(owner.keypair, rng=rng,
                                       latency_model=latency_model)
         cloud.c1.host_database(owner.encrypt_database())
-        client = QueryClient(owner.public_key, table.dimensions, rng=rng)
         return cls(owner, cloud, client, mode=mode, distance_bits=distance_bits,
                    workers=workers, parallel_backend=parallel_backend,
                    shards=shards, k_default=k_default, precompute=precompute)
@@ -173,15 +211,20 @@ class SkNNSystem:
     @property
     def precompute_engine(self):
         """C1's attached precomputation engine, when one exists."""
-        return self.cloud.engine
+        return self.cloud.engine if self.cloud is not None else None
 
     @property
     def decryptor_precompute_engine(self):
         """C2's attached precomputation engine, when one exists."""
-        return self.cloud.c2.engine
+        return self.cloud.c2.engine if self.cloud is not None else None
 
     def _build_protocol(self):
         """Instantiate the protocol object matching the configured mode."""
+        if self.mode == "distributed":
+            # Local import: repro.transport sits on top of repro.core.
+            from repro.transport.client import RemoteProtocol
+            return RemoteProtocol(self.remote, mode="secure",
+                                  supervisor=self.supervisor)
         if self.mode == "basic":
             return SkNNBasic(self.cloud)
         if self.mode == "secure":
@@ -283,6 +326,17 @@ class SkNNSystem:
 
         server_rng = (Random(self.owner.rng.getrandbits(63))
                       if self.owner.rng is not None else None)
+        if self.mode == "distributed":
+            # The scheduler's sessions/batching run locally; every batch is
+            # dispatched over the remote channel to the C1 daemon.
+            from repro.transport.client import RemoteStore
+
+            # The store owns a cloned connection pair, so closing the server
+            # never severs this system's own daemon connections.
+            store = RemoteStore(self.remote.clone(), mode="basic",
+                                public_key=self.owner.public_key)
+            return QueryServer(store, batch_size=batch_size, rng=server_rng,
+                               session_pool_size=session_pool_size)
         engine = None
         if precompute > 0:
             # Reuse an engine already attached at setup time (its warmed

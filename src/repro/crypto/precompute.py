@@ -39,11 +39,15 @@ background thread that keeps the pools topped up.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import deque
 from dataclasses import dataclass
 from random import Random
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import used for annotations only
+    from pathlib import Path
 
 from repro.crypto.backend import get_backend
 from repro.crypto.paillier import (
@@ -56,6 +60,10 @@ from repro.exceptions import ConfigurationError
 
 __all__ = ["PrecomputeConfig", "PrecomputeEngine", "MASK_ZN", "MASK_NONZERO",
            "MASK_SBD"]
+
+#: version of the on-disk pool cache format (see
+#: :meth:`PrecomputeEngine.save_pools`)
+_POOL_CACHE_VERSION = 1
 
 #: Mask-tuple kinds (the sampling range each protocol requires).
 MASK_ZN = "zn"            # r uniform in [0, N)      — SM, SSED, delivery
@@ -459,6 +467,95 @@ class PrecomputeEngine:
             fresh = [self._sample_mask(kind) for _ in range(shortfall)]
             out.extend(zip(fresh, self.encrypt_batch(fresh)))
         return out
+
+    # -- persistence -----------------------------------------------------------
+    def save_pools(self, path: "str | Path") -> int:
+        """Persist the warmed pools to ``path``; returns the items saved.
+
+        The file is a versioned JSON document binding the material to the
+        public key's modulus (a cache for a different key is rejected at
+        load).  Pools are *drained* into the file, so a factor or mask tuple
+        is either in memory or on disk, never both — the single-use
+        guarantee survives the round trip.  Meant to run at daemon shutdown
+        (``--pool-cache``) so a restarted party starts hot.
+        """
+        from pathlib import Path
+
+        with self._lock:
+            constants = {str(value): [format(raw, "x") for raw in store]
+                         for value, store in self._constants.items()
+                         if store}
+            masks = {kind: [[format(r, "x"), format(raw, "x")]
+                            for r, raw in store]
+                     for kind, store in self._masks.items() if store}
+            for store in self._constants.values():
+                store.clear()
+            for store in self._masks.values():
+                store.clear()
+        factors = self.obfuscators.drain_factors()
+        data = {
+            "format": _POOL_CACHE_VERSION,
+            "kind": "precompute-pool-cache",
+            "n": format(self.public_key.n, "x"),
+            "sbd_bit_length": self.config.sbd_bit_length,
+            "obfuscators": [format(factor, "x") for factor in factors],
+            "constants": constants,
+            "masks": masks,
+        }
+        saved = (len(factors)
+                 + sum(len(v) for v in constants.values())
+                 + sum(len(v) for v in masks.values()))
+        target = Path(path)
+        temporary = target.with_name(target.name + ".tmp")
+        temporary.write_text(json.dumps(data))
+        temporary.replace(target)
+        return saved
+
+    def load_pools(self, path: "str | Path") -> int:
+        """Reload pools saved by :meth:`save_pools`; returns items adopted.
+
+        The cache file is **deleted** after a successful load: the stored
+        randomness is single-use, and removing the file guarantees a crashed
+        (or concurrently started) party can never replay it.  A cache bound
+        to a different modulus raises
+        :class:`~repro.exceptions.ConfigurationError`; SBD mask tuples whose
+        recorded ``l`` differs from this engine's configuration are dropped
+        (their sampling range would be wrong), everything else loads.
+        """
+        from pathlib import Path
+
+        target = Path(path)
+        try:
+            data = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"unreadable pool cache {path}: {exc}")
+        if (not isinstance(data, dict)
+                or data.get("kind") != "precompute-pool-cache"
+                or data.get("format") != _POOL_CACHE_VERSION):
+            raise ConfigurationError(
+                f"{path} is not a version-{_POOL_CACHE_VERSION} pool cache")
+        if data.get("n") != format(self.public_key.n, "x"):
+            raise ConfigurationError(
+                f"pool cache {path} was produced under a different key")
+        adopted = self.obfuscators.adopt_factors(
+            [int(factor, 16) for factor in data.get("obfuscators", [])])
+        with self._lock:
+            for value, store in data.get("constants", {}).items():
+                raws = [int(raw, 16) for raw in store]
+                self._constants.setdefault(int(value), deque()).extend(raws)
+                adopted += len(raws)
+            for kind, store in data.get("masks", {}).items():
+                if kind not in self._masks:
+                    continue
+                if (kind == MASK_SBD
+                        and data.get("sbd_bit_length")
+                        != self.config.sbd_bit_length):
+                    continue
+                tuples = [(int(r, 16), int(raw, 16)) for r, raw in store]
+                self._masks[kind].extend(tuples)
+                adopted += len(tuples)
+        target.unlink()
+        return adopted
 
     # -- introspection ---------------------------------------------------------
     def remaining(self) -> dict[str, int]:

@@ -108,6 +108,29 @@ class RandomnessPool:
             pool._factors.extend(factors)
         return pool
 
+    # -- persistence support -------------------------------------------------
+    def drain_factors(self) -> "list[int]":
+        """Remove and return every stored factor (for persisting to disk).
+
+        Draining (rather than copying) preserves the single-use guarantee:
+        a factor is either in memory or in the cache file, never both.
+        """
+        with self._lock:
+            taken = list(self._factors)
+            self._factors.clear()
+        return taken
+
+    def adopt_factors(self, factors: "list[int]") -> int:
+        """Add already-computed factors (e.g. reloaded from a pool cache).
+
+        The factors count toward ``precomputed_total`` (they were computed
+        offline, just not by this process).  Returns the number adopted.
+        """
+        with self._lock:
+            self._factors.extend(factors)
+            self.precomputed_total += len(factors)
+        return len(factors)
+
     # -- hot path -----------------------------------------------------------
     def take_factor(self) -> int:
         """Pop one single-use factor; computes on demand when the pool is dry."""

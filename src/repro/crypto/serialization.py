@@ -36,9 +36,19 @@ __all__ = [
     "keypair_from_dict",
     "ciphertext_to_dict",
     "ciphertext_from_dict",
+    "payload_to_jsonable",
+    "payload_from_jsonable",
+    "message_envelope_to_bytes",
+    "message_envelope_from_bytes",
+    "FRAME_HEADER_BYTES",
     "dumps",
     "loads",
 ]
+
+#: size of the TCP frame length prefix; part of the wire format, defined here
+#: (rather than in :mod:`repro.transport.framing`) so the in-memory channel
+#: can size its byte accounting without importing the transport package.
+FRAME_HEADER_BYTES = 4
 
 _FORMAT_VERSION = 1
 
@@ -122,6 +132,129 @@ def ciphertext_from_dict(data: dict[str, Any],
     """Reconstruct a ciphertext under the supplied public key."""
     _validate_kind(data, "paillier-ciphertext")
     return Ciphertext(public_key, _hex_to_int(data["value"]))
+
+
+# ---------------------------------------------------------------------------
+# Channel-payload codec
+# ---------------------------------------------------------------------------
+#
+# Every value the two-party protocols put on a channel is built from a small
+# closed set of shapes: ciphertexts, (signed) integers, booleans, strings,
+# ``None`` and nested lists/tuples/dicts of those.  The encoding below maps
+# each shape onto a JSON value unambiguously:
+#
+# * ``None``, booleans and strings encode as themselves;
+# * every other shape encodes as a single-key dict whose key names the type
+#   (``"c"`` ciphertext, ``"i"`` integer, ``"t"`` tuple, ``"d"`` dict) — a
+#   payload dict is always wrapped in ``{"d": [...]}``, so the type-tag keys
+#   can never collide with user data;
+# * lists encode as JSON arrays of encoded items.
+#
+# Integers use sign-prefixed hex (consistent with the key/ciphertext formats
+# above) so arbitrarily large residues survive any JSON implementation.  The
+# TCP transport (:mod:`repro.transport.wire`) frames exactly this encoding,
+# and the in-memory channel sizes its traffic accounting with it, so both
+# transports report comparable byte counts.
+
+def payload_to_jsonable(payload: Any) -> Any:
+    """Encode a channel payload as a JSON-compatible value."""
+    if payload is None or isinstance(payload, str):
+        return payload
+    if isinstance(payload, bool):  # before int: bool subclasses int
+        return payload
+    if isinstance(payload, int):
+        sign = "-" if payload < 0 else ""
+        return {"i": sign + format(abs(payload), "x")}
+    if isinstance(payload, float):
+        # Floats appear only in control/report messages (timings), never in
+        # protocol payloads; JSON represents them natively.
+        return payload
+    if isinstance(payload, Ciphertext):
+        return {"c": _int_to_hex(payload.value)}
+    if isinstance(payload, list):
+        return [payload_to_jsonable(item) for item in payload]
+    if isinstance(payload, tuple):
+        return {"t": [payload_to_jsonable(item) for item in payload]}
+    if isinstance(payload, dict):
+        return {"d": [[payload_to_jsonable(key), payload_to_jsonable(value)]
+                      for key, value in payload.items()]}
+    raise SerializationError(
+        f"unsupported payload type on the wire: {type(payload).__name__}")
+
+
+def payload_from_jsonable(data: Any,
+                          public_key: PaillierPublicKey | None) -> Any:
+    """Decode :func:`payload_to_jsonable` output.
+
+    Args:
+        data: the JSON-compatible encoding.
+        public_key: key used to rebuild ciphertexts; ``None`` is accepted for
+            payloads that cannot contain ciphertexts (e.g. the provisioning
+            control messages that *carry* the key material itself).
+    """
+    if data is None or isinstance(data, (bool, str)):
+        return data
+    if isinstance(data, float):
+        return data
+    if isinstance(data, list):
+        return [payload_from_jsonable(item, public_key) for item in data]
+    if isinstance(data, dict):
+        if len(data) != 1:
+            raise SerializationError(f"malformed payload node: {data!r}")
+        kind, value = next(iter(data.items()))
+        if kind == "i":
+            if not isinstance(value, str):
+                raise SerializationError(f"malformed integer node: {value!r}")
+            negative = value.startswith("-")
+            magnitude = _hex_to_int(value[1:] if negative else value)
+            return -magnitude if negative else magnitude
+        if kind == "c":
+            if public_key is None:
+                raise SerializationError(
+                    "cannot decode a ciphertext without a public key "
+                    "(is the party provisioned yet?)")
+            return Ciphertext(public_key, _hex_to_int(value))
+        if kind == "t":
+            return tuple(payload_from_jsonable(item, public_key)
+                         for item in value)
+        if kind == "d":
+            return {payload_from_jsonable(key, public_key):
+                    payload_from_jsonable(val, public_key)
+                    for key, val in value}
+        raise SerializationError(f"unknown payload node kind {kind!r}")
+    raise SerializationError(
+        f"unsupported wire value of type {type(data).__name__}")
+
+
+def message_envelope_to_bytes(sender: str, recipient: str, tag: str,
+                              payload: Any) -> bytes:
+    """Encode one channel message as compact UTF-8 JSON bytes.
+
+    The envelope is the four-element array ``[sender, recipient, tag,
+    encoded-payload]``.  This is the exact byte sequence the TCP transport
+    frames, and the in-memory channel sizes its accounting with it.
+    """
+    envelope = [sender, recipient, tag, payload_to_jsonable(payload)]
+    return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+
+
+def message_envelope_from_bytes(
+    body: bytes, public_key: PaillierPublicKey | None
+) -> tuple[str, str, str, Any]:
+    """Decode :func:`message_envelope_to_bytes` output.
+
+    Returns:
+        ``(sender, recipient, tag, payload)``.
+    """
+    try:
+        envelope = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"undecodable message envelope: {exc}") from exc
+    if (not isinstance(envelope, list) or len(envelope) != 4
+            or not all(isinstance(part, str) for part in envelope[:3])):
+        raise SerializationError("malformed message envelope")
+    sender, recipient, tag, payload = envelope
+    return sender, recipient, tag, payload_from_jsonable(payload, public_key)
 
 
 def dumps(data: dict[str, Any]) -> str:

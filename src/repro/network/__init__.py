@@ -5,7 +5,7 @@ exchange all data through a counted in-memory channel, preserving the protocol
 transcript while remaining testable inside one process.
 """
 
-from repro.network.channel import DuplexChannel, Message
+from repro.network.channel import DuplexChannel, Message, message_wire_size
 from repro.network.latency import (
     BandwidthLatency,
     FixedLatency,
@@ -23,6 +23,7 @@ from repro.network.stats import ProtocolRunStats, TrafficStats
 __all__ = [
     "DuplexChannel",
     "Message",
+    "message_wire_size",
     "LatencyModel",
     "ZeroLatency",
     "FixedLatency",

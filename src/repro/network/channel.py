@@ -20,11 +20,15 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.crypto.paillier import Ciphertext
-from repro.exceptions import ChannelError
+from repro.crypto.serialization import (
+    FRAME_HEADER_BYTES,
+    message_envelope_to_bytes,
+)
+from repro.exceptions import ChannelError, SerializationError
 from repro.network.latency import LatencyModel, ZeroLatency
 from repro.network.stats import TrafficStats
 
-__all__ = ["Message", "DuplexChannel"]
+__all__ = ["Message", "DuplexChannel", "message_wire_size"]
 
 
 @dataclass(frozen=True)
@@ -46,34 +50,44 @@ class Message:
     payload: Any
 
 
-def _count_payload(payload: Any) -> tuple[int, int, int]:
-    """Return ``(ciphertexts, plaintext_items, payload_bytes)`` for a payload.
-
-    Ciphertext size is taken as the byte length of the underlying integer
-    (an element of ``Z_{N^2}``), matching what a binary wire format would
-    carry.  Plain integers contribute their own byte length.
-    """
+def _count_payload(payload: Any) -> tuple[int, int]:
+    """Return ``(ciphertexts, plaintext_items)`` for a payload."""
     if isinstance(payload, Ciphertext):
-        return 1, 0, (payload.value.bit_length() + 7) // 8
+        return 1, 0
     if isinstance(payload, bool):
-        return 0, 1, 1
-    if isinstance(payload, int):
-        return 0, 1, (abs(payload).bit_length() + 7) // 8 or 1
+        return 0, 1
+    if isinstance(payload, (int, float)):
+        return 0, 1
     if isinstance(payload, (list, tuple)):
-        ciphertexts = plaintexts = size = 0
+        ciphertexts = plaintexts = 0
         for item in payload:
-            c, p, s = _count_payload(item)
+            c, p = _count_payload(item)
             ciphertexts += c
             plaintexts += p
-            size += s
-        return ciphertexts, plaintexts, size
+        return ciphertexts, plaintexts
     if isinstance(payload, dict):
         return _count_payload(list(payload.values()))
     if payload is None:
-        return 0, 0, 0
+        return 0, 0
     if isinstance(payload, str):
-        return 0, 1, len(payload.encode("utf-8"))
+        return 0, 1
     raise ChannelError(f"unsupported payload type on channel: {type(payload).__name__}")
+
+
+def message_wire_size(message: Message) -> int:
+    """Exact bytes ``message`` occupies on the TCP transport.
+
+    The in-memory channel accounts its traffic with the same wire codec the
+    :mod:`repro.transport` TCP framing uses (envelope JSON plus the 4-byte
+    length prefix), so ``bytes_transferred`` is directly comparable between
+    a simulated run and a distributed one.
+    """
+    try:
+        body = message_envelope_to_bytes(
+            message.sender, message.recipient, message.tag, message.payload)
+    except SerializationError as exc:
+        raise ChannelError(str(exc)) from exc
+    return FRAME_HEADER_BYTES + len(body)
 
 
 class DuplexChannel:
@@ -84,6 +98,12 @@ class DuplexChannel:
     parties' steps in program order, which produces exactly the transcript a
     real sequential execution of the two-party protocol would produce.
     """
+
+    #: Both endpoints live in this process, so protocol drivers must execute
+    #: the remote party's steps inline (``p2_step`` dispatch).  The TCP
+    #: transport's channel sets this ``False``: there the opposite endpoint
+    #: is a separate OS process running its own steps.
+    runs_both_parties = True
 
     def __init__(self, endpoint_a: str = "C1", endpoint_b: str = "C2",
                  latency_model: LatencyModel | None = None) -> None:
@@ -117,7 +137,8 @@ class DuplexChannel:
         """Send ``payload`` from ``sender`` to the opposite endpoint."""
         recipient = self._other(sender)
         message = Message(sender=sender, recipient=recipient, tag=tag, payload=payload)
-        ciphertexts, plaintexts, size = _count_payload(payload)
+        ciphertexts, plaintexts = _count_payload(payload)
+        size = message_wire_size(message)
         self.traffic[sender].record(ciphertexts, plaintexts, size)
         self.simulated_delay_seconds += self._latency_model.delay_for_message(size)
         self._queues[recipient].append(message)

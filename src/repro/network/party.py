@@ -119,6 +119,35 @@ class DecryptorParty(Party):
                  channel: DuplexChannel, rng: Random | None = None) -> None:
         super().__init__(name, private_key.public_key, channel, rng)
         self.private_key = private_key
+        #: optional override for where decrypted result shares go (the C2
+        #: daemon points this at its client-facing share mailbox); ``None``
+        #: keeps them in-process for the simulated runtime.
+        self.share_sink = None
+        self._deliveries: dict[int, list[list[int]]] = {}
+
+    # -- result-share delivery (steps 4-6 of Algorithm 5) ---------------------
+    def deliver_share(self, delivery_id: int,
+                      masked_values: "list[list[int]]") -> None:
+        """Hand the decrypted masked result values to Bob.
+
+        In the paper C2 sends these directly to the query user on a separate
+        link.  The simulated runtime stores them for the driver to collect
+        (:meth:`take_delivery`); a daemon overrides :attr:`share_sink` so the
+        share lands in the mailbox its Bob clients fetch from over TCP.
+        """
+        if self.share_sink is not None:
+            self.share_sink(delivery_id, masked_values)
+            return
+        self._deliveries[delivery_id] = masked_values
+
+    def take_delivery(self, delivery_id: int) -> "list[list[int]]":
+        """Collect (and forget) a share stored by :meth:`deliver_share`."""
+        try:
+            return self._deliveries.pop(delivery_id)
+        except KeyError:
+            raise ConfigurationError(
+                f"no result share stored under delivery id {delivery_id}"
+            ) from None
 
     def decrypt_signed(self, ciphertext: Ciphertext) -> int:
         """Decrypt with signed decoding (values above N/2 read as negative)."""

@@ -9,6 +9,7 @@ analysis of Section 4.4 (e.g. SM exchanges exactly three ciphertexts).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -105,3 +106,14 @@ class ProtocolRunStats:
         }
         row.update(self.extra)
         return row
+
+    def as_payload(self) -> dict[str, object]:
+        """Lossless field-by-field dictionary (the wire form of the stats)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, data: dict[str, object]) -> "ProtocolRunStats":
+        """Rebuild from :meth:`as_payload` output (e.g. off the wire)."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items()
+                      if key in fields})

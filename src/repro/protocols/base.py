@@ -27,7 +27,76 @@ from repro.exceptions import ProtocolError
 from repro.network.party import DecryptorParty, EvaluatorParty, TwoPartySetting
 from repro.network.stats import ProtocolRunStats
 
-__all__ = ["TwoPartyProtocol", "ProtocolResult"]
+__all__ = ["P2StepDispatcher", "TwoPartyProtocol", "ProtocolResult"]
+
+
+class P2StepDispatcher:
+    """Tag-keyed dispatch of the decryptor's (P2/C2's) protocol steps.
+
+    Every interaction with the key holder has one shape: P1 sends a tagged
+    message, P2 *receives that tag, computes, and sends a tagged reply*.
+    Protocol classes implement each such step as a handler method (which
+    performs its own ``receive`` and ``send``) and register it in
+    :attr:`P2_STEPS`, keyed by the tag of the message that triggers it.
+
+    Drivers invoke ``self.p2_step(tag)`` right after sending the triggering
+    message.  Over the in-memory channel (which hosts both parties) the
+    handler runs inline — byte-for-byte the behavior of the old interleaved
+    drivers.  Over a :class:`~repro.transport.channel.TcpChannel` the call
+    is a no-op: the remote party's daemon dispatches the same handler when
+    the frame arrives (see :mod:`repro.transport.daemon`), which is what
+    lets the protocol implementations run unchanged across both runtimes.
+
+    Shared by the sub-protocol base (:class:`TwoPartyProtocol`) and the
+    query-protocol base (:class:`~repro.core.sknn_base.SkNNProtocol`);
+    subclasses provide :attr:`_p2_channel`.
+    """
+
+    #: short protocol name used in statistics and error messages
+    name = "protocol"
+
+    #: incoming-message tag -> name of the P2 handler method consuming it
+    P2_STEPS: "dict[str, str]" = {}
+
+    @property
+    def _p2_channel(self):
+        """The channel whose locality decides where P2 steps execute."""
+        raise NotImplementedError
+
+    def p2_step(self, tag: str) -> Any:
+        """Run the P2 handler for ``tag`` when P2 lives in this process.
+
+        Returns the handler's return value locally, ``None`` when the
+        decryptor is remote (its daemon runs the handler on frame arrival).
+        """
+        if getattr(self._p2_channel, "runs_both_parties", True):
+            return self.dispatch_p2(tag)
+        return None
+
+    def dispatch_p2(self, tag: str) -> Any:
+        """Execute the P2 handler registered for ``tag`` unconditionally."""
+        method_name = self.P2_STEPS.get(tag)
+        if method_name is None:
+            raise ProtocolError(
+                f"{self.name}: no P2 step registered for tag {tag!r}")
+        return getattr(self, method_name)()
+
+    def collect_p2_handlers(self) -> "dict[str, Any]":
+        """All P2 handlers of this protocol and its sub-protocols, by tag.
+
+        A party daemon builds its dispatch registry from this: the union of
+        ``tag -> bound handler`` over the protocol object graph.  Duplicate
+        tags across instances are fine — the handlers are stateless between
+        steps, so any instance's binding serves.
+        """
+        handlers: dict[str, Any] = {
+            tag: getattr(self, method_name)
+            for tag, method_name in self.P2_STEPS.items()
+        }
+        for attribute in vars(self).values():
+            if isinstance(attribute, P2StepDispatcher):
+                handlers.update(attribute.collect_p2_handlers())
+        return handlers
 
 
 @dataclass
@@ -43,14 +112,22 @@ class ProtocolResult:
     stats: ProtocolRunStats
 
 
-class TwoPartyProtocol:
-    """Base class for all of the paper's two-party sub-protocols."""
+class TwoPartyProtocol(P2StepDispatcher):
+    """Base class for all of the paper's two-party sub-protocols.
+
+    P2 steps are registered and dispatched through the inherited
+    :class:`P2StepDispatcher` machinery.
+    """
 
     #: short protocol name used in statistics and logging ("SM", "SSED", ...)
     name = "two-party-protocol"
 
     def __init__(self, setting: TwoPartySetting) -> None:
         self.setting = setting
+
+    @property
+    def _p2_channel(self):
+        return self.setting.channel
 
     # -- party / key accessors ------------------------------------------------
     @property

@@ -43,6 +43,11 @@ class SecureBitDecomposition(TwoPartyProtocol):
 
     name = "SBD"
 
+    P2_STEPS = {
+        "SBD.masked_value": "_p2_parity_of_masked",
+        "SBD.batch_masked_values": "_p2_parity_of_masked_batch",
+    }
+
     def __init__(self, setting, bit_length: int) -> None:
         """Create an SBD instance for values in ``[0, 2**bit_length)``.
 
@@ -114,12 +119,7 @@ class SecureBitDecomposition(TwoPartyProtocol):
         masks = [r for r, _ in mask_tuples]
         masked = self.pk.add_batch(enc_values, [c for _, c in mask_tuples])
         self.p1.send(masked, tag="SBD.batch_masked_values")
-
-        received_masked = self.p2.receive(expected_tag="SBD.batch_masked_values")
-        parities = [y % 2
-                    for y in self.p2.decrypt_residue_batch(received_masked)]
-        self.p2.send(self.encrypt_pooled_constants(self.p2, parities),
-                     tag="SBD.batch_masked_parities")
+        self.p2_step("SBD.batch_masked_values")
 
         received = self.p1.receive(expected_tag="SBD.batch_masked_parities")
         # Un-flip the parity wherever P1's mask was odd (same expected cost
@@ -149,9 +149,7 @@ class SecureBitDecomposition(TwoPartyProtocol):
         mask, enc_mask = self._p1_take_mask()
         masked = enc_value + enc_mask
         self.p1.send(masked, tag="SBD.masked_value")
-
-        enc_masked_parity = self._p2_parity_of_masked()
-        self.p2.send(enc_masked_parity, tag="SBD.masked_parity")
+        self.p2_step("SBD.masked_value")
 
         received = self.p1.receive(expected_tag="SBD.masked_parity")
         enc_bit = self._p1_unmask_parity(received, mask)
@@ -183,9 +181,18 @@ class SecureBitDecomposition(TwoPartyProtocol):
         return self.sub(self.encrypt_pooled_constant(self.p1, 1),
                         enc_masked_parity)
 
-    # -- P2 step -------------------------------------------------------------------
-    def _p2_parity_of_masked(self) -> Ciphertext:
-        """P2 decrypts the masked value and returns the encryption of its parity."""
+    # -- P2 steps ------------------------------------------------------------------
+    def _p2_parity_of_masked(self) -> None:
+        """P2 decrypts the masked value and replies with its encrypted parity."""
         masked = self.p2.receive(expected_tag="SBD.masked_value")
         y = self.p2.decrypt_residue(masked)
-        return self.encrypt_pooled_constant(self.p2, y % 2)
+        self.p2.send(self.encrypt_pooled_constant(self.p2, y % 2),
+                     tag="SBD.masked_parity")
+
+    def _p2_parity_of_masked_batch(self) -> None:
+        """Batched parity step: one vectorized decryption, pooled constants."""
+        received_masked = self.p2.receive(expected_tag="SBD.batch_masked_values")
+        parities = [y % 2
+                    for y in self.p2.decrypt_residue_batch(received_masked)]
+        self.p2.send(self.encrypt_pooled_constants(self.p2, parities),
+                     tag="SBD.batch_masked_parities")

@@ -32,6 +32,12 @@ class SecureMultiplication(TwoPartyProtocol):
 
     name = "SM"
 
+    P2_STEPS = {
+        "SM.masked_operands": "_p2_multiply_masked",
+        "SM.batch_masked_operands": "_p2_multiply_masked_batch",
+        "SM.batch_masked_squares": "_p2_square_masked_batch",
+    }
+
     def run(self, enc_a: Ciphertext, enc_b: Ciphertext) -> Ciphertext:
         """Compute ``Epk(a * b)`` from ``Epk(a)`` and ``Epk(b)``.
 
@@ -44,9 +50,7 @@ class SecureMultiplication(TwoPartyProtocol):
         """
         masked_a, masked_b, r_a, r_b = self._p1_mask_operands(enc_a, enc_b)
         self.p1.send([masked_a, masked_b], tag="SM.masked_operands")
-
-        product_cipher = self._p2_multiply_masked()
-        self.p2.send(product_cipher, tag="SM.masked_product")
+        self.p2_step("SM.masked_operands")
 
         received = self.p1.receive(expected_tag="SM.masked_product")
         return self._p1_unmask(received, enc_a, enc_b, r_a, r_b)
@@ -79,13 +83,32 @@ class SecureMultiplication(TwoPartyProtocol):
         return self.add_plain(s_prime, -(r_a * r_b) % n)
 
     # -- P2 steps ---------------------------------------------------------------
-    def _p2_multiply_masked(self) -> Ciphertext:
+    def _p2_multiply_masked(self) -> None:
         """Step 2: P2 decrypts the masked operands and multiplies them."""
         masked_a, masked_b = self.p2.receive(expected_tag="SM.masked_operands")
         h_a = self.p2.decrypt_residue(masked_a)
         h_b = self.p2.decrypt_residue(masked_b)
         h = (h_a * h_b) % self.pk.n
-        return self.p2.encrypt(h)
+        self.p2.send(self.p2.encrypt(h), tag="SM.masked_product")
+
+    def _p2_multiply_masked_batch(self) -> None:
+        """Batched step 2: decrypt every masked pair, multiply in the clear."""
+        n = self.pk.n
+        received_a, received_b = self.p2.receive(
+            expected_tag="SM.batch_masked_operands")
+        h_a = self.p2.decrypt_residue_batch(received_a)
+        h_b = self.p2.decrypt_residue_batch(received_b)
+        products = [(x * y) % n for x, y in zip(h_a, h_b)]
+        self.p2.send(self.p2.encrypt_batch(products),
+                     tag="SM.batch_masked_products")
+
+    def _p2_square_masked_batch(self) -> None:
+        """Squaring step 2: decrypt each masked value and square it."""
+        n = self.pk.n
+        received_masked = self.p2.receive(expected_tag="SM.batch_masked_squares")
+        h_values = self.p2.decrypt_residue_batch(received_masked)
+        self.p2.send(self.p2.encrypt_batch([(h * h) % n for h in h_values]),
+                     tag="SM.batch_square_products")
 
     # -- batched execution -------------------------------------------------------
     def run_batch(self, pairs: Sequence[tuple[Ciphertext, Ciphertext]]
@@ -126,13 +149,7 @@ class SecureMultiplication(TwoPartyProtocol):
         self.p1.send([masked_a, masked_b], tag="SM.batch_masked_operands")
 
         # Step 2: P2 decrypts all masked operands and multiplies them.
-        received_a, received_b = self.p2.receive(
-            expected_tag="SM.batch_masked_operands")
-        h_a = self.p2.decrypt_residue_batch(received_a)
-        h_b = self.p2.decrypt_residue_batch(received_b)
-        products = [(x * y) % n for x, y in zip(h_a, h_b)]
-        self.p2.send(self.p2.encrypt_batch(products),
-                     tag="SM.batch_masked_products")
+        self.p2_step("SM.batch_masked_operands")
 
         # Step 3: P1 strips the cross terms from every product.
         received = self.p1.receive(expected_tag="SM.batch_masked_products")
@@ -177,11 +194,7 @@ class SecureMultiplication(TwoPartyProtocol):
         masked = self.pk.add_batch(list(ciphertexts),
                                    [c for _, c in mask_tuples])
         self.p1.send(masked, tag="SM.batch_masked_squares")
-
-        received_masked = self.p2.receive(expected_tag="SM.batch_masked_squares")
-        h_values = self.p2.decrypt_residue_batch(received_masked)
-        self.p2.send(self.p2.encrypt_batch([(h * h) % n for h in h_values]),
-                     tag="SM.batch_square_products")
+        self.p2_step("SM.batch_masked_squares")
 
         received = self.p1.receive(expected_tag="SM.batch_square_products")
         unmask = self.pk.scalar_mul_batch(

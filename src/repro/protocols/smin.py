@@ -49,6 +49,11 @@ class SecureMinimum(TwoPartyProtocol):
 
     name = "SMIN"
 
+    P2_STEPS = {
+        "SMIN.gamma_and_l": "_p2_decide_alpha",
+        "SMIN.batch_gamma_and_l": "_p2_decide_alpha_batch",
+    }
+
     def __init__(self, setting) -> None:
         super().__init__(setting)
         self._sm = SecureMultiplication(setting)
@@ -99,8 +104,7 @@ class SecureMinimum(TwoPartyProtocol):
         self.p1.send([permuted_gamma, permuted_l], tag="SMIN.gamma_and_l")
 
         # ---- P2: step 2 -----------------------------------------------------
-        m_prime, enc_alpha = self._p2_decide_alpha()
-        self.p2.send([m_prime, enc_alpha], tag="SMIN.masked_minimum")
+        self.p2_step("SMIN.gamma_and_l")
 
         # ---- P1: step 3 -----------------------------------------------------
         received_m_prime, received_alpha = self.p1.receive(
@@ -228,19 +232,7 @@ class SecureMinimum(TwoPartyProtocol):
         self.p1.send(payload, tag="SMIN.batch_gamma_and_l")
 
         # ---- P2: step 2 for every pair --------------------------------------
-        received_payload = self.p2.receive(expected_tag="SMIN.batch_gamma_and_l")
-        flat_l = [cipher for _, permuted_l in received_payload
-                  for cipher in permuted_l]
-        decrypted_l = self.p2.decrypt_residue_batch(flat_l)
-        alphas: list[int] = []
-        m_primes: list[list[Ciphertext]] = []
-        for index, (permuted_gamma, _) in enumerate(received_payload):
-            window = decrypted_l[index * bit_length:(index + 1) * bit_length]
-            alpha = 1 if any(value == 1 for value in window) else 0
-            alphas.append(alpha)
-            m_primes.append(self.pk.scalar_mul_batch(permuted_gamma, alpha))
-        enc_alphas = self.encrypt_pooled_constants(self.p2, alphas)
-        self.p2.send([m_primes, enc_alphas], tag="SMIN.batch_masked_minimums")
+        self.p2_step("SMIN.batch_gamma_and_l")
 
         # ---- P1: step 3 for every pair --------------------------------------
         received_m, received_alphas = self.p1.receive(
@@ -264,7 +256,7 @@ class SecureMinimum(TwoPartyProtocol):
         return results
 
     # -- P2 side -------------------------------------------------------------
-    def _p2_decide_alpha(self) -> tuple[list[Ciphertext], Ciphertext]:
+    def _p2_decide_alpha(self) -> None:
         """P2 decrypts the permuted L vector and forms ``alpha`` and ``M'``.
 
         ``alpha = 1`` when some entry of the decrypted L vector equals 1 (the
@@ -277,4 +269,22 @@ class SecureMinimum(TwoPartyProtocol):
         alpha = 1 if any(value == 1 for value in decrypted_l) else 0
         m_prime = [enc_gamma * alpha for enc_gamma in permuted_gamma]
         enc_alpha = self.encrypt_pooled_constant(self.p2, alpha)
-        return m_prime, enc_alpha
+        self.p2.send([m_prime, enc_alpha], tag="SMIN.masked_minimum")
+
+    def _p2_decide_alpha_batch(self) -> None:
+        """Batched step 2: one alpha decision per pair, vectorized decryption."""
+        received_payload = self.p2.receive(expected_tag="SMIN.batch_gamma_and_l")
+        flat_l = [cipher for _, permuted_l in received_payload
+                  for cipher in permuted_l]
+        bit_length = (len(flat_l) // len(received_payload)
+                      if received_payload else 0)
+        decrypted_l = self.p2.decrypt_residue_batch(flat_l)
+        alphas: list[int] = []
+        m_primes: list[list[Ciphertext]] = []
+        for index, (permuted_gamma, _) in enumerate(received_payload):
+            window = decrypted_l[index * bit_length:(index + 1) * bit_length]
+            alpha = 1 if any(value == 1 for value in window) else 0
+            alphas.append(alpha)
+            m_primes.append(self.pk.scalar_mul_batch(permuted_gamma, alpha))
+        enc_alphas = self.encrypt_pooled_constants(self.p2, alphas)
+        self.p2.send([m_primes, enc_alphas], tag="SMIN.batch_masked_minimums")

@@ -35,7 +35,7 @@ from random import Random
 from typing import Sequence
 
 from repro.core.roles import QueryClient
-from repro.core.sknn_base import RunStatsRecorder, SkNNRunReport
+from repro.core.sknn_base import SkNNRunReport
 from repro.core.system import QueryAnswer
 from repro.crypto.paillier import Ciphertext
 from repro.crypto.randomness_pool import RandomnessPool
@@ -103,9 +103,8 @@ class ServiceSession:
                  randomness_pool: RandomnessPool | None = None) -> None:
         self.server = server
         self.session_id = session_id
-        table = server.sharded.cloud.c1.encrypted_table
-        self.client = QueryClient(server.sharded.cloud.c1.public_key,
-                                  table.dimensions, rng=rng,
+        self.client = QueryClient(server.store.public_key,
+                                  server.store.dimensions, rng=rng,
                                   randomness_pool=randomness_pool)
 
     def submit(self, query_record: Sequence[int], k: int) -> PendingQuery:
@@ -177,7 +176,16 @@ class QueryServer:
     """Accepts concurrent Bob sessions and serves them in scheduled batches.
 
     Args:
-        sharded: the sharded encrypted store answering the queries.
+        store: the query store answering the batches.  Usually a
+            :class:`~repro.service.sharding.ShardedCloud` (in-process
+            scatter-gather over the worker pool); a
+            :class:`~repro.transport.client.RemoteStore` plugs the same
+            scheduler into the distributed runtime, dispatching every batch
+            over the remote channel to the C1 daemon.  Any object with the
+            store contract (``validate_query``, ``answer_batch``,
+            ``start_recorder``, ``refill_precompute``, ``close``,
+            ``public_key``/``table_size``/``dimensions``/
+            ``protocol_label``/``last_batch_timings``) works.
         batch_size: maximum queries grouped into one scan pass.
         batch_window_seconds: how long the background serving thread waits
             for a batch to fill before executing a partial one.
@@ -194,12 +202,12 @@ class QueryServer:
             promptly.
     """
 
-    def __init__(self, sharded: ShardedCloud, batch_size: int = 4,
+    def __init__(self, store: ShardedCloud, batch_size: int = 4,
                  batch_window_seconds: float = 0.01,
                  rng: Random | None = None,
                  session_pool_size: int = 0,
                  precompute_idle_budget: int = 32) -> None:
-        self.sharded = sharded
+        self.store = store
         self.scheduler = QueryScheduler(batch_size)
         self.batch_window_seconds = batch_window_seconds
         self.rng = rng
@@ -213,6 +221,11 @@ class QueryServer:
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
 
+    @property
+    def sharded(self) -> ShardedCloud:
+        """Back-compat alias for :attr:`store` (historically always sharded)."""
+        return self.store
+
     # -- sessions -----------------------------------------------------------
     def open_session(self, name: str | None = None) -> ServiceSession:
         """Register a new query user and return their session."""
@@ -223,7 +236,7 @@ class QueryServer:
                        if self.rng is not None else None)
         pool = None
         if self.session_pool_size > 0:
-            pool = RandomnessPool(self.sharded.cloud.c1.public_key,
+            pool = RandomnessPool(self.store.public_key,
                                   size=self.session_pool_size, rng=session_rng)
         session = ServiceSession(self, session_id, rng=session_rng,
                                  randomness_pool=pool)
@@ -242,7 +255,7 @@ class QueryServer:
         started = time.perf_counter()
         encrypted_query = session.client.encrypt_query(query_record)
         encrypt_elapsed = time.perf_counter() - started
-        self.sharded.validate_query(encrypted_query, k)
+        self.store.validate_query(encrypted_query, k)
         request = _QueryRequest(
             request_id=next(self._request_ids),
             session=session,
@@ -271,11 +284,11 @@ class QueryServer:
         # are shared state, so batch execution is serialized even when both
         # a background thread and a flushing caller are active.
         with self._serve_lock:
-            pk = self.sharded.cloud.c1.public_key
-            recorder = RunStatsRecorder(self.sharded.cloud)
+            pk = self.store.public_key
+            recorder = self.store.start_recorder()
             started = time.perf_counter()
             try:
-                all_shares = self.sharded.answer_batch(
+                all_shares = self.store.answer_batch(
                     [request.encrypted_query for request in batch],
                     [request.k for request in batch],
                 )
@@ -287,13 +300,12 @@ class QueryServer:
             elapsed = time.perf_counter() - started
             # Counters/traffic are per batch; see RunStatsRecorder for the
             # attribution caveat under concurrent client-side encryption.
-            batch_stats = recorder.finish("SkNNb-sharded", elapsed)
-            timings = self.sharded.last_batch_timings
+            batch_stats = recorder.finish(self.store.protocol_label, elapsed)
+            timings = self.store.last_batch_timings
             self.stats.queries_served += len(batch)
             self.stats.batches_served += 1
             self.stats.busy_seconds += elapsed
 
-        table = self.sharded.cloud.c1.encrypted_table
         for request, shares in zip(batch, all_shares):
             reconstruct_started = time.perf_counter()
             neighbors = request.session.client.reconstruct(shares)
@@ -302,9 +314,9 @@ class QueryServer:
             # the per-query phase timings divide the shared phases evenly.
             share = 1.0 / len(batch)
             report = SkNNRunReport(
-                protocol="SkNNb-sharded",
-                n_records=len(table),
-                dimensions=table.dimensions,
+                protocol=self.store.protocol_label,
+                n_records=self.store.table_size,
+                dimensions=self.store.dimensions,
                 k=request.k,
                 key_size=pk.key_size,
                 distance_bits=None,
@@ -356,7 +368,7 @@ class QueryServer:
     def close(self) -> None:
         """Stop serving and release the sharded store's worker pool."""
         self.stop()
-        self.sharded.close()
+        self.store.close()
 
     def __enter__(self) -> "QueryServer":
         self.start()
@@ -374,7 +386,7 @@ class QueryServer:
                 # Idle slot: spend it refilling the precomputation pools so
                 # the next query's obfuscators/masks are already paid for.
                 if self.precompute_idle_budget > 0:
-                    self.sharded.refill_precompute(self.precompute_idle_budget)
+                    self.store.refill_precompute(self.precompute_idle_budget)
                 continue
             # Give the batch a short window to fill before executing it.
             if (self.scheduler.pending < self.scheduler.batch_size

@@ -214,6 +214,29 @@ class ShardedCloud:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- the query-store contract (shared with transport.client.RemoteStore) --
+    #: protocol label stamped on reports produced through this store
+    protocol_label = "SkNNb-sharded"
+
+    @property
+    def public_key(self):
+        """The deployment's Paillier public key."""
+        return self.cloud.c1.public_key
+
+    @property
+    def table_size(self) -> int:
+        """Number of records in the hosted encrypted table."""
+        return len(self.cloud.c1.encrypted_table)
+
+    @property
+    def dimensions(self) -> int:
+        """Attribute count of the hosted encrypted table."""
+        return self.cloud.c1.encrypted_table.dimensions
+
+    def start_recorder(self) -> RunStatsRecorder:
+        """Snapshot counters/traffic ahead of one batch execution."""
+        return RunStatsRecorder(self.cloud)
+
     # -- introspection ------------------------------------------------------
     @property
     def shard_count(self) -> int:

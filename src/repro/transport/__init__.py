@@ -1,0 +1,40 @@
+"""Distributed runtime: C1, C2 and Bob as real networked processes.
+
+The rest of the library simulates the paper's two non-colluding clouds inside
+one Python process (:class:`~repro.network.channel.DuplexChannel`).  This
+package provides the real thing:
+
+* :mod:`repro.transport.framing` — length-prefixed frames over TCP;
+* :mod:`repro.transport.wire` — the message codec (layered on
+  :mod:`repro.crypto.serialization`);
+* :mod:`repro.transport.channel` — :class:`TcpChannel`, a drop-in
+  implementation of the ``DuplexChannel`` send/recv interface over a socket;
+* :mod:`repro.transport.daemon` — the C1/C2 party daemons
+  (``repro party --role c1|c2 --listen HOST:PORT``);
+* :mod:`repro.transport.supervisor` — spawns both daemons locally as
+  subprocesses (tests, examples, ``SkNNSystem`` ``mode="distributed"``);
+* :mod:`repro.transport.client` — Bob's client: provisioning, remote
+  queries, share fetching, and the ``RemoteStore`` backing a distributed
+  :class:`~repro.service.scheduler.QueryServer`.
+"""
+
+from repro.transport.channel import TcpChannel
+from repro.transport.client import RemoteCloud, RemoteProtocol, RemoteStore
+from repro.transport.daemon import PartyDaemon, ShareMailbox, parse_address
+from repro.transport.framing import recv_frame, send_frame
+from repro.transport.supervisor import LocalSupervisor
+from repro.transport.wire import WireCodec
+
+__all__ = [
+    "TcpChannel",
+    "WireCodec",
+    "PartyDaemon",
+    "ShareMailbox",
+    "LocalSupervisor",
+    "RemoteCloud",
+    "RemoteProtocol",
+    "RemoteStore",
+    "parse_address",
+    "send_frame",
+    "recv_frame",
+]

@@ -1,0 +1,176 @@
+"""``TcpChannel`` — the ``DuplexChannel`` interface over a connected socket.
+
+One :class:`TcpChannel` lives in each party's process and is bound to that
+party's *local role* (``"C1"`` in the C1 daemon, ``"C2"`` in the C2 daemon).
+It implements the same ``send``/``receive``/``pending``/accounting surface as
+the in-memory :class:`~repro.network.channel.DuplexChannel`, so the protocol
+stack (``protocols/*``, ``core/*``, ``service/*``) runs over sockets
+unchanged.  The differences protocol code can observe:
+
+* ``runs_both_parties`` is ``False`` — protocol drivers skip the inline
+  execution of the remote party's steps (the remote daemon runs them when
+  the corresponding frame arrives);
+* only the local role may call ``send``/``receive``; the opposite endpoint
+  is another OS process;
+* traffic statistics count the *actual framed bytes* on the wire, in both
+  directions (outbound under the local role, inbound under the remote one).
+
+Framing or decoding failures surface as
+:class:`~repro.exceptions.ChannelError`, exactly like in-memory misuse.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+
+from repro.exceptions import ChannelError
+from repro.network.channel import Message, _count_payload
+from repro.network.stats import TrafficStats
+from repro.transport.framing import FRAME_HEADER_BYTES, recv_frame, send_frame
+from repro.transport.wire import WireCodec
+
+__all__ = ["TcpChannel"]
+
+
+class TcpChannel:
+    """Bidirectional framed channel over one connected TCP socket."""
+
+    #: the remote endpoint is a separate OS process — see
+    #: :class:`~repro.network.channel.DuplexChannel.runs_both_parties`.
+    runs_both_parties = False
+
+    def __init__(self, sock: socket.socket, codec: WireCodec,
+                 local_role: str, remote_role: str,
+                 record_transcript: bool = False) -> None:
+        """Wrap a connected socket as a protocol channel.
+
+        Args:
+            sock: the connected stream socket to the opposite party.
+            codec: wire codec (its public key may be provisioned later).
+            local_role: the endpoint living in this process (``"C1"``/…).
+            remote_role: the endpoint at the other end of the socket.
+            record_transcript: keep every message in :attr:`transcript`
+                (tests/debugging only — unbounded memory on a daemon).
+        """
+        self._sock = sock
+        self._codec = codec
+        self.local_role = local_role
+        self.remote_role = remote_role
+        # Mirror DuplexChannel's endpoint naming (C1 is endpoint_a there).
+        self.endpoint_a, self.endpoint_b = sorted((local_role, remote_role))
+        self._inbox: deque[Message] = deque()
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self.traffic: dict[str, TrafficStats] = {
+            local_role: TrafficStats(),
+            remote_role: TrafficStats(),
+        }
+        #: kept for interface parity with the in-memory channel (a TCP link
+        #: has real latency; nothing is simulated here).
+        self.simulated_delay_seconds = 0.0
+        self.record_transcript = record_transcript
+        self.transcript: list[Message] = []
+
+    # -- primary API ----------------------------------------------------------
+    def send(self, sender: str, payload: object, tag: str = "") -> None:
+        """Send ``payload`` from the local role to the remote process."""
+        if sender != self.local_role:
+            raise ChannelError(
+                f"cannot send as {sender!r}: this process is {self.local_role!r}")
+        message = Message(sender=sender, recipient=self.remote_role,
+                          tag=tag, payload=payload)
+        body = self._codec.encode_message(message)
+        with self._send_lock:
+            sent = send_frame(self._sock, body)
+        ciphertexts, plaintexts = _count_payload(payload)
+        self.traffic[sender].record(ciphertexts, plaintexts, sent)
+        if self.record_transcript:
+            self.transcript.append(message)
+
+    def receive(self, recipient: str, expected_tag: str | None = None) -> object:
+        """Receive the next message addressed to the local role."""
+        if recipient != self.local_role:
+            raise ChannelError(
+                f"cannot receive as {recipient!r}: this process is "
+                f"{self.local_role!r}")
+        message = self._next_message()
+        if message.tag == "transport.error":
+            # The remote party failed mid-protocol and told us why instead
+            # of leaving this side blocked on a frame that will never come.
+            raise ChannelError(f"remote {self.remote_role} reported: "
+                               f"{message.payload}")
+        if expected_tag is not None and message.tag != expected_tag:
+            raise ChannelError(
+                f"expected message tagged {expected_tag!r} but got "
+                f"{message.tag!r}")
+        return message.payload
+
+    def pending(self, recipient: str) -> int:
+        """Messages already read off the socket but not yet consumed."""
+        if recipient != self.local_role:
+            raise ChannelError(
+                f"unknown local endpoint {recipient!r} (this process is "
+                f"{self.local_role!r})")
+        return len(self._inbox)
+
+    # -- daemon dispatch support ----------------------------------------------
+    def next_tag(self) -> str:
+        """Block for the next incoming message and return its tag.
+
+        The message stays queued: the handler selected by the tag consumes
+        it through the normal ``receive`` path.  This is what a daemon's
+        dispatch loop uses to route frames to protocol step handlers.
+        """
+        if not self._inbox:
+            self._inbox.append(self._read_message())
+        return self._inbox[0].tag
+
+    def _next_message(self) -> Message:
+        if self._inbox:
+            return self._inbox.popleft()
+        return self._read_message()
+
+    def _read_message(self) -> Message:
+        with self._recv_lock:
+            body = recv_frame(self._sock)
+        if body is None:
+            raise ChannelError(
+                f"connection to {self.remote_role} closed")
+        message = self._codec.decode_message(body)
+        ciphertexts, plaintexts = _count_payload(message.payload)
+        self.traffic[self.remote_role].record(
+            ciphertexts, plaintexts, FRAME_HEADER_BYTES + len(body))
+        if self.record_transcript:
+            self.transcript.append(message)
+        return message
+
+    # -- accounting -----------------------------------------------------------
+    def total_traffic(self) -> TrafficStats:
+        """Aggregate traffic over both directions."""
+        return self.traffic[self.local_role].merged_with(
+            self.traffic[self.remote_role])
+
+    def reset_accounting(self) -> None:
+        """Clear traffic statistics and the transcript."""
+        for stats in self.traffic.values():
+            stats.reset()
+        self.simulated_delay_seconds = 0.0
+        self.transcript.clear()
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"TcpChannel(local={self.local_role!r}, "
+                f"remote={self.remote_role!r})")

@@ -1,0 +1,361 @@
+"""Client side of the distributed runtime: provisioning, queries, stores.
+
+Three layers, bottom-up:
+
+* :class:`DaemonClient` — one control connection to a party daemon
+  (request/reply over ``transport.*`` tags).
+* :class:`RemoteCloud` — Bob's (and, for provisioning, Alice's) view of a
+  C1+C2 daemon pair: provision both parties, run queries against C1, fetch
+  C2's share half over the *separate* C2 connection, assemble
+  :class:`~repro.core.roles.ResultShares`.  C1 never sees C2's share — the
+  delivery trust boundary of the paper survives the network split.
+* :class:`RemoteProtocol` / :class:`RemoteStore` — adapters that plug a
+  :class:`RemoteCloud` into the existing serving surfaces:
+  ``SkNNSystem`` ``mode="distributed"`` and the batched
+  :class:`~repro.service.scheduler.QueryServer` scheduler.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Sequence
+
+from repro.core.roles import ResultShares
+from repro.core.sknn_base import SkNNRunReport
+from repro.crypto.paillier import Ciphertext, PaillierKeyPair
+from repro.crypto.serialization import private_key_to_dict
+from repro.db.encrypted_table import EncryptedTable
+from repro.exceptions import ChannelError, ConfigurationError, QueryError
+from repro.network.channel import Message
+from repro.network.stats import ProtocolRunStats
+from repro.transport.daemon import DEFAULT_FETCH_TIMEOUT
+from repro.transport.framing import recv_frame, send_frame
+from repro.transport.wire import WireCodec
+
+__all__ = ["DaemonClient", "RemoteCloud", "RemoteProtocol", "RemoteStore"]
+
+
+class DaemonClient:
+    """One request/reply control connection to a party daemon."""
+
+    def __init__(self, address: tuple[str, int], codec: WireCodec,
+                 connect_timeout: float = 30.0) -> None:
+        self.address = address
+        self._codec = codec
+        self._lock = threading.Lock()
+        try:
+            self._sock = socket.create_connection(address,
+                                                  timeout=connect_timeout)
+        except OSError as exc:
+            raise ChannelError(
+                f"cannot connect to daemon at {address[0]}:{address[1]}: "
+                f"{exc}") from exc
+        self._sock.settimeout(None)
+        hello = self.request("transport.hello", {"peer": "client"})
+        self.role: str = hello.get("role", "?")
+
+    def request(self, tag: str, payload: Any) -> Any:
+        """Send one control message and return the daemon's reply payload.
+
+        A ``transport.error`` reply raises :class:`ChannelError` carrying
+        the daemon's explanation.
+        """
+        message = Message(sender="client", recipient="daemon", tag=tag,
+                          payload=payload)
+        with self._lock:
+            send_frame(self._sock, self._codec.encode_message(message))
+            body = recv_frame(self._sock)
+        if body is None:
+            raise ChannelError(
+                f"daemon at {self.address[0]}:{self.address[1]} closed the "
+                f"connection while handling {tag!r}")
+        reply = self._codec.decode_message(body)
+        if reply.tag == "transport.error":
+            raise ChannelError(f"daemon {self.role}: {reply.payload}")
+        expected = (tag + ".ok") if tag != "transport.hello" else "transport.hello_ok"
+        if reply.tag != expected:
+            raise ChannelError(
+                f"expected reply {expected!r} but got {reply.tag!r}")
+        return reply.payload
+
+    def close(self) -> None:
+        """Close the control connection (idempotent)."""
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class RemoteCloud:
+    """A provisioned pair of party daemons, as seen from the client side.
+
+    Args:
+        c1_address: ``(host, port)`` of the C1 daemon.
+        c2_address: ``(host, port)`` of the C2 daemon.
+        fetch_timeout: how long :meth:`query` waits for C2 to file a share.
+    """
+
+    def __init__(self, c1_address: tuple[str, int],
+                 c2_address: tuple[str, int],
+                 fetch_timeout: float = DEFAULT_FETCH_TIMEOUT) -> None:
+        self.codec = WireCodec()
+        self.c1_address = c1_address
+        self.c2_address = c2_address
+        self.fetch_timeout = fetch_timeout
+        self.c1 = DaemonClient(c1_address, self.codec)
+        self.c2 = DaemonClient(c2_address, self.codec)
+        #: populated by :meth:`provision` (or :meth:`adopt_public_key`)
+        self.table_size: int | None = None
+        self.dimensions: int | None = None
+        self.distance_bits: int | None = None
+
+    # -- provisioning (Alice's role) ------------------------------------------
+    def provision(self, keypair: PaillierKeyPair,
+                  encrypted_table: EncryptedTable,
+                  distance_bits: int | None = None,
+                  seed: int | None = None,
+                  precompute_queries: int = 0,
+                  k_default: int = 1) -> dict[str, Any]:
+        """Ship the secret key to C2 and the encrypted table to C1.
+
+        C2 is provisioned first so that C1's peer dial finds a party that
+        can speak the protocol.  When ``precompute_queries`` is positive,
+        each daemon builds and warms its own party-local
+        :class:`~repro.crypto.precompute.PrecomputeEngine` sized for that
+        many queries (C1 evaluator pools, C2 decryptor pools) — the offline
+        work happens in the daemons, where the pools live.
+        """
+        if encrypted_table.public_key != keypair.public_key:
+            raise ConfigurationError(
+                "encrypted table was produced under a different key pair")
+        self.table_size = len(encrypted_table)
+        self.dimensions = encrypted_table.dimensions
+        self.distance_bits = distance_bits
+        load = dict(n_records=len(encrypted_table),
+                    dimensions=encrypted_table.dimensions,
+                    k=k_default, queries=precompute_queries)
+        c2_reply = self.c2.request("transport.provision", {
+            "private_key": private_key_to_dict(keypair.private_key),
+            "distance_bits": distance_bits,
+            "seed": seed,
+            "precompute": (dict(load, sbd_bit_length=distance_bits)
+                           if precompute_queries > 0 else None),
+        })
+        # Only now can ciphertexts travel on these connections.
+        self.codec.public_key = keypair.public_key
+        c1_reply = self.c1.request("transport.provision", {
+            "encrypted_table": encrypted_table.to_dict(),
+            "distance_bits": distance_bits,
+            "c2_address": [self.c2_address[0], self.c2_address[1]],
+            "seed": seed + 1 if seed is not None else None,
+            "precompute": (dict(load, sbd_bit_length=distance_bits)
+                           if precompute_queries > 0 else None),
+        })
+        return {"c1": c1_reply, "c2": c2_reply}
+
+    def adopt_public_key(self, public_key) -> None:
+        """Attach the key for ciphertext traffic to already-provisioned daemons."""
+        self.codec.public_key = public_key
+
+    def clone(self) -> "RemoteCloud":
+        """A second, independent connection pair to the same daemons.
+
+        The clone shares the key and table metadata but owns its own
+        sockets, so closing it (e.g. when a serving layer built on top shuts
+        down) never severs the original connections.
+        """
+        other = RemoteCloud(self.c1_address, self.c2_address,
+                            fetch_timeout=self.fetch_timeout)
+        other.codec.public_key = self.codec.public_key
+        other.table_size = self.table_size
+        other.dimensions = self.dimensions
+        other.distance_bits = self.distance_bits
+        return other
+
+    # -- queries (Bob's role) --------------------------------------------------
+    def query(self, encrypted_query: Sequence[Ciphertext], k: int,
+              mode: str = "basic"
+              ) -> tuple[ResultShares, SkNNRunReport | None]:
+        """Run one kNN query across the two daemons.
+
+        C1 answers with its mask share plus the delivery id; the decrypted
+        half is fetched from C2 directly, and the two halves are assembled
+        into complete :class:`ResultShares` here — at Bob, the only place
+        both halves may meet.
+        """
+        reply = self.c1.request("transport.query", {
+            "mode": mode, "k": k, "query": list(encrypted_query),
+        })
+        shares = self._complete_shares(reply["masks"], reply["modulus"],
+                                       reply["delivery_id"])
+        report = (SkNNRunReport.from_payload(reply["report"])
+                  if reply.get("report") else None)
+        return shares, report
+
+    def query_batch(self, encrypted_queries: Sequence[Sequence[Ciphertext]],
+                    ks: Sequence[int], mode: str = "basic"
+                    ) -> tuple[list[ResultShares], ProtocolRunStats, float]:
+        """Run a scheduler batch; returns shares, stats and wall time."""
+        reply = self.c1.request("transport.query_batch", {
+            "mode": mode,
+            "ks": list(ks),
+            "queries": [list(query) for query in encrypted_queries],
+        })
+        modulus = reply["modulus"]
+        shares = [
+            self._complete_shares(result["masks"], modulus,
+                                  result["delivery_id"])
+            for result in reply["results"]
+        ]
+        stats = ProtocolRunStats.from_payload(reply["stats"])
+        return shares, stats, reply["wall_time_seconds"]
+
+    def _complete_shares(self, masks: list[list[int]], modulus: int,
+                         delivery_id: int) -> ResultShares:
+        masked_values = self.c2.request("transport.fetch_share", {
+            "delivery_id": delivery_id,
+            "timeout": self.fetch_timeout,
+        })
+        return ResultShares(masks_from_c1=masks,
+                            masked_values_from_c2=masked_values,
+                            modulus=modulus, delivery_id=delivery_id)
+
+    # -- maintenance -----------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Both daemons' introspection payloads."""
+        return {"c1": self.c1.request("transport.stats", None),
+                "c2": self.c2.request("transport.stats", None)}
+
+    def shutdown_daemons(self) -> None:
+        """Ask both daemons to exit (best effort)."""
+        for client in (self.c1, self.c2):
+            try:
+                client.request("transport.shutdown", None)
+            except ChannelError:
+                pass
+
+    def close(self) -> None:
+        """Close the control connections (daemons keep running)."""
+        self.c1.close()
+        self.c2.close()
+
+
+class RemoteProtocol:
+    """Protocol-object adapter: lets ``SkNNSystem`` drive a daemon pair.
+
+    Implements the ``run_with_report``/``last_report``/``close`` surface of
+    the in-process protocol classes, so ``SkNNSystem.query_with_report``
+    works unchanged in ``mode="distributed"``.
+    """
+
+    name = "SkNN-distributed"
+
+    def __init__(self, remote: RemoteCloud, mode: str = "basic",
+                 supervisor: Any = None) -> None:
+        """``supervisor``, when given, is shut down by :meth:`close` (the
+        system owns the daemon processes it spawned)."""
+        self.remote = remote
+        self.mode = mode
+        self.supervisor = supervisor
+        self.last_report: SkNNRunReport | None = None
+
+    def run_with_report(self, encrypted_query: Sequence[Ciphertext], k: int,
+                        distance_bits: int | None = None) -> ResultShares:
+        shares, report = self.remote.query(encrypted_query, k, mode=self.mode)
+        self.last_report = report
+        return shares
+
+    def run(self, encrypted_query: Sequence[Ciphertext],
+            k: int) -> ResultShares:
+        return self.run_with_report(encrypted_query, k)
+
+    def close(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.shutdown()
+        else:
+            self.remote.close()
+
+
+class _RemoteBatchRecorder:
+    """Recorder façade over the stats the C1 daemon measured for a batch."""
+
+    def __init__(self, store: "RemoteStore") -> None:
+        self._store = store
+
+    def finish(self, protocol: str, elapsed: float) -> ProtocolRunStats:
+        stats = self._store.last_batch_stats or ProtocolRunStats()
+        stats.protocol = protocol
+        stats.wall_time_seconds = elapsed
+        return stats
+
+
+class RemoteStore:
+    """Query-store adapter backing a distributed ``QueryServer``.
+
+    Satisfies the store contract of
+    :class:`~repro.service.scheduler.QueryServer` (validate, batched answer,
+    stats recording, precompute refill) by dispatching every scheduler batch
+    over the remote channel to the C1 daemon — the batching/session logic of
+    the serving layer is reused verbatim on top of networked parties.
+    """
+
+    protocol_label = "SkNNb-distributed"
+
+    def __init__(self, remote: RemoteCloud, mode: str = "basic",
+                 public_key=None, supervisor: Any = None) -> None:
+        if remote.table_size is None or remote.dimensions is None:
+            raise ConfigurationError(
+                "RemoteStore needs a provisioned RemoteCloud (table "
+                "metadata unknown)")
+        self.remote = remote
+        self.mode = mode
+        self.supervisor = supervisor
+        self.public_key = (public_key if public_key is not None
+                           else remote.codec.public_key)
+        if self.public_key is None:
+            raise ConfigurationError(
+                "RemoteStore needs the deployment's public key")
+        self.last_batch_stats: ProtocolRunStats | None = None
+        self.last_batch_timings = None  # phase breakdown stays daemon-side
+
+    # -- store contract -------------------------------------------------------
+    @property
+    def table_size(self) -> int:
+        return self.remote.table_size  # type: ignore[return-value]
+
+    @property
+    def dimensions(self) -> int:
+        return self.remote.dimensions  # type: ignore[return-value]
+
+    def validate_query(self, encrypted_query: Sequence[Ciphertext],
+                       k: int) -> None:
+        if len(encrypted_query) != self.dimensions:
+            raise QueryError(
+                f"encrypted query has {len(encrypted_query)} attributes, "
+                f"expected {self.dimensions}")
+        if not isinstance(k, int) or k < 1:
+            raise QueryError(f"k must be a positive integer, got {k!r}")
+        if k > self.table_size:
+            raise QueryError(
+                f"k={k} exceeds the database size {self.table_size}")
+
+    def answer_batch(self, encrypted_queries: Sequence[Sequence[Ciphertext]],
+                     ks: Sequence[int]) -> list[ResultShares]:
+        shares, stats, _ = self.remote.query_batch(encrypted_queries, ks,
+                                                   mode=self.mode)
+        self.last_batch_stats = stats
+        return shares
+
+    def start_recorder(self) -> _RemoteBatchRecorder:
+        return _RemoteBatchRecorder(self)
+
+    def refill_precompute(self, budget: int | None = None) -> int:
+        """No-op: each daemon refills its own party-local pools."""
+        return 0
+
+    def close(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.shutdown()
+        else:
+            self.remote.close()

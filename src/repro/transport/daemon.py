@@ -1,0 +1,618 @@
+"""Party daemons: C1 and C2 as standalone networked processes.
+
+Each daemon owns one listening TCP socket and serves two kinds of
+connections, distinguished by the first frame (a ``transport.hello``
+message):
+
+* **clients** (Alice provisioning, Bob querying, the supervisor) speak a
+  request/reply control protocol — tags prefixed ``transport.``;
+* **the peer cloud** (only on C2: the connection C1 dials after it is
+  provisioned) speaks the *protocol* wire format: every incoming frame's tag
+  selects the registered P2 step handler (see
+  :meth:`~repro.protocols.base.TwoPartyProtocol.collect_p2_handlers`), which
+  receives the message, computes C2's step and sends the tagged reply — the
+  same handler code the in-memory runtime executes inline.
+
+Trust boundary: the C1 daemon holds the encrypted table and only the public
+key; the C2 daemon holds the private key and never sees the table.  Result
+shares decrypted by C2 stay on the C2 daemon (a mailbox keyed by delivery
+id) until the query client fetches them over its *own* connection — C1 never
+relays them, mirroring the paper's delivery step.
+
+Shutdown is hardened for CI: ``serve_forever`` installs SIGTERM/SIGINT
+handlers and an ``atexit`` hook that close the listening socket, stop the
+precompute producer thread, persist the ``--pool-cache`` and join every
+connection thread, so a test harness never leaks processes or threads.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+from random import Random
+from typing import Any, Callable
+
+from repro.core.cloud import CloudC1, CloudC2, FederatedCloud
+from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_secure import SkNNSecure
+from repro.crypto.paillier import Ciphertext, OperationCounter
+from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
+from repro.crypto.serialization import private_key_from_dict
+from repro.db.encrypted_table import EncryptedTable
+from repro.exceptions import ChannelError, ConfigurationError, ReproError
+from repro.network.channel import Message
+from repro.network.party import DecryptorParty
+from repro.transport.channel import TcpChannel
+from repro.transport.framing import recv_frame, send_frame
+from repro.transport.wire import WireCodec
+
+__all__ = ["PartyDaemon", "ShareMailbox", "parse_address", "RemotePrivateKey"]
+
+logger = logging.getLogger("repro.transport")
+
+#: how long a Bob client may wait for C2 to file a share before giving up
+DEFAULT_FETCH_TIMEOUT = 60.0
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (port 0 = let the OS pick)."""
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ConfigurationError(
+            f"invalid address {text!r}: expected HOST:PORT")
+    return host, int(port_text)
+
+
+class ShareMailbox:
+    """Thread-safe store of decrypted result shares, keyed by delivery id.
+
+    C2's delivery handler files shares here (through the party's
+    ``share_sink`` hook); Bob clients fetch them over their own connection.
+    Fetching removes the share — each is handed out exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._shares: dict[int, list[list[int]]] = {}
+        self._condition = threading.Condition()
+
+    def put(self, delivery_id: int, masked_values: list[list[int]]) -> None:
+        """File one share and wake anyone waiting for it."""
+        with self._condition:
+            self._shares[delivery_id] = masked_values
+            self._condition.notify_all()
+
+    def fetch(self, delivery_id: int,
+              timeout: float = DEFAULT_FETCH_TIMEOUT) -> list[list[int]]:
+        """Wait for a share to arrive, pop it, and return it."""
+        deadline = time.monotonic() + timeout
+        with self._condition:
+            while delivery_id not in self._shares:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ChannelError(
+                        f"no share filed under delivery id {delivery_id} "
+                        f"within {timeout:.0f}s")
+                # A timed-out wait still re-checks the predicate once: the
+                # share may have been filed between the timeout firing and
+                # the lock being reacquired.
+                self._condition.wait(remaining)
+            return self._shares.pop(delivery_id)
+
+    def clear(self) -> None:
+        """Drop every stored share (a new provisioning/C1 epoch began)."""
+        with self._condition:
+            self._shares.clear()
+            self._condition.notify_all()
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._shares)
+
+
+class RemotePrivateKey:
+    """Stand-in for the secret key on processes that must not hold it.
+
+    The C1 daemon's view of C2 is a :class:`DecryptorParty` carrying this
+    object: statistics plumbing (operation counters) works, but any attempt
+    to actually decrypt fails loudly — the real key lives only in the C2
+    process.
+    """
+
+    def __init__(self, public_key) -> None:
+        self.public_key = public_key
+        #: always-zero counter: remote decryptions are counted by the remote
+        #: process; reports produced on this side show C2 columns as 0.
+        self.counter = OperationCounter()
+
+    def __getattr__(self, name: str) -> Any:
+        raise ConfigurationError(
+            f"the private key is held by the remote C2 process "
+            f"(attempted to use {name!r} locally)")
+
+
+class _Connection:
+    """One accepted socket plus the bookkeeping to shut it down."""
+
+    def __init__(self, sock: socket.socket, address) -> None:
+        self.sock = sock
+        self.address = address
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class PartyDaemon:
+    """One cloud party (C1 or C2) serving its side of the SkNN protocols.
+
+    Args:
+        role: ``"c1"`` or ``"c2"``.
+        host: interface to listen on.
+        port: TCP port (0 = ephemeral; see ``port_file``).
+        port_file: when given, the bound ``host port`` is written there once
+            listening — how a supervisor discovers ephemeral ports.
+        pool_cache: path for persisting/reloading the party's precompute
+            pools across restarts (loaded lazily when the engine is built,
+            saved on clean shutdown).
+    """
+
+    def __init__(self, role: str, host: str = "127.0.0.1", port: int = 0,
+                 port_file: str | Path | None = None,
+                 pool_cache: str | Path | None = None) -> None:
+        if role not in ("c1", "c2"):
+            raise ConfigurationError(f"unknown party role {role!r}")
+        self.role = role
+        self.party_name = role.upper()
+        self.host = host
+        self.port = port
+        self.port_file = Path(port_file) if port_file is not None else None
+        self.pool_cache = Path(pool_cache) if pool_cache is not None else None
+
+        self.codec = WireCodec()
+        self.engine: PrecomputeEngine | None = None
+        self.mailbox = ShareMailbox()
+        self.rng: Random | None = None
+        self.distance_bits: int | None = None
+
+        # C2 state
+        self._private_key = None
+        # C1 state
+        self._cloud: FederatedCloud | None = None
+        self._protocols: dict[str, Any] = {}
+        self._peer_channel: TcpChannel | None = None
+        self._query_lock = threading.Lock()
+
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._connections: set[_Connection] = set()
+        self._state_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def bind(self) -> tuple[str, int]:
+        """Bind the listening socket; returns the actual ``(host, port)``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        self._listener = listener
+        self.host, self.port = listener.getsockname()[:2]
+        if self.port_file is not None:
+            temporary = self.port_file.with_name(self.port_file.name + ".tmp")
+            temporary.write_text(f"{self.host} {self.port}\n")
+            temporary.replace(self.port_file)
+        logger.info("%s daemon listening on %s:%d",
+                    self.party_name, self.host, self.port)
+        return self.host, self.port
+
+    def start(self) -> None:
+        """Bind (if needed) and start the accept loop in the background."""
+        if self._listener is None:
+            self.bind()
+        accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"sknn-{self.role}-accept",
+            daemon=True)
+        accept_thread.start()
+        self._threads.append(accept_thread)
+
+    def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Run until SIGTERM/SIGINT or a ``transport.shutdown`` request.
+
+        Installs the hardening hooks: signal handlers and an ``atexit``
+        fallback both route into :meth:`close`, so the listening socket is
+        released, the precompute producer joined and the pool cache saved no
+        matter how the process exits.
+        """
+        if install_signal_handlers:
+            def _terminate(signum, frame):  # pragma: no cover - signal path
+                logger.info("%s daemon received signal %d, shutting down",
+                            self.party_name, signum)
+                self._stop.set()
+
+            signal.signal(signal.SIGTERM, _terminate)
+            signal.signal(signal.SIGINT, _terminate)
+        atexit.register(self.close)
+        self.start()
+        try:
+            while not self._stop.is_set():
+                self._stop.wait(0.2)
+        finally:
+            self.close()
+
+    def stop(self) -> None:
+        """Ask the daemon to shut down (non-blocking)."""
+        self._stop.set()
+
+    def close(self) -> None:
+        """Release every resource (idempotent; safe from signals/atexit)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self.engine is not None:
+            self.engine.stop_producer()
+            if self.pool_cache is not None:
+                try:
+                    saved = self.engine.save_pools(self.pool_cache)
+                    logger.info("%s daemon saved %d pool items to %s",
+                                self.party_name, saved, self.pool_cache)
+                except OSError as exc:  # pragma: no cover - disk trouble
+                    logger.warning("could not save pool cache: %s", exc)
+        if self._peer_channel is not None:
+            self._peer_channel.close()
+        with self._state_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+        logger.info("%s daemon closed", self.party_name)
+
+    # -- accept/dispatch ------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                sock, address = self._listener.accept()
+            except OSError:
+                break  # listener closed by shutdown
+            connection = _Connection(sock, address)
+            with self._state_lock:
+                self._connections.add(connection)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,),
+                name=f"sknn-{self.role}-conn", daemon=True)
+            thread.start()
+            # Prune finished handlers so a long-lived daemon's thread list
+            # (and close()'s join loop) stays bounded by live connections.
+            self._threads = [t for t in self._threads if t.is_alive()]
+            self._threads.append(thread)
+
+    def _serve_connection(self, connection: _Connection) -> None:
+        try:
+            hello = self._read_message(connection.sock)
+            if hello is None or hello.tag != "transport.hello":
+                raise ChannelError("connection did not start with a hello")
+            peer_kind = hello.payload.get("peer") if isinstance(
+                hello.payload, dict) else None
+            if peer_kind == "cloud" and self.role == "c2":
+                if self._private_key is None:
+                    self._send_message(connection.sock, "transport.error",
+                                       "C2 is not provisioned yet")
+                    raise ChannelError("peer connected before provisioning")
+                self._send_message(connection.sock, "transport.hello_ok",
+                                   {"role": self.role})
+                self._serve_cloud_peer(connection)
+            elif peer_kind == "client":
+                self._send_message(connection.sock, "transport.hello_ok",
+                                   {"role": self.role,
+                                    "provisioned": self._provisioned()})
+                self._serve_client(connection)
+            else:
+                raise ChannelError(f"unsupported peer kind {peer_kind!r}")
+        except ChannelError as exc:
+            logger.debug("connection from %s ended: %s",
+                         connection.address, exc)
+        except Exception:  # pragma: no cover - unexpected
+            logger.exception("connection handler crashed")
+        finally:
+            connection.close()
+            with self._state_lock:
+                self._connections.discard(connection)
+
+    def _provisioned(self) -> bool:
+        if self.role == "c2":
+            return self._private_key is not None
+        return self._cloud is not None
+
+    # -- low-level framing helpers -------------------------------------------
+    def _read_message(self, sock: socket.socket) -> Message | None:
+        body = recv_frame(sock)
+        if body is None:
+            return None
+        return self.codec.decode_message(body)
+
+    def _send_message(self, sock: socket.socket, tag: str,
+                      payload: Any) -> None:
+        message = Message(sender=self.party_name, recipient="client",
+                          tag=tag, payload=payload)
+        send_frame(sock, self.codec.encode_message(message))
+
+    # -- the C1<->C2 protocol link (C2 side) ----------------------------------
+    def _serve_cloud_peer(self, connection: _Connection) -> None:
+        """Dispatch protocol frames from C1 to the registered P2 handlers."""
+        if self.role != "c2" or self._private_key is None:
+            raise ChannelError("C2 is not provisioned yet")
+        channel = TcpChannel(connection.sock, self.codec, "C2", "C1")
+        self._peer_channel = channel
+        # A fresh peer connection means a fresh (or restarted) C1 whose
+        # delivery-id counter starts over: stale shares from a previous
+        # epoch must never be fetchable under a recycled id.
+        self.mailbox.clear()
+        registry, cloud = self._build_p2_registry(channel)
+        logger.info("cloud peer connected from %s (%d handlers)",
+                    connection.address, len(registry))
+        while not self._stop.is_set():
+            try:
+                tag = channel.next_tag()
+            except ChannelError:
+                break  # peer went away
+            handler = registry.get(tag)
+            if handler is None:
+                channel.receive("C2")  # consume the unroutable frame
+                channel.send("C2", f"no P2 step registered for tag {tag!r}",
+                             tag="transport.error")
+                continue
+            try:
+                handler()
+            except ReproError as exc:
+                logger.warning("P2 step %s failed: %s", tag, exc)
+                # Unblock the C1 driver instead of leaving it waiting on a
+                # reply frame that will never come.
+                channel.send("C2", f"P2 step {tag!r} failed: {exc}",
+                             tag="transport.error")
+        logger.info("cloud peer from %s disconnected", connection.address)
+
+    def _build_p2_registry(
+        self, channel: TcpChannel
+    ) -> tuple[dict[str, Callable[[], Any]], FederatedCloud]:
+        """Construct C2's protocol stack over ``channel`` and index its steps."""
+        assert self._private_key is not None
+        public_key = self._private_key.public_key
+        c1_stub = CloudC1(public_key, channel, rng=self._derive_rng())
+        c2 = CloudC2(self._private_key, channel, rng=self._derive_rng())
+        c2.share_sink = self.mailbox.put
+        cloud = FederatedCloud(c1=c1_stub, c2=c2, channel=channel)
+        if self.engine is not None:
+            cloud.attach_engine(None, self.engine)
+        protocols: list[Any] = [SkNNBasic(cloud)]
+        if self.distance_bits is not None:
+            protocols.append(SkNNSecure(cloud,
+                                        distance_bits=self.distance_bits))
+        registry: dict[str, Callable[[], Any]] = {}
+        for protocol in protocols:
+            registry.update(protocol.collect_p2_handlers())
+        return registry, cloud
+
+    def _derive_rng(self) -> Random | None:
+        if self.rng is None:
+            return None
+        return Random(self.rng.getrandbits(63))
+
+    # -- client control protocol ----------------------------------------------
+    def _serve_client(self, connection: _Connection) -> None:
+        while not self._stop.is_set():
+            message = self._read_message(connection.sock)
+            if message is None:
+                break
+            try:
+                reply = self._handle_control(message)
+            except ReproError as exc:
+                self._send_message(connection.sock, "transport.error",
+                                   str(exc))
+                continue
+            except (KeyError, TypeError, AttributeError) as exc:
+                # A malformed payload (missing field, wrong shape — e.g. a
+                # version-skewed client) earns a diagnostic error frame, not
+                # a dropped connection.
+                self._send_message(
+                    connection.sock, "transport.error",
+                    f"malformed {message.tag!r} payload: {exc!r}")
+                continue
+            self._send_message(connection.sock, message.tag + ".ok", reply)
+            if message.tag == "transport.shutdown":
+                self._stop.set()
+                break
+
+    def _handle_control(self, message: Message) -> Any:
+        tag = message.tag
+        payload = message.payload
+        if tag == "transport.ping":
+            return {"role": self.role, "provisioned": self._provisioned()}
+        if tag == "transport.shutdown":
+            logger.info("%s daemon shutting down on client request",
+                        self.party_name)
+            return {"role": self.role}
+        if tag == "transport.provision":
+            return self._handle_provision(payload)
+        if tag == "transport.stats":
+            return self._handle_stats()
+        if self.role == "c2" and tag == "transport.fetch_share":
+            return self.mailbox.fetch(
+                payload["delivery_id"],
+                timeout=payload.get("timeout", DEFAULT_FETCH_TIMEOUT))
+        if self.role == "c1" and tag == "transport.query":
+            return self._handle_query(payload)
+        if self.role == "c1" and tag == "transport.query_batch":
+            return self._handle_query_batch(payload)
+        raise ChannelError(
+            f"unsupported control tag {tag!r} for role {self.role!r}")
+
+    def _handle_stats(self) -> dict[str, Any]:
+        stats: dict[str, Any] = {
+            "role": self.role,
+            "provisioned": self._provisioned(),
+            "pending_shares": len(self.mailbox),
+        }
+        if self.engine is not None:
+            stats["engine"] = self.engine.stats()
+        if self._peer_channel is not None:
+            stats["traffic"] = self._peer_channel.total_traffic().snapshot()
+        return stats
+
+    # -- provisioning ---------------------------------------------------------
+    def _handle_provision(self, payload: dict[str, Any]) -> dict[str, Any]:
+        if not isinstance(payload, dict):
+            raise ConfigurationError("malformed provision payload")
+        seed = payload.get("seed")
+        self.rng = Random(seed) if seed is not None else None
+        self.distance_bits = payload.get("distance_bits")
+        if self.role == "c2":
+            return self._provision_c2(payload)
+        return self._provision_c1(payload)
+
+    def _provision_c2(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self._private_key = private_key_from_dict(payload["private_key"])
+        self.codec.public_key = self._private_key.public_key
+        self.mailbox.clear()  # new provisioning epoch: drop stale shares
+        precompute = payload.get("precompute")
+        loaded = self._build_engine(
+            PrecomputeConfig.for_decryptor_load(**precompute)
+            if precompute else None)
+        logger.info("C2 provisioned (key %d bits, l=%s)",
+                    self.codec.public_key.key_size, self.distance_bits)
+        return {"role": "c2", "pool_items_loaded": loaded}
+
+    def _provision_c1(self, payload: dict[str, Any]) -> dict[str, Any]:
+        table = EncryptedTable.from_dict(payload["encrypted_table"])
+        self.codec.public_key = table.public_key
+        host, port = payload["c2_address"]
+        peer_sock = socket.create_connection((host, port), timeout=30)
+        peer_sock.settimeout(None)
+        hello = Message(sender="C1", recipient="C2", tag="transport.hello",
+                        payload={"peer": "cloud"})
+        send_frame(peer_sock, self.codec.encode_message(hello))
+        body = recv_frame(peer_sock)
+        if body is None or self.codec.decode_message(
+                body).tag != "transport.hello_ok":
+            raise ChannelError(f"C2 at {host}:{port} rejected the peer hello")
+        channel = TcpChannel(peer_sock, self.codec, "C1", "C2")
+        self._peer_channel = channel
+
+        c1 = CloudC1(table.public_key, channel, rng=self._derive_rng())
+        c1.host_database(table)
+        c2_stub = DecryptorParty(
+            "C2", RemotePrivateKey(table.public_key), channel,
+            rng=self._derive_rng())
+        self._cloud = FederatedCloud(c1=c1, c2=c2_stub, channel=channel)
+        precompute = payload.get("precompute")
+        loaded = self._build_engine(
+            PrecomputeConfig.for_query_load(**precompute)
+            if precompute else None)
+        if self.engine is not None:
+            self._cloud.attach_engine(self.engine, None)
+        self._protocols = {"basic": SkNNBasic(self._cloud)}
+        if self.distance_bits is not None:
+            self._protocols["secure"] = SkNNSecure(
+                self._cloud, distance_bits=self.distance_bits)
+        logger.info("C1 provisioned (%d records, %d dims, peer %s:%d)",
+                    len(table), table.dimensions, host, port)
+        return {"role": "c1", "pool_items_loaded": loaded}
+
+    def _build_engine(self, config: PrecomputeConfig | None) -> int:
+        """Build/warm this party's engine; reload the pool cache first."""
+        if config is None:
+            return 0
+        assert self.codec.public_key is not None
+        self.engine = PrecomputeEngine(self.codec.public_key,
+                                       rng=self._derive_rng(), config=config)
+        loaded = 0
+        if self.pool_cache is not None and self.pool_cache.exists():
+            try:
+                loaded = self.engine.load_pools(self.pool_cache)
+                logger.info("%s reloaded %d pool items from %s",
+                            self.party_name, loaded, self.pool_cache)
+            except ConfigurationError as exc:
+                logger.warning("ignoring pool cache: %s", exc)
+        self.engine.warm()
+        return loaded
+
+    # -- query execution (C1) --------------------------------------------------
+    def _require_cloud(self) -> FederatedCloud:
+        if self._cloud is None:
+            raise ConfigurationError("C1 is not provisioned yet")
+        return self._cloud
+
+    def _protocol_for(self, mode: str) -> Any:
+        self._require_cloud()
+        protocol = self._protocols.get(mode)
+        if protocol is None:
+            raise ConfigurationError(
+                f"mode {mode!r} is unavailable on this daemon "
+                f"(have: {sorted(self._protocols)})")
+        return protocol
+
+    def _handle_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        protocol = self._protocol_for(payload.get("mode", "basic"))
+        query: list[Ciphertext] = payload["query"]
+        k: int = payload["k"]
+        # One query at a time: the single C2 channel is shared protocol
+        # state, exactly like the in-memory runtime's serve lock.
+        with self._query_lock:
+            shares = protocol.run_with_report(
+                query, k, distance_bits=self.distance_bits)
+            report = protocol.last_report
+        return {
+            "masks": shares.masks_from_c1,
+            "modulus": shares.modulus,
+            "delivery_id": shares.delivery_id,
+            "report": report.as_payload() if report is not None else None,
+        }
+
+    def _handle_query_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Serve a scheduler batch: every query of the batch under one lock
+        hold, so a distributed :class:`~repro.service.scheduler.QueryServer`
+        gets the same batch semantics as the sharded in-process store."""
+        from repro.core.sknn_base import RunStatsRecorder
+
+        protocol = self._protocol_for(payload.get("mode", "basic"))
+        queries = payload["queries"]
+        ks = payload["ks"]
+        if len(queries) != len(ks):
+            raise ConfigurationError("batch queries and ks differ in length")
+        results = []
+        with self._query_lock:
+            recorder = RunStatsRecorder(self._require_cloud())
+            started = time.perf_counter()
+            for query, k in zip(queries, ks):
+                shares = protocol.run(query, k)
+                results.append({
+                    "masks": shares.masks_from_c1,
+                    "delivery_id": shares.delivery_id,
+                })
+            elapsed = time.perf_counter() - started
+            stats = recorder.finish(f"{protocol.name}-distributed", elapsed)
+        return {
+            "results": results,
+            "modulus": self.codec.public_key.n,
+            "stats": stats.as_payload(),
+            "wall_time_seconds": elapsed,
+        }

@@ -1,0 +1,88 @@
+"""Length-prefixed frames over a stream socket.
+
+The distributed runtime exchanges discrete messages over TCP, which is a byte
+stream; framing restores the message boundaries.  A frame is::
+
+    +----------------+---------------------+
+    | length (4B BE) |  body (length bytes) |
+    +----------------+---------------------+
+
+The 4-byte big-endian length counts only the body.  The body is the wire
+codec's JSON encoding of one :class:`~repro.network.channel.Message` (see
+:mod:`repro.transport.wire`).  Every framing failure — truncated stream,
+oversized frame, connection reset — surfaces as
+:class:`~repro.exceptions.ChannelError`, the same error class the in-memory
+channel uses for misuse, so protocol code handles both transports uniformly.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.crypto.serialization import FRAME_HEADER_BYTES
+from repro.exceptions import ChannelError
+
+__all__ = ["FRAME_HEADER_BYTES", "MAX_FRAME_BYTES", "send_frame", "recv_frame"]
+
+#: refuse frames larger than this (a corrupt length prefix would otherwise
+#: make the receiver try to allocate gigabytes); large enough for a whole
+#: encrypted table at 2048-bit keys.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, body: bytes) -> int:
+    """Write one frame; returns the total bytes put on the wire."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ChannelError(
+            f"refusing to send a {len(body)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})")
+    try:
+        sock.sendall(_HEADER.pack(len(body)) + body)
+    except OSError as exc:
+        raise ChannelError(f"send failed: {exc}") from exc
+    return FRAME_HEADER_BYTES + len(body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as exc:
+            raise ChannelError(f"receive failed: {exc}") from exc
+        if not chunk:
+            if not chunks:
+                return None
+            raise ChannelError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes read)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes | None:
+    """Read one frame body; ``None`` when the peer closed cleanly.
+
+    A clean close is EOF exactly on a frame boundary; EOF anywhere else is a
+    truncated stream and raises :class:`~repro.exceptions.ChannelError`.
+    """
+    header = _recv_exact(sock, FRAME_HEADER_BYTES)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ChannelError(
+            f"incoming frame claims {length} bytes (limit {MAX_FRAME_BYTES}); "
+            "stream is corrupt or the peer is not speaking the repro protocol")
+    if length == 0:
+        return b""
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ChannelError("connection closed between frame header and body")
+    return body

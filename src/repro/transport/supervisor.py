@@ -1,0 +1,196 @@
+"""Local supervisor: spawn a C1+C2 daemon pair as real OS processes.
+
+Tests, examples and ``SkNNSystem`` ``mode="distributed"`` use this to stand
+up the distributed runtime on one machine: two ``repro party`` subprocesses
+listening on ephemeral localhost ports (discovered through port files), a
+provisioning step that ships the secret key to C2 and the encrypted table to
+C1, and a hardened shutdown path (graceful ``transport.shutdown`` request,
+then SIGTERM, then SIGKILL) that never leaks child processes — each daemon
+additionally installs its own SIGTERM/atexit cleanup, so even a supervisor
+crash leaves no orphaned listeners.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.roles import DataOwner
+from repro.exceptions import ConfigurationError
+from repro.transport.client import RemoteCloud
+
+__all__ = ["LocalSupervisor"]
+
+_START_TIMEOUT = 30.0
+
+
+class LocalSupervisor:
+    """Owns two party-daemon subprocesses and their scratch directory.
+
+    Usage::
+
+        with LocalSupervisor() as supervisor:
+            remote = supervisor.provision_from_owner(owner, distance_bits=l)
+            shares, report = remote.query(encrypted_query, k=2, mode="secure")
+
+    Args:
+        pool_cache: give each daemon a ``--pool-cache`` file inside the
+            scratch directory (or, when a path is supplied, inside it) so a
+            restarted pair starts hot.
+        python: interpreter for the subprocesses (defaults to this one).
+    """
+
+    def __init__(self, pool_cache: bool | str | Path = False,
+                 python: str | None = None) -> None:
+        self._python = python or sys.executable
+        self._pool_cache = pool_cache
+        self._tempdir: tempfile.TemporaryDirectory | None = None
+        self._processes: dict[str, subprocess.Popen] = {}
+        self.addresses: dict[str, tuple[str, int]] = {}
+        self._remote: RemoteCloud | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "LocalSupervisor":
+        """Spawn both daemons and wait until they are accepting connections."""
+        if self._processes:
+            return self
+        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-transport-")
+        scratch = Path(self._tempdir.name)
+        if isinstance(self._pool_cache, (str, Path)):
+            cache_dir = Path(self._pool_cache)
+            cache_dir.mkdir(parents=True, exist_ok=True)
+        else:
+            cache_dir = scratch
+        for role in ("c2", "c1"):
+            port_file = scratch / f"{role}.port"
+            log_file = scratch / f"{role}.log"
+            command = [
+                self._python, "-m", "repro", "party",
+                "--role", role,
+                "--listen", "127.0.0.1:0",
+                "--port-file", str(port_file),
+            ]
+            if self._pool_cache:
+                command += ["--pool-cache", str(cache_dir / f"{role}.pools")]
+            environment = dict(os.environ)
+            environment["PYTHONPATH"] = os.pathsep.join(
+                [path for path in sys.path if path])
+            with open(log_file, "wb") as log:
+                process = subprocess.Popen(
+                    command, stdout=log, stderr=subprocess.STDOUT,
+                    env=environment)
+            self._processes[role] = process
+            self.addresses[role] = self._wait_for_port(role, port_file)
+        return self
+
+    def _wait_for_port(self, role: str, port_file: Path) -> tuple[str, int]:
+        deadline = time.monotonic() + _START_TIMEOUT
+        process = self._processes[role]
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                raise ConfigurationError(
+                    f"{role} daemon exited with code {process.returncode} "
+                    f"during startup:\n{self._tail_log(role)}")
+            if port_file.exists():
+                text = port_file.read_text().strip()
+                if text:
+                    host, port = text.split()
+                    return host, int(port)
+            time.sleep(0.02)
+        raise ConfigurationError(
+            f"{role} daemon did not start within {_START_TIMEOUT:.0f}s:\n"
+            f"{self._tail_log(role)}")
+
+    def _tail_log(self, role: str) -> str:
+        if self._tempdir is None:
+            return ""
+        log_file = Path(self._tempdir.name) / f"{role}.log"
+        if not log_file.exists():
+            return "(no log output)"
+        return log_file.read_text()[-2000:]
+
+    def restart(self) -> "LocalSupervisor":
+        """Stop both daemons and start a fresh pair (pool caches survive
+        when the supervisor was created with a persistent ``pool_cache``
+        path)."""
+        pool_cache = self._pool_cache
+        self.shutdown()
+        self._pool_cache = pool_cache
+        self._processes = {}
+        self.addresses = {}
+        return self.start()
+
+    # -- provisioning / clients ------------------------------------------------
+    def connect(self) -> RemoteCloud:
+        """Open a fresh client connection pair to the daemons."""
+        if not self.addresses:
+            self.start()
+        return RemoteCloud(self.addresses["c1"], self.addresses["c2"])
+
+    def provision_from_owner(self, owner: DataOwner,
+                             distance_bits: int | None = None,
+                             seed: int | None = None,
+                             precompute_queries: int = 0,
+                             k_default: int = 1) -> RemoteCloud:
+        """Play Alice: encrypt the owner's table and provision both daemons."""
+        remote = self.connect()
+        remote.provision(
+            owner.keypair, owner.encrypt_database(),
+            distance_bits=(distance_bits if distance_bits is not None
+                           else owner.distance_bit_length()),
+            seed=seed, precompute_queries=precompute_queries,
+            k_default=k_default)
+        self._remote = remote
+        return remote
+
+    # -- shutdown --------------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop both daemons: graceful request, SIGTERM, then SIGKILL."""
+        if self._remote is not None:
+            self._remote.shutdown_daemons()
+            self._remote.close()
+            self._remote = None
+        elif self._processes:
+            try:
+                remote = self.connect()
+                remote.shutdown_daemons()
+                remote.close()
+            except Exception:
+                pass  # fall through to signals
+        for role, process in self._processes.items():
+            if process.poll() is None:
+                try:
+                    process.wait(timeout=timeout)
+                except subprocess.TimeoutExpired:
+                    process.terminate()
+                    try:
+                        process.wait(timeout=timeout)
+                    except subprocess.TimeoutExpired:
+                        process.kill()
+                        process.wait()
+        self._processes = {}
+        self.addresses = {}
+        if self._tempdir is not None:
+            self._tempdir.cleanup()
+            self._tempdir = None
+
+    def daemon_log(self, role: str) -> str:
+        """The captured stdout/stderr of one daemon (debugging aid)."""
+        return self._tail_log(role)
+
+    @property
+    def running(self) -> bool:
+        """Whether both subprocesses are alive."""
+        return bool(self._processes) and all(
+            process.poll() is None for process in self._processes.values())
+
+    def __enter__(self) -> "LocalSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

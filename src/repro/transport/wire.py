@@ -1,0 +1,52 @@
+"""Wire codec: tagged protocol messages <-> framed bytes.
+
+Layered on the payload codec of :mod:`repro.crypto.serialization`: a
+:class:`~repro.network.channel.Message` becomes the four-element JSON array
+``[sender, recipient, tag, encoded-payload]``, serialized compactly (no
+whitespace) and encoded as UTF-8.  The in-memory channel sizes its traffic
+accounting with the same encoding, so byte counts are comparable across the
+in-memory and TCP transports.
+
+The codec is bound to a (mutable) public key: ciphertext nodes need the key
+to decode, but the provisioning control messages that *deliver* the key
+material contain no ciphertexts and decode with the key still unset.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import PaillierPublicKey
+from repro.crypto.serialization import (
+    message_envelope_from_bytes,
+    message_envelope_to_bytes,
+)
+from repro.exceptions import ChannelError, SerializationError
+from repro.network.channel import Message
+
+__all__ = ["WireCodec"]
+
+
+class WireCodec:
+    """Encode/decode :class:`Message` objects for the TCP transport."""
+
+    def __init__(self, public_key: PaillierPublicKey | None = None) -> None:
+        #: set (or replaced) when the party learns its key at provisioning
+        self.public_key = public_key
+
+    def encode_message(self, message: Message) -> bytes:
+        """Encode a full message (sender, recipient, tag, payload)."""
+        try:
+            return message_envelope_to_bytes(
+                message.sender, message.recipient, message.tag,
+                message.payload)
+        except SerializationError as exc:
+            raise ChannelError(str(exc)) from exc
+
+    def decode_message(self, body: bytes) -> Message:
+        """Decode :meth:`encode_message` output."""
+        try:
+            sender, recipient, tag, payload = message_envelope_from_bytes(
+                body, self.public_key)
+        except SerializationError as exc:
+            raise ChannelError(str(exc)) from exc
+        return Message(sender=sender, recipient=recipient, tag=tag,
+                       payload=payload)

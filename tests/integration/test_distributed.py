@@ -1,0 +1,225 @@
+"""Distributed runtime: C1 and C2 as real OS processes over localhost TCP.
+
+The acceptance bar for the transport subsystem: an end-to-end SkNN_m query
+executed across two separate daemon processes must return **bit-identical**
+results to the in-memory serial protocol stack on the same keypair and
+dataset.  The CI distributed-smoke job runs this module at 256-bit keys
+(``REPRO_DISTRIBUTED_BITS`` overrides locally).
+"""
+
+from __future__ import annotations
+
+import os
+from random import Random
+
+import pytest
+
+from repro.core.roles import DataOwner, QueryClient
+from repro.core.system import SkNNSystem
+from repro.db.datasets import synthetic_uniform
+from repro.db.knn import LinearScanKNN
+from repro.exceptions import ChannelError
+from repro.transport.client import RemoteCloud
+from repro.transport.supervisor import LocalSupervisor
+
+KEY_BITS = int(os.environ.get("REPRO_DISTRIBUTED_BITS", "256"))
+
+N_RECORDS = 10
+DIMENSIONS = 2
+DISTANCE_BITS = 7
+QUERIES = ([3, 4], [6, 1])
+K = 2
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_uniform(n_records=N_RECORDS, dimensions=DIMENSIONS,
+                             distance_bits=DISTANCE_BITS, seed=5)
+
+
+@pytest.fixture(scope="module")
+def owner(dataset):
+    """Alice with one key pair shared by the in-memory and distributed runs."""
+    return DataOwner(dataset, key_size=KEY_BITS, rng=Random(20140709))
+
+
+@pytest.fixture(scope="module")
+def supervisor():
+    """Two real daemon subprocesses, shared by the tests of this module."""
+    with LocalSupervisor() as sup:
+        yield sup
+
+
+@pytest.fixture(scope="module")
+def remote(supervisor, owner):
+    return supervisor.provision_from_owner(owner, seed=11)
+
+
+def serial_answers(owner, dataset, mode):
+    """Reference answers from the in-memory (serial) protocol stack."""
+    from repro.core.cloud import FederatedCloud
+
+    cloud = FederatedCloud.deploy(owner.keypair, rng=Random(31))
+    cloud.c1.host_database(owner.encrypt_database())
+    client = QueryClient(owner.public_key, dataset.dimensions, rng=Random(32))
+    if mode == "secure":
+        from repro.core.sknn_secure import SkNNSecure
+        protocol = SkNNSecure(cloud,
+                              distance_bits=owner.distance_bit_length())
+    else:
+        from repro.core.sknn_basic import SkNNBasic
+        protocol = SkNNBasic(cloud)
+    answers = []
+    for query in QUERIES:
+        shares = protocol.run(client.encrypt_query(query), K)
+        answers.append(client.reconstruct(shares))
+    return answers
+
+
+class TestBitIdenticalAnswers:
+    """The acceptance criterion: distributed == serial, bit for bit."""
+
+    @pytest.mark.parametrize("mode", ["basic", "secure"])
+    def test_distributed_matches_serial(self, owner, dataset, remote, mode):
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(33))
+        reference = serial_answers(owner, dataset, mode)
+        oracle = LinearScanKNN(dataset)
+        for query, expected in zip(QUERIES, reference):
+            shares, report = remote.query(client.encrypt_query(query), K,
+                                          mode=mode)
+            neighbors = client.reconstruct(shares)
+            assert neighbors == expected, (
+                f"distributed {mode} answer differs from the serial stack")
+            # ... and both equal the plaintext oracle.
+            assert neighbors == [r.record.values
+                                 for r in oracle.query(query, K)]
+            if report is not None:
+                # Real (measured) wire traffic, not simulated estimates.
+                assert report.stats.bytes_transferred > 0
+                assert report.stats.messages > 0
+
+    def test_share_halves_never_meet_at_c1(self, owner, dataset, remote):
+        """C1's query reply must not contain C2's decrypted half: the masks
+        come from C1, the masked values only from C2's own connection."""
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(34))
+        reply = remote.c1.request("transport.query", {
+            "mode": "basic", "k": K,
+            "query": client.encrypt_query(list(QUERIES[0])),
+        })
+        assert set(reply) == {"masks", "modulus", "delivery_id", "report"}
+        masked = remote.c2.request("transport.fetch_share", {
+            "delivery_id": reply["delivery_id"], "timeout": 30.0,
+        })
+        assert len(masked) == K
+        records = [
+            tuple((gamma - mask) % reply["modulus"]
+                  for gamma, mask in zip(masked_row, mask_row))
+            for mask_row, masked_row in zip(reply["masks"], masked)
+        ]
+        oracle = LinearScanKNN(dataset)
+        assert records == [r.record.values
+                           for r in oracle.query(QUERIES[0], K)]
+
+    def test_fetching_a_share_twice_fails(self, owner, dataset, remote):
+        """Shares are single-use: the mailbox hands each out exactly once."""
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(35))
+        shares, _ = remote.query(client.encrypt_query(QUERIES[0]), K,
+                                 mode="basic")
+        with pytest.raises(ChannelError, match="no share filed"):
+            remote.c2.request("transport.fetch_share", {
+                "delivery_id": shares.delivery_id, "timeout": 0.2,
+            })
+
+
+class TestSystemIntegration:
+    def test_sknn_system_distributed_mode(self, dataset):
+        """``SkNNSystem`` spawns, provisions and shuts down its own pair."""
+        oracle = LinearScanKNN(dataset)
+        with SkNNSystem.setup(dataset, key_size=KEY_BITS, mode="distributed",
+                              rng=Random(7), k_default=K) as system:
+            answer = system.query_with_report(list(QUERIES[0]), K)
+            assert answer.neighbors == [
+                r.record.values for r in oracle.query(QUERIES[0], K)]
+            assert answer.report is not None
+            assert answer.report.protocol == "SkNNm"
+            supervisor = system.supervisor
+            assert supervisor.running
+        # Context exit shut the daemons down; nothing may leak.
+        assert not supervisor.running
+
+    def test_query_server_over_remote_store(self, owner, dataset, supervisor):
+        """The scheduler batches concurrent sessions and dispatches each
+        batch over the remote channel to the C1 daemon."""
+        from repro.service.scheduler import QueryServer
+        from repro.transport.client import RemoteStore
+
+        oracle = LinearScanKNN(dataset)
+        remote = supervisor.connect()
+        remote.adopt_public_key(owner.public_key)
+        remote.table_size = len(dataset)
+        remote.dimensions = dataset.dimensions
+        store = RemoteStore(remote, mode="basic")
+        server = QueryServer(store, batch_size=2, rng=Random(44))
+        try:
+            alice_bob = server.open_session("bob-1")
+            carol = server.open_session("bob-2")
+            pending = [alice_bob.submit(list(QUERIES[0]), K),
+                       carol.submit(list(QUERIES[1]), K)]
+            answers = [p.result(timeout=120) for p in pending]
+            for query, answer in zip(QUERIES, answers):
+                assert answer.neighbors == [
+                    r.record.values for r in oracle.query(query, K)]
+                assert answer.report.protocol == "SkNNb-distributed"
+            assert server.stats.queries_served == 2
+        finally:
+            server.stop()
+            remote.close()
+
+
+class TestRestartWithPoolCache:
+    def test_restarted_party_starts_hot(self, tmp_path, dataset):
+        """--pool-cache: a restarted daemon pair reloads its warmed pools."""
+        owner = DataOwner(dataset, key_size=KEY_BITS, rng=Random(61))
+        cache_dir = tmp_path / "pool-caches"
+        with LocalSupervisor(pool_cache=cache_dir) as sup:
+            sup.provision_from_owner(owner, seed=3, precompute_queries=1)
+            sup.restart()
+            remote = sup.connect()
+            reply = remote.provision(owner.keypair, owner.encrypt_database(),
+                                     distance_bits=owner.distance_bit_length(),
+                                     seed=4, precompute_queries=1)
+            # Both daemons reloaded offline material their previous
+            # incarnation computed.
+            assert reply["c1"]["pool_items_loaded"] > 0
+            assert reply["c2"]["pool_items_loaded"] > 0
+            client = QueryClient(owner.public_key, dataset.dimensions,
+                                 rng=Random(62))
+            shares, _ = remote.query(client.encrypt_query(QUERIES[0]), K,
+                                     mode="basic")
+            oracle = LinearScanKNN(dataset)
+            assert client.reconstruct(shares) == [
+                r.record.values for r in oracle.query(QUERIES[0], K)]
+
+
+class TestDaemonHygiene:
+    def test_unprovisioned_query_is_rejected(self):
+        with LocalSupervisor() as sup:
+            remote = sup.connect()
+            try:
+                with pytest.raises(ChannelError, match="not provisioned"):
+                    remote.c1.request("transport.query",
+                                      {"mode": "basic", "k": 1, "query": []})
+            finally:
+                remote.close()
+
+    def test_shutdown_leaves_no_processes(self, dataset):
+        sup = LocalSupervisor().start()
+        processes = dict(sup._processes)
+        assert sup.running
+        sup.shutdown()
+        for role, process in processes.items():
+            assert process.poll() is not None, f"{role} daemon still alive"
+        assert not sup.running

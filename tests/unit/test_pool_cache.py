@@ -1,0 +1,116 @@
+"""Pool persistence: warmed precompute pools survive a daemon restart.
+
+The cache file is versioned, bound to the key's modulus, and strictly
+single-use: saving *drains* the in-memory pools and loading *deletes* the
+file, so a (r, E(r)) tuple or obfuscation factor can never be consumed twice
+across process lifetimes.
+"""
+
+from __future__ import annotations
+
+import json
+from random import Random
+
+import pytest
+
+from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
+from repro.exceptions import ConfigurationError
+
+
+def small_config(**overrides):
+    defaults = dict(obfuscators=6, zeros=3, ones=3, zn_masks=4,
+                    nonzero_masks=2, sbd_bit_length=8, sbd_masks=2,
+                    refill_batch=8)
+    defaults.update(overrides)
+    return PrecomputeConfig(**defaults)
+
+
+@pytest.fixture()
+def warm_engine(public_key):
+    engine = PrecomputeEngine(public_key, rng=Random(3), config=small_config())
+    engine.warm()
+    return engine
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_restores_every_pool(self, warm_engine, public_key,
+                                            tmp_path):
+        cache = tmp_path / "c1.pools"
+        before = warm_engine.remaining()
+        saved = warm_engine.save_pools(cache)
+        assert saved == sum(before.values())
+        # Saving drained the source engine (single-use: memory XOR disk).
+        assert sum(warm_engine.remaining().values()) == 0
+
+        fresh = PrecomputeEngine(public_key, rng=Random(4),
+                                 config=small_config())
+        loaded = fresh.load_pools(cache)
+        assert loaded == saved
+        assert fresh.remaining() == before
+        # The cache is deleted on load so a restart can never replay it.
+        assert not cache.exists()
+
+    def test_loaded_material_is_usable(self, warm_engine, public_key,
+                                       private_key, tmp_path):
+        cache = tmp_path / "pools.json"
+        warm_engine.save_pools(cache)
+        fresh = PrecomputeEngine(public_key, rng=Random(5),
+                                 config=small_config())
+        fresh.load_pools(cache)
+        r, enc_r = fresh.take_mask("zn")
+        assert private_key.decrypt_raw_residue(enc_r) == r
+        assert private_key.decrypt(fresh.encrypt_constant(1)) == 1
+
+    def test_warm_after_load_only_tops_up(self, warm_engine, public_key,
+                                          tmp_path):
+        cache = tmp_path / "pools.json"
+        warm_engine.save_pools(cache)
+        fresh = PrecomputeEngine(public_key, rng=Random(6),
+                                 config=small_config())
+        fresh.load_pools(cache)
+        # Everything was reloaded, so warming finds no deficit: the restarted
+        # party starts hot without redoing the offline exponentiations.
+        assert fresh.warm() == 0
+        assert fresh.offline.encryptions == 0
+
+
+class TestCacheValidation:
+    def test_wrong_key_rejected(self, warm_engine, tmp_path):
+        from repro.crypto.paillier import generate_keypair
+
+        cache = tmp_path / "pools.json"
+        warm_engine.save_pools(cache)
+        other_key = generate_keypair(128, Random(99)).public_key
+        other = PrecomputeEngine(other_key, rng=Random(7),
+                                 config=small_config())
+        with pytest.raises(ConfigurationError, match="different key"):
+            other.load_pools(cache)
+        assert cache.exists()  # a rejected cache is left untouched
+
+    def test_wrong_format_rejected(self, public_key, tmp_path):
+        cache = tmp_path / "pools.json"
+        cache.write_text(json.dumps({"kind": "something-else", "format": 1}))
+        engine = PrecomputeEngine(public_key, config=small_config())
+        with pytest.raises(ConfigurationError, match="pool cache"):
+            engine.load_pools(cache)
+
+    def test_unreadable_cache_rejected(self, public_key, tmp_path):
+        cache = tmp_path / "pools.json"
+        cache.write_text("{truncated")
+        engine = PrecomputeEngine(public_key, config=small_config())
+        with pytest.raises(ConfigurationError, match="unreadable"):
+            engine.load_pools(cache)
+
+    def test_sbd_masks_dropped_on_l_mismatch(self, warm_engine, public_key,
+                                             tmp_path):
+        cache = tmp_path / "pools.json"
+        warm_engine.save_pools(cache)
+        other_l = PrecomputeEngine(public_key, rng=Random(8),
+                                   config=small_config(sbd_bit_length=12))
+        other_l.load_pools(cache)
+        remaining = other_l.remaining()
+        # The l=8 SBD masks were produced for a different range -> dropped;
+        # every other pool loads.
+        assert remaining["mask:sbd"] == 0
+        assert remaining["mask:zn"] == 4
+        assert remaining["obfuscators"] == 6
