@@ -38,8 +38,10 @@ from random import Random
 import pytest
 
 from benchmarks.conftest import write_bench_json, write_result
-from repro.analysis.cost_model import sknn_basic_counts, sknn_basic_split_counts
+from repro.analysis.cost_model import (OfflineOnlineCounts, sknn_basic_counts,
+                                       sknn_basic_split_counts)
 from repro.analysis.reporting import format_table
+from repro.telemetry import tracing
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import DataOwner, QueryClient
 from repro.core.sknn_basic import SkNNBasic
@@ -59,6 +61,8 @@ REPEATS = int(os.environ.get("REPRO_BENCH_ONLINE_REPEATS",
 #: required warm-vs-inline speedup; the acceptance bar of 1.5x applies at
 #: paper scale, smaller keys keep a direction-only gate for CI smoke runs.
 MIN_SPEEDUP = 1.5 if ONLINE_KEY_BITS >= 512 else 1.1
+#: tracing a query (span per protocol round) must cost <= 5% wall clock.
+TELEMETRY_OVERHEAD_GATE = 0.05
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +81,17 @@ def _best_of(fn, repeats: int, between=None) -> float:
         if between is not None and index + 1 < repeats:
             between()
     return best
+
+
+def _engine_window(before: dict, after: dict) -> dict:
+    """Delta of two :meth:`PrecomputeEngine.stats` snapshots."""
+    return {
+        "offline_encryptions": (after["offline_encryptions"]
+                                - before["offline_encryptions"]),
+        "obfuscator_hits": after["obfuscator_hits"] - before["obfuscator_hits"],
+        "hits": {name: count - before["hits"].get(name, 0)
+                 for name, count in after["hits"].items()},
+    }
 
 
 def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
@@ -124,17 +139,39 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
                 lambda: protocol.run(encrypted_query, ONLINE_K), REPEATS,
                 between=refill_all)
             refill_all()
-            warm_shares = protocol.run(encrypted_query, ONLINE_K)
+
+            # Telemetry overhead: the same warm path with a live trace
+            # collecting every protocol-round span.  The acceptance bar is
+            # <= 5% on the latency-critical (warm) path.
+            def traced_run():
+                with tracing.trace("bench.telemetry_overhead",
+                                   party="C1") as root:
+                    protocol.run(encrypted_query, ONLINE_K)
+                tracing.get_tracer().take(root.trace_id)
+
+            traced_seconds = _best_of(traced_run, REPEATS, between=refill_all)
+
+            # Measured offline/online split over one windowed warm query:
+            # the refill is the offline price, the reported run the online
+            # one (pool hits subtracted from the encryption counter).
+            before = {"c1": c1_engine.stats(), "c2": c2_engine.stats()}
+            refill_all()
+            warm_shares = protocol.run_with_report(encrypted_query, ONLINE_K)
+            measured_split = OfflineOnlineCounts.from_measurements(
+                protocol.last_report.stats,
+                _engine_window(before["c1"], c1_engine.stats()),
+                _engine_window(before["c2"], c2_engine.stats()))
             stats = {"c1": c1_engine.stats(), "c2": c2_engine.stats()}
         finally:
             cloud.attach_engine(None)
-        return (inline_seconds, warm_seconds, refill_seconds,
-                inline_shares, warm_shares, stats)
+        return (inline_seconds, warm_seconds, traced_seconds, refill_seconds,
+                inline_shares, warm_shares, stats, measured_split)
 
-    (inline_seconds, warm_seconds, refill_seconds,
-     inline_shares, warm_shares, stats) = benchmark.pedantic(
+    (inline_seconds, warm_seconds, traced_seconds, refill_seconds,
+     inline_shares, warm_shares, stats, measured_split) = benchmark.pedantic(
         measure, rounds=1, iterations=1, warmup_rounds=0)
     speedup = inline_seconds / warm_seconds
+    telemetry_overhead = traced_seconds / warm_seconds - 1.0
 
     # Protocol outputs must be bit-identical across the two paths (the
     # ciphertext randomness differs; the delivered plaintext records do not).
@@ -156,11 +193,17 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         "path": "warm pools",
         "online (ms)": warm_seconds * 1000,
         "offline (ms)": refill_seconds * 1000,
+    }, {
+        "path": "warm pools + tracing",
+        "online (ms)": traced_seconds * 1000,
+        "offline (ms)": refill_seconds * 1000,
     }]
     text = (f"SkNN_b online latency (K={ONLINE_KEY_BITS}, n={ONLINE_N}, "
             f"m={ONLINE_M}, k={ONLINE_K}, backend={get_backend().name})\n"
             + format_table(rows)
-            + f"warm-pool speedup: {speedup:.2f}x (gate {MIN_SPEEDUP}x)\n")
+            + f"warm-pool speedup: {speedup:.2f}x (gate {MIN_SPEEDUP}x)\n"
+            + f"telemetry overhead: {telemetry_overhead * 100:+.2f}% "
+            + f"(gate {TELEMETRY_OVERHEAD_GATE * 100:.0f}%)\n")
     write_result(results_dir, f"online_latency_K{ONLINE_KEY_BITS}.txt", text)
     write_bench_json(results_dir, f"online_latency_K{ONLINE_KEY_BITS}", {
         "kind": "measured",
@@ -169,21 +212,29 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         "timings": {
             "inline_query_s": inline_seconds,
             "warm_query_s": warm_seconds,
+            "traced_query_s": traced_seconds,
             "offline_refill_s": refill_seconds,
             "speedup": speedup,
+            "telemetry_overhead": telemetry_overhead,
         },
         "model": {
             "inline_counts": inline_model.as_dict(),
             "split": split.as_dict(),
+            "measured_split": measured_split.as_dict(),
         },
         "engine_stats": stats,
     })
     benchmark.extra_info.update({
         "subsystem": "precompute", "key_size": ONLINE_KEY_BITS,
         "backend": get_backend().name, "speedup": speedup,
+        "telemetry_overhead": telemetry_overhead,
     })
 
     assert speedup >= MIN_SPEEDUP, (
         f"warm-pool online path ({warm_seconds:.3f}s) must be >= "
         f"{MIN_SPEEDUP}x faster than the inline path "
         f"({inline_seconds:.3f}s); got {speedup:.2f}x")
+    assert telemetry_overhead <= TELEMETRY_OVERHEAD_GATE, (
+        f"tracing the warm path ({traced_seconds:.3f}s) must stay within "
+        f"{TELEMETRY_OVERHEAD_GATE:.0%} of the untraced run "
+        f"({warm_seconds:.3f}s); got {telemetry_overhead:+.2%}")

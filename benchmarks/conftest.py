@@ -33,6 +33,7 @@ from repro.core.roles import DataOwner, QueryClient
 from repro.crypto.backend import get_backend
 from repro.crypto.paillier import PaillierKeyPair, generate_keypair
 from repro.db.datasets import synthetic_uniform
+from repro.telemetry import get_registry
 
 #: Directory where every bench writes its paper-style result tables.
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -87,6 +88,11 @@ def write_bench_json(results_dir: Path, name: str, payload: dict) -> Path:
         "bench": name,
         "crypto_backend": get_backend().name,
         "python": platform.python_version(),
+        "telemetry": {
+            family_name: family["values"]
+            for family_name, family in get_registry().snapshot().items()
+            if family["values"]
+        },
     }
     record.update(payload)
     path = results_dir / f"BENCH_{name}.json"

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""CI telemetry smoke: two live daemons, one query, a real /metrics scrape.
+
+Exercises the full observability path end to end:
+
+1. spawn the C1/C2 party daemons with ``--metrics-listen 127.0.0.1:0``,
+2. provision them and run one distributed SkNN_m query,
+3. scrape both daemons' ``/metrics`` HTTP endpoints and assert the key
+   series are present and nonzero,
+4. assert the query produced a single stitched trace with spans from both
+   clouds and nonzero C2 operation counts,
+5. write the scraped exposition plus a JSON summary to
+   ``benchmarks/results/`` so CI uploads them as artifacts.
+
+Exit code 0 on success; any assertion failure is a CI failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.request
+from pathlib import Path
+from random import Random
+
+from repro.analysis.reporting import trace_timeline
+from repro.core.roles import DataOwner, QueryClient
+from repro.db.datasets import synthetic_uniform
+from repro.transport.supervisor import LocalSupervisor
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+#: series that must be present and nonzero after one query, per daemon role.
+REQUIRED_SERIES = {
+    "c1": ("repro_queries_total", "repro_query_seconds_count"),
+    "c2": ("repro_p2_steps_total",),
+}
+
+
+def scrape(url: str) -> str:
+    with urllib.request.urlopen(url + "/metrics", timeout=10) as response:
+        assert response.status == 200, f"{url}/metrics returned {response.status}"
+        return response.read().decode("utf-8")
+
+
+def series_total(exposition: str, name: str) -> float:
+    """Sum every sample of one family in Prometheus text format."""
+    total = 0.0
+    for line in exposition.splitlines():
+        if line.startswith("#"):
+            continue
+        sample, _, value = line.rpartition(" ")
+        if sample == name or sample.startswith(name + "{"):
+            total += float(value)
+    return total
+
+
+def main() -> int:
+    dataset = synthetic_uniform(n_records=10, dimensions=2, distance_bits=7,
+                                seed=9)
+    owner = DataOwner(dataset, key_size=256, rng=Random(20140709))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    with LocalSupervisor(metrics=True) as supervisor:
+        remote = supervisor.provision_from_owner(owner, seed=17)
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(18))
+        shares, report = remote.query(client.encrypt_query([3, 4]), 2,
+                                      mode="secure")
+        neighbors = client.reconstruct(shares)
+        assert len(neighbors) == 2, "SkNN_m must return k records"
+
+        # -- stitched trace + C2 accounting ---------------------------------
+        assert report is not None and report.trace, "query must carry a trace"
+        spans = report.trace["spans"]
+        parties = {span["party"] for span in spans}
+        assert parties == {"C1", "C2"}, f"trace is not stitched: {parties}"
+        assert {s["trace_id"] for s in spans} == {report.trace["trace_id"]}
+        assert report.stats.c2_decryptions > 0, "C2 decryptions unaccounted"
+        assert report.stats.c2_encryptions > 0, "C2 encryptions unaccounted"
+        print(f"stitched trace: {len(spans)} spans from {sorted(parties)}, "
+              f"c2_ops=({report.stats.c2_encryptions} enc, "
+              f"{report.stats.c2_decryptions} dec, "
+              f"{report.stats.c2_exponentiations} exp)")
+        print(trace_timeline(report.trace))
+
+        # -- live /metrics scrape -------------------------------------------
+        stats = remote.stats()
+        summary: dict = {"trace_spans": len(spans),
+                         "c2_decryptions": report.stats.c2_decryptions,
+                         "metrics": {}}
+        for role in ("c1", "c2"):
+            address = stats[role].get("metrics_address")
+            assert address, f"{role} daemon reported no metrics listener"
+            exposition = scrape(address)
+            (RESULTS_DIR / f"telemetry_{role}.prom").write_text(
+                exposition, encoding="utf-8")
+            for name in REQUIRED_SERIES[role]:
+                total = series_total(exposition, name)
+                assert total > 0, (
+                    f"{role}: series {name} is missing or zero after a query")
+                summary["metrics"][f"{role}.{name}"] = total
+                print(f"{role} {name} = {total:g}")
+
+    (RESULTS_DIR / "telemetry_smoke.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print("telemetry smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,42 @@ class OfflineOnlineCounts:
         return {"offline": self.offline.as_dict(),
                 "online": self.online.as_dict()}
 
+    @classmethod
+    def from_measurements(cls, run_stats,
+                          *engine_stats: dict) -> "OfflineOnlineCounts":
+        """The split a deployment *actually measured*, from live telemetry.
+
+        Args:
+            run_stats: anything with the ``total_encryptions`` /
+                ``total_decryptions`` / ``total_exponentiations`` surface of
+                :class:`~repro.network.stats.ProtocolRunStats`.
+            engine_stats: one :meth:`~repro.crypto.precompute.
+                PrecomputeEngine.stats` snapshot per attached engine
+                (deltas over the measured window).
+
+        The run's counters attribute a *pooled* encryption to the consumer
+        (one counter increment, but only a modular multiplication online);
+        subtracting the pool hits recovers the true online powmod count,
+        while the engines' refill work is the offline price.  The result is
+        directly comparable with the analytic ``*_split_counts`` formulas.
+        """
+        offline_encryptions = sum(
+            float(stats.get("offline_encryptions", 0))
+            for stats in engine_stats)
+        pooled_hits = sum(
+            sum(stats.get("hits", {}).values())
+            + float(stats.get("obfuscator_hits", 0))
+            for stats in engine_stats)
+        return cls(
+            offline=OperationCounts(encryptions=offline_encryptions),
+            online=OperationCounts(
+                encryptions=max(
+                    float(run_stats.total_encryptions) - pooled_hits, 0.0),
+                decryptions=float(run_stats.total_decryptions),
+                exponentiations=float(run_stats.total_exponentiations),
+            ),
+        )
+
 
 # ---------------------------------------------------------------------------
 # Sub-protocol formulas (Section 3)

@@ -13,7 +13,8 @@ from typing import Iterable, Sequence
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ExperimentSeries", "format_table", "format_markdown_table", "ascii_plot"]
+__all__ = ["ExperimentSeries", "format_table", "format_markdown_table",
+           "ascii_plot", "metrics_table", "trace_timeline"]
 
 
 @dataclass
@@ -113,6 +114,53 @@ def format_markdown_table(rows: Iterable[dict[str, object]]) -> str:
             "| " + " | ".join(_format_value(row.get(column, "")) for column in columns)
             + " |"
         )
+    return "\n".join(lines) + "\n"
+
+
+def metrics_table(snapshot: dict[str, dict]) -> str:
+    """Render a :meth:`~repro.telemetry.MetricsRegistry.snapshot` as a table.
+
+    One row per (family, label-set) sample; histogram samples show their
+    count and mean.  Families with no samples yet are skipped.
+    """
+    rows: list[dict[str, object]] = []
+    for name, family in sorted(snapshot.items()):
+        for labels, value in family.get("values", {}).items():
+            if isinstance(value, dict):  # histogram child
+                rendered = (f"count={value.get('count', 0)} "
+                            f"mean={value.get('mean', 0.0):.6f}s")
+            else:
+                rendered = _format_value(value)
+            rows.append({"metric": name, "type": family.get("type", "?"),
+                         "labels": labels or "-", "value": rendered})
+    return format_table(rows)
+
+
+def trace_timeline(trace: dict, width: int = 48) -> str:
+    """ASCII Gantt rendering of one ``SkNNRunReport.trace`` payload.
+
+    Each span is one line: its bar is positioned on a shared time axis
+    spanning the whole trace, so cross-cloud timelines (C1 protocol rounds
+    interleaved with C2 handler dispatches) read at a glance.
+    """
+    spans = trace.get("spans") or []
+    if not spans:
+        return "(empty trace)\n"
+    start = min(span.get("start", 0.0) for span in spans)
+    end = max(span.get("start", 0.0) + span.get("duration", 0.0)
+              for span in spans)
+    total = max(end - start, 1e-9)
+    name_width = min(max(len(span.get("name", "")) for span in spans), 36)
+    lines = [f"trace {trace.get('trace_id', '?')} "
+             f"({len(spans)} spans, {total * 1000:.1f} ms)"]
+    for span in sorted(spans, key=lambda item: item.get("start", 0.0)):
+        offset = int((span.get("start", 0.0) - start) / total * width)
+        length = max(int(span.get("duration", 0.0) / total * width), 1)
+        bar = " " * offset + "#" * min(length, width - offset)
+        lines.append(
+            f"{span.get('party', '?'):>3} "
+            f"{span.get('name', ''):<{name_width}.{name_width}} "
+            f"|{bar:<{width}}| {span.get('duration', 0.0) * 1000:8.2f} ms")
     return "\n".join(lines) + "\n"
 
 

@@ -176,6 +176,25 @@ def build_parser() -> argparse.ArgumentParser:
     party.add_argument("--log-level", default="info",
                        choices=["debug", "info", "warning", "error"],
                        help="daemon log verbosity (default: info)")
+    party.add_argument("--metrics-listen", default=None, metavar="HOST:PORT",
+                       help="serve Prometheus /metrics and JSON /stats on a "
+                            "side HTTP listener (port 0 = ephemeral; "
+                            "disabled by default)")
+    party.add_argument("--slow-query-seconds", type=float, default=1.0,
+                       help="log queries slower than this wall time as "
+                            "structured warnings (default: 1.0; <=0 disables)")
+    party.add_argument("--json-logs", action="store_true",
+                       help="emit one JSON object per log line (trace-aware) "
+                            "instead of the plain text format")
+
+    stats = subparsers.add_parser(
+        "stats", help="pretty-print a running daemon's live statistics")
+    stats.add_argument("--connect", required=True, metavar="HOST:PORT",
+                       help="control address of the daemon to inspect")
+    stats.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                       help="refresh every N seconds until interrupted")
+    stats.add_argument("--metrics", action="store_true",
+                       help="also dump the raw Prometheus exposition text")
 
     subparsers.add_parser(
         "inventory", help="list every reproduced table/figure and its bench target")
@@ -289,15 +308,89 @@ def _run_party(args: argparse.Namespace) -> int:
 
     from repro.transport.daemon import PartyDaemon, parse_address
 
-    logging.basicConfig(
-        level=getattr(logging, args.log_level.upper()),
-        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    level = getattr(logging, args.log_level.upper())
+    if args.json_logs:
+        from repro.telemetry import configure_json_logging
+
+        logging.basicConfig(level=level)
+        configure_json_logging(level)
+    else:
+        logging.basicConfig(
+            level=level,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s")
     host, port = parse_address(args.listen)
+    slow = args.slow_query_seconds if args.slow_query_seconds > 0 else None
     daemon = PartyDaemon(args.role, host=host, port=port,
                          port_file=args.port_file,
-                         pool_cache=args.pool_cache)
+                         pool_cache=args.pool_cache,
+                         metrics_listen=args.metrics_listen,
+                         slow_query_seconds=slow)
     daemon.serve_forever()
     return 0
+
+
+def _render_daemon_stats(stats: dict) -> str:
+    """Human-readable rendering of one daemon's ``transport.stats`` payload."""
+    lines = [f"role: {stats.get('role', '?')}  "
+             f"provisioned: {stats.get('provisioned', False)}  "
+             f"pending shares: {stats.get('pending_shares', 0)}"]
+    if stats.get("metrics_address"):
+        lines.append(f"metrics: {stats['metrics_address']}/metrics")
+    traffic = stats.get("traffic")
+    if traffic:
+        lines.append(f"peer link: {traffic['messages']} messages, "
+                     f"{traffic['ciphertexts']} ciphertexts, "
+                     f"{traffic['bytes_transferred']} bytes")
+    by_tag = stats.get("traffic_by_tag")
+    if by_tag:
+        rows = [{"tag": tag, "messages": counts["messages"],
+                 "bytes": counts["bytes"]}
+                for tag, counts in sorted(
+                    by_tag.items(), key=lambda item: -item[1]["bytes"])[:12]]
+        lines.append(format_table(rows).rstrip("\n"))
+    engine = stats.get("engine")
+    if engine:
+        remaining = engine.get("remaining", {})
+        pools = ", ".join(f"{pool}={count}"
+                          for pool, count in sorted(remaining.items()))
+        lines.append(f"precompute pools: hits={engine.get('hits', 0)} "
+                     f"misses={engine.get('misses', 0)}"
+                     + (f"  [{pools}]" if pools else ""))
+    slow = stats.get("slow_queries")
+    if slow:
+        lines.append(f"slow queries (>{slow['threshold_seconds']}s): "
+                     f"{slow['total_slow']} total")
+        for entry in slow.get("recent", [])[-3:]:
+            lines.append(f"  {entry.get('protocol', '?')}: "
+                         f"{entry.get('wall_time_seconds', 0):.3f}s "
+                         f"trace={entry.get('trace_id', '-')[:16]}")
+    return "\n".join(lines)
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """Inspect a running party daemon over its control connection."""
+    import time
+
+    from repro.transport.client import DaemonClient
+    from repro.transport.daemon import parse_address
+    from repro.transport.wire import WireCodec
+
+    client = DaemonClient(parse_address(args.connect), WireCodec())
+    try:
+        while True:
+            stats = client.request("transport.stats", None)
+            print(_render_daemon_stats(stats))
+            if args.metrics:
+                metrics = client.request("transport.metrics", None)
+                print(metrics.get("prometheus", ""), end="")
+            if args.watch is None:
+                return 0
+            print()
+            time.sleep(args.watch)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+    finally:
+        client.close()
 
 
 def _run_calibrate(args: argparse.Namespace) -> int:
@@ -423,6 +516,7 @@ _HANDLERS = {
     "project": _run_project,
     "serve": _run_serve,
     "party": _run_party,
+    "stats": _run_stats,
     "inventory": _run_inventory,
 }
 

@@ -28,6 +28,8 @@ from repro.exceptions import QueryError
 from repro.network.stats import ProtocolRunStats
 from repro.protocols.base import P2StepDispatcher
 from repro.protocols.ssed import SecureSquaredEuclideanDistance
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import tracing as _tracing
 
 __all__ = ["SkNNProtocol", "SkNNRunReport", "RunStatsRecorder"]
 
@@ -100,6 +102,9 @@ class SkNNRunReport:
     wall_time_seconds: float
     stats: ProtocolRunStats
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: stitched distributed trace: ``{"trace_id": ..., "spans": [...]}``
+    #: with spans from both clouds when the query ran distributed.
+    trace: dict[str, Any] | None = None
 
     def as_row(self) -> dict[str, float]:
         """Flatten into a dictionary suitable for tabular reporting."""
@@ -128,6 +133,7 @@ class SkNNRunReport:
             "wall_time_seconds": self.wall_time_seconds,
             "stats": self.stats.as_payload(),
             "phase_seconds": dict(self.phase_seconds),
+            "trace": self.trace,
         }
 
     @classmethod
@@ -135,6 +141,7 @@ class SkNNRunReport:
         """Rebuild from :meth:`as_payload` output."""
         fields = dict(data)
         fields["stats"] = ProtocolRunStats.from_payload(fields["stats"])
+        fields.setdefault("trace", None)
         return cls(**fields)
 
 
@@ -235,10 +242,13 @@ class SkNNProtocol(P2StepDispatcher):
         reappear in the delivered result records.
         """
         width = len(encrypted_query)
-        return self._ssed.run_many(
-            list(encrypted_query),
-            [list(record.ciphertexts[:width]) for record in self.encrypted_table],
-        )
+        with _tracing.span(f"{self.name}.distance_scan",
+                           records=len(self.encrypted_table)):
+            return self._ssed.run_many(
+                list(encrypted_query),
+                [list(record.ciphertexts[:width])
+                 for record in self.encrypted_table],
+            )
 
     @property
     def engine(self):
@@ -266,6 +276,13 @@ class SkNNProtocol(P2StepDispatcher):
         ``mask_encryptor`` hook (pooled obfuscators) > fresh batch
         encryption.
         """
+        with _tracing.span(f"{self.name}.deliver",
+                           records=len(encrypted_records)):
+            return self._deliver_records_traced(encrypted_records)
+
+    def _deliver_records_traced(
+        self, encrypted_records: Sequence[Sequence[Ciphertext]]
+    ) -> ResultShares:
         c1 = self.cloud.c1
         pk = self.public_key
         engine = self.engine
@@ -317,14 +334,36 @@ class SkNNProtocol(P2StepDispatcher):
 
     def run_with_report(self, encrypted_query: Sequence[Ciphertext], k: int,
                         distance_bits: int | None = None) -> ResultShares:
-        """Run the protocol and record a :class:`SkNNRunReport` in ``last_report``."""
+        """Run the protocol and record a :class:`SkNNRunReport` in ``last_report``.
+
+        When no trace is active yet (serial runs, or the C1 daemon before
+        PR 6) a fresh trace is rooted here, so every ``run_with_report``
+        produces a ``report.trace`` timeline.  When the caller already
+        opened one (the C1 daemon roots the trace itself so it can stitch
+        in the C2 daemon's spans) this joins it instead.
+        """
         recorder = RunStatsRecorder(self.cloud)
+        owns_trace = _tracing.current_wire_context() is None
         started = time.perf_counter()
 
-        shares = self.run(encrypted_query, k)
+        if owns_trace:
+            with _tracing.trace(f"query.{self.name}", party="C1",
+                                k=k, n=len(self.encrypted_table)) as root:
+                shares = self.run(encrypted_query, k)
+            trace_id = root.trace_id
+        else:
+            shares = self.run(encrypted_query, k)
+            trace_id = None
 
         elapsed = time.perf_counter() - started
         stats = recorder.finish(self.name, elapsed)
+        registry = _metrics.get_registry()
+        registry.counter(
+            "repro_queries_total", "SkNN queries executed, by protocol.",
+            ("protocol",)).inc(protocol=self.name)
+        registry.histogram(
+            "repro_query_seconds", "End-to-end SkNN query latency.",
+            ("protocol",)).observe(elapsed, protocol=self.name)
         self.last_report = SkNNRunReport(
             protocol=self.name,
             n_records=len(self.encrypted_table),
@@ -334,5 +373,8 @@ class SkNNProtocol(P2StepDispatcher):
             distance_bits=distance_bits,
             wall_time_seconds=elapsed,
             stats=stats,
+            trace=(_tracing.trace_payload(
+                trace_id, _tracing.get_tracer().take(trace_id))
+                if trace_id is not None else None),
         )
         return shares

@@ -569,20 +569,34 @@ class PrecomputeEngine:
             return out
 
     def stats(self) -> dict[str, object]:
-        """Pool effectiveness and offline-work accounting."""
+        """Pool effectiveness and offline-work accounting.
+
+        Counter fields are read under the stats lock (and the obfuscator
+        pool's own lock), so concurrent online takers can never produce a
+        torn snapshot — e.g. a hit counted but its dict resize observed
+        mid-flight.
+        """
+        remaining = self.remaining()
+        obfuscators = self.obfuscators.stats()
+        with self._stats_lock:
+            offline = self.offline.encryptions
+            hits = dict(self.hits)
+            misses = dict(self.misses)
         return {
-            "remaining": self.remaining(),
-            "hits": dict(self.hits),
-            "misses": dict(self.misses),
-            "obfuscator_hits": self.obfuscators.hits,
-            "obfuscator_misses": self.obfuscators.misses,
-            "offline_encryptions": self.offline.encryptions,
-            "offline_powmods": self.offline.encryptions,
+            "remaining": remaining,
+            "hits": hits,
+            "misses": misses,
+            "obfuscator_hits": obfuscators["hits"],
+            "obfuscator_misses": obfuscators["misses"],
+            "offline_encryptions": offline,
+            "offline_powmods": offline,
         }
 
     def pool_hit_total(self) -> int:
         """Total pooled items consumed (tuples + constants + obfuscators)."""
-        return sum(self.hits.values()) + self.obfuscators.hits
+        with self._stats_lock:
+            pooled = sum(self.hits.values())
+        return pooled + self.obfuscators.stats()["hits"]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"PrecomputeEngine(remaining={self.remaining()}, "

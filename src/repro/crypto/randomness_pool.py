@@ -206,13 +206,19 @@ class RandomnessPool:
             return len(self._factors)
 
     def stats(self) -> dict[str, int]:
-        """Pool effectiveness counters (for reports and benchmarks)."""
-        return {
-            "remaining": self.remaining,
-            "hits": self.hits,
-            "misses": self.misses,
-            "precomputed_total": self.precomputed_total,
-        }
+        """Pool effectiveness counters (for reports and benchmarks).
+
+        The whole snapshot is taken under the pool lock, so the returned
+        fields are mutually consistent even while the hot path is popping
+        factors concurrently.
+        """
+        with self._lock:
+            return {
+                "remaining": len(self._factors),
+                "hits": self.hits,
+                "misses": self.misses,
+                "precomputed_total": self.precomputed_total,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"RandomnessPool(size={self.size}, remaining={self.remaining}, "

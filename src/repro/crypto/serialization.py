@@ -227,34 +227,50 @@ def payload_from_jsonable(data: Any,
 
 
 def message_envelope_to_bytes(sender: str, recipient: str, tag: str,
-                              payload: Any) -> bytes:
+                              payload: Any,
+                              trace: Any = None) -> bytes:
     """Encode one channel message as compact UTF-8 JSON bytes.
 
     The envelope is the four-element array ``[sender, recipient, tag,
-    encoded-payload]``.  This is the exact byte sequence the TCP transport
-    frames, and the in-memory channel sizes its accounting with it.
+    encoded-payload]``; when a distributed trace is active a fifth element
+    ``[trace_id, span_id]`` rides along so the receiving daemon can stitch
+    its spans into the originating query's trace.  This is the exact byte
+    sequence the TCP transport frames, and the in-memory channel sizes its
+    accounting with it.
     """
     envelope = [sender, recipient, tag, payload_to_jsonable(payload)]
+    if trace is not None:
+        envelope.append([str(part) for part in trace])
     return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
 
 def message_envelope_from_bytes(
     body: bytes, public_key: PaillierPublicKey | None
-) -> tuple[str, str, str, Any]:
+) -> tuple[str, str, str, Any, list[str] | None]:
     """Decode :func:`message_envelope_to_bytes` output.
 
     Returns:
-        ``(sender, recipient, tag, payload)``.
+        ``(sender, recipient, tag, payload, trace)`` where ``trace`` is
+        the optional ``[trace_id, span_id]`` context (``None`` when the
+        envelope carried the plain four-element form).
     """
     try:
         envelope = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SerializationError(f"undecodable message envelope: {exc}") from exc
-    if (not isinstance(envelope, list) or len(envelope) != 4
+    if (not isinstance(envelope, list) or len(envelope) not in (4, 5)
             or not all(isinstance(part, str) for part in envelope[:3])):
         raise SerializationError("malformed message envelope")
-    sender, recipient, tag, payload = envelope
-    return sender, recipient, tag, payload_from_jsonable(payload, public_key)
+    trace: list[str] | None = None
+    if len(envelope) == 5:
+        context = envelope[4]
+        if (not isinstance(context, list) or len(context) != 2
+                or not all(isinstance(part, str) for part in context)):
+            raise SerializationError("malformed trace context in envelope")
+        trace = context
+    sender, recipient, tag, payload = envelope[:4]
+    return (sender, recipient, tag,
+            payload_from_jsonable(payload, public_key), trace)
 
 
 def dumps(data: dict[str, Any]) -> str:

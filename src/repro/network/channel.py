@@ -27,8 +27,20 @@ from repro.crypto.serialization import (
 from repro.exceptions import ChannelError, SerializationError
 from repro.network.latency import LatencyModel, ZeroLatency
 from repro.network.stats import TrafficStats
+from repro.telemetry import tracing as _tracing
 
 __all__ = ["Message", "DuplexChannel", "message_wire_size"]
+
+
+def _ambient_trace_context() -> tuple[str, str] | None:
+    """The active ``(trace_id, span_id)`` pair, or ``None`` (common case).
+
+    Both transports stamp outgoing messages identically, so byte accounting
+    stays comparable between in-memory and TCP runs whether or not a trace
+    is active.
+    """
+    context = _tracing.current_wire_context()
+    return (context[0], context[1]) if context else None
 
 
 @dataclass(frozen=True)
@@ -42,12 +54,15 @@ class Message:
             inspecting transcripts in tests, e.g. ``"SM.masked_operands"``).
         payload: the transported value; may be a ciphertext, an integer, or a
             (possibly nested) list/tuple of those.
+        trace: optional ``(trace_id, span_id)`` distributed-tracing context
+            stamped on the envelope while a query trace is active.
     """
 
     sender: str
     recipient: str
     tag: str
     payload: Any
+    trace: tuple[str, str] | None = None
 
 
 def _count_payload(payload: Any) -> tuple[int, int]:
@@ -84,7 +99,8 @@ def message_wire_size(message: Message) -> int:
     """
     try:
         body = message_envelope_to_bytes(
-            message.sender, message.recipient, message.tag, message.payload)
+            message.sender, message.recipient, message.tag, message.payload,
+            trace=message.trace)
     except SerializationError as exc:
         raise ChannelError(str(exc)) from exc
     return FRAME_HEADER_BYTES + len(body)
@@ -136,10 +152,12 @@ class DuplexChannel:
     def send(self, sender: str, payload: Any, tag: str = "") -> None:
         """Send ``payload`` from ``sender`` to the opposite endpoint."""
         recipient = self._other(sender)
-        message = Message(sender=sender, recipient=recipient, tag=tag, payload=payload)
+        message = Message(sender=sender, recipient=recipient, tag=tag,
+                          payload=payload,
+                          trace=_ambient_trace_context())
         ciphertexts, plaintexts = _count_payload(payload)
         size = message_wire_size(message)
-        self.traffic[sender].record(ciphertexts, plaintexts, size)
+        self.traffic[sender].record(ciphertexts, plaintexts, size, tag=tag)
         self.simulated_delay_seconds += self._latency_model.delay_for_message(size)
         self._queues[recipient].append(message)
         self.transcript.append(message)

@@ -15,19 +15,32 @@ from dataclasses import dataclass, field
 
 @dataclass
 class TrafficStats:
-    """Accumulated statistics for one direction of a channel."""
+    """Accumulated statistics for one direction of a channel.
+
+    Besides the four aggregate counters, traffic is attributed per message
+    *tag* (``SM.masked_operands``, ``transport.query``, ...) so operators
+    can see which protocol round dominates the wire.  The aggregate
+    :meth:`snapshot` keeps its original four-key shape — run recorders
+    subtract those dictionaries — and the per-tag view is a separate
+    :meth:`per_tag_snapshot`.
+    """
 
     messages: int = 0
     ciphertexts: int = 0
     plaintext_items: int = 0
     bytes_transferred: int = 0
+    tag_messages: dict[str, int] = field(default_factory=dict)
+    tag_bytes: dict[str, int] = field(default_factory=dict)
 
-    def record(self, ciphertexts: int, plaintext_items: int, payload_bytes: int) -> None:
+    def record(self, ciphertexts: int, plaintext_items: int,
+               payload_bytes: int, tag: str = "") -> None:
         """Record one message with the given composition."""
         self.messages += 1
         self.ciphertexts += ciphertexts
         self.plaintext_items += plaintext_items
         self.bytes_transferred += payload_bytes
+        self.tag_messages[tag] = self.tag_messages.get(tag, 0) + 1
+        self.tag_bytes[tag] = self.tag_bytes.get(tag, 0) + payload_bytes
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -35,9 +48,11 @@ class TrafficStats:
         self.ciphertexts = 0
         self.plaintext_items = 0
         self.bytes_transferred = 0
+        self.tag_messages = {}
+        self.tag_bytes = {}
 
     def snapshot(self) -> dict[str, int]:
-        """Return the counters as a plain dictionary (for reporting)."""
+        """Return the aggregate counters as a plain dictionary."""
         return {
             "messages": self.messages,
             "ciphertexts": self.ciphertexts,
@@ -45,13 +60,29 @@ class TrafficStats:
             "bytes_transferred": self.bytes_transferred,
         }
 
+    def per_tag_snapshot(self) -> dict[str, dict[str, int]]:
+        """``{tag: {"messages": m, "bytes": b}}``, sorted by tag."""
+        return {
+            tag: {"messages": self.tag_messages[tag],
+                  "bytes": self.tag_bytes.get(tag, 0)}
+            for tag in sorted(self.tag_messages)
+        }
+
     def merged_with(self, other: "TrafficStats") -> "TrafficStats":
         """Return a new object with the element-wise sum of two stats."""
+        tag_messages = dict(self.tag_messages)
+        for tag, count in other.tag_messages.items():
+            tag_messages[tag] = tag_messages.get(tag, 0) + count
+        tag_bytes = dict(self.tag_bytes)
+        for tag, count in other.tag_bytes.items():
+            tag_bytes[tag] = tag_bytes.get(tag, 0) + count
         return TrafficStats(
             messages=self.messages + other.messages,
             ciphertexts=self.ciphertexts + other.ciphertexts,
             plaintext_items=self.plaintext_items + other.plaintext_items,
             bytes_transferred=self.bytes_transferred + other.bytes_transferred,
+            tag_messages=tag_messages,
+            tag_bytes=tag_bytes,
         )
 
 

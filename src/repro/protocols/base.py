@@ -15,6 +15,7 @@ fresh randomization).
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
@@ -26,8 +27,39 @@ from repro.crypto.paillier import Ciphertext, PaillierPublicKey
 from repro.exceptions import ProtocolError
 from repro.network.party import DecryptorParty, EvaluatorParty, TwoPartySetting
 from repro.network.stats import ProtocolRunStats
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import tracing as _tracing
 
-__all__ = ["P2StepDispatcher", "TwoPartyProtocol", "ProtocolResult"]
+__all__ = ["P2StepDispatcher", "TwoPartyProtocol", "ProtocolResult",
+           "record_round", "traced_round"]
+
+
+def record_round(protocol: str, operation: str) -> None:
+    """Count one protocol round in the process-wide metrics registry."""
+    _metrics.get_registry().counter(
+        "repro_protocol_rounds_total",
+        "Two-party protocol rounds executed, by protocol and entry point.",
+        ("protocol", "operation"),
+    ).inc(protocol=protocol, operation=operation)
+
+
+def traced_round(operation: str, sized: bool = False):
+    """Decorate a protocol ``run*`` entry point with round telemetry.
+
+    Wraps the call in :meth:`TwoPartyProtocol.round_span`; with
+    ``sized=True`` the first positional argument's length is attached to
+    the span as ``items`` (batch entry points).
+    """
+    def decorate(method):
+        @functools.wraps(method)
+        def wrapper(self, *args: Any, **kwargs: Any) -> Any:
+            attributes = {}
+            if sized and args and hasattr(args[0], "__len__"):
+                attributes["items"] = len(args[0])
+            with self.round_span(operation, **attributes):
+                return method(self, *args, **kwargs)
+        return wrapper
+    return decorate
 
 
 class P2StepDispatcher:
@@ -241,6 +273,17 @@ class TwoPartyProtocol(P2StepDispatcher):
             raise ProtocolError(f"{self.name}: {message}")
 
     # -- instrumentation --------------------------------------------------------
+    def round_span(self, operation: str, **attributes: Any):
+        """Telemetry for one protocol round (a ``run``/``run_batch`` entry).
+
+        Always increments ``repro_protocol_rounds_total{protocol,operation}``
+        and returns a trace span named ``<name>.<operation>`` — a shared
+        no-op object when no query trace is active, so instrumenting hot
+        paths unconditionally is free.
+        """
+        record_round(self.name, operation)
+        return _tracing.span(f"{self.name}.{operation}", **attributes)
+
     def run_instrumented(self, *args: Any, **kwargs: Any) -> ProtocolResult:
         """Run the protocol and collect operation/traffic statistics.
 

@@ -33,7 +33,7 @@ from typing import Sequence
 
 from repro.crypto import numtheory as nt
 from repro.crypto.paillier import Ciphertext
-from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.base import TwoPartyProtocol, traced_round
 
 __all__ = ["SecureBitDecomposition"]
 
@@ -64,6 +64,7 @@ class SecureBitDecomposition(TwoPartyProtocol):
         self.bit_length = bit_length
         self._inv_two = nt.modinv(2, self.pk.n)
 
+    @traced_round("run")
     def run(self, enc_z: Ciphertext) -> list[Ciphertext]:
         """Compute ``[z]`` (MSB first) from ``Epk(z)``.
 
@@ -81,6 +82,7 @@ class SecureBitDecomposition(TwoPartyProtocol):
             bits_lsb_first.append(enc_bit)
         return list(reversed(bits_lsb_first))
 
+    @traced_round("run_batch", sized=True)
     def run_batch(self, enc_values: Sequence[Ciphertext]
                   ) -> list[list[Ciphertext]]:
         """Bit-decompose a whole vector of encrypted values at once.

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.crypto.paillier import Ciphertext
-from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.base import TwoPartyProtocol, traced_round
 from repro.protocols.sm import SecureMultiplication
 
 __all__ = ["SecureBitOr", "SecureBitXor"]
@@ -31,6 +31,7 @@ class SecureBitOr(TwoPartyProtocol):
         super().__init__(setting)
         self._sm = SecureMultiplication(setting)
 
+    @traced_round("run")
     def run(self, enc_bit_a: Ciphertext, enc_bit_b: Ciphertext) -> Ciphertext:
         """Compute ``Epk(o_1 OR o_2)`` from ``Epk(o_1)`` and ``Epk(o_2)``.
 
@@ -41,6 +42,7 @@ class SecureBitOr(TwoPartyProtocol):
         # E(o1 + o2) * E(o1*o2)^{N-1}  ==  E(o1 + o2 - o1*o2)
         return self.sub(enc_bit_a + enc_bit_b, enc_and)
 
+    @traced_round("run_batch", sized=True)
     def run_batch(self, pairs: Sequence[tuple[Ciphertext, Ciphertext]]
                   ) -> list[Ciphertext]:
         """Vectorized OR over many bit pairs (one batched SM round).
@@ -65,6 +67,7 @@ class SecureBitXor(TwoPartyProtocol):
         super().__init__(setting)
         self._sm = SecureMultiplication(setting)
 
+    @traced_round("run")
     def run(self, enc_bit_a: Ciphertext, enc_bit_b: Ciphertext) -> Ciphertext:
         """Compute ``Epk(o_1 XOR o_2)`` from ``Epk(o_1)`` and ``Epk(o_2)``."""
         enc_and = self._sm.run(enc_bit_a, enc_bit_b)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.crypto.paillier import Ciphertext
-from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.base import TwoPartyProtocol, traced_round
 
 __all__ = ["SecureMultiplication"]
 
@@ -38,6 +38,7 @@ class SecureMultiplication(TwoPartyProtocol):
         "SM.batch_masked_squares": "_p2_square_masked_batch",
     }
 
+    @traced_round("run")
     def run(self, enc_a: Ciphertext, enc_b: Ciphertext) -> Ciphertext:
         """Compute ``Epk(a * b)`` from ``Epk(a)`` and ``Epk(b)``.
 
@@ -111,6 +112,7 @@ class SecureMultiplication(TwoPartyProtocol):
                      tag="SM.batch_square_products")
 
     # -- batched execution -------------------------------------------------------
+    @traced_round("run_batch", sized=True)
     def run_batch(self, pairs: Sequence[tuple[Ciphertext, Ciphertext]]
                   ) -> list[Ciphertext]:
         """Compute ``Epk(a_i * b_i)`` for a whole vector of operand pairs.
@@ -164,6 +166,7 @@ class SecureMultiplication(TwoPartyProtocol):
             for cipher, r_a, r_b in zip(stripped, masks_a, masks_b)
         ]
 
+    @traced_round("run_square_batch", sized=True)
     def run_square_batch(self, ciphertexts: Sequence[Ciphertext]
                          ) -> list[Ciphertext]:
         """Compute ``Epk(a_i^2)`` for a vector, built for warm mask pools.

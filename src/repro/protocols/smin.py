@@ -37,7 +37,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.crypto.paillier import Ciphertext
-from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.base import TwoPartyProtocol, traced_round
 from repro.protocols.sbor import SecureBitXor
 from repro.protocols.sm import SecureMultiplication
 
@@ -59,6 +59,7 @@ class SecureMinimum(TwoPartyProtocol):
         self._sm = SecureMultiplication(setting)
         self._xor = SecureBitXor(setting)
 
+    @traced_round("run")
     def run(self, enc_u_bits: Sequence[Ciphertext],
             enc_v_bits: Sequence[Ciphertext]) -> list[Ciphertext]:
         """Compute ``[min(u, v)]`` from ``[u]`` and ``[v]``.
@@ -167,6 +168,7 @@ class SecureMinimum(TwoPartyProtocol):
         return enc_w, enc_gamma, enc_l, rhat, enc_h
 
     # -- batched execution -----------------------------------------------------
+    @traced_round("run_batch", sized=True)
     def run_batch(
         self, pairs: Sequence[tuple[Sequence[Ciphertext], Sequence[Ciphertext]]]
     ) -> list[list[Ciphertext]]:

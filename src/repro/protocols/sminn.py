@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Literal, Sequence
 
 from repro.crypto.paillier import Ciphertext
-from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.base import TwoPartyProtocol, traced_round
 from repro.protocols.smin import SecureMinimum
 
 __all__ = ["SecureMinimumOfN"]
@@ -46,6 +46,7 @@ class SecureMinimumOfN(TwoPartyProtocol):
         self.topology = topology
         self._smin = SecureMinimum(setting)
 
+    @traced_round("run", sized=True)
     def run(self, encrypted_values: Sequence[Sequence[Ciphertext]]
             ) -> list[Ciphertext]:
         """Compute ``[min(d_1, ..., d_n)]`` from the encrypted bit vectors.

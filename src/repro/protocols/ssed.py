@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.crypto.paillier import Ciphertext
-from repro.protocols.base import TwoPartyProtocol
+from repro.protocols.base import TwoPartyProtocol, traced_round
 from repro.protocols.sm import SecureMultiplication
 
 __all__ = ["SecureSquaredEuclideanDistance"]
@@ -33,6 +33,7 @@ class SecureSquaredEuclideanDistance(TwoPartyProtocol):
         super().__init__(setting)
         self._sm = SecureMultiplication(setting)
 
+    @traced_round("run")
     def run(self, enc_x: Sequence[Ciphertext],
             enc_y: Sequence[Ciphertext]) -> Ciphertext:
         """Compute ``Epk(|X - Y|^2)`` from ``Epk(X)`` and ``Epk(Y)``.
@@ -59,6 +60,7 @@ class SecureSquaredEuclideanDistance(TwoPartyProtocol):
         assert total is not None
         return total
 
+    @traced_round("run_many")
     def run_many(self, enc_x: Sequence[Ciphertext],
                  enc_y_list: Sequence[Sequence[Ciphertext]]
                  ) -> list[Ciphertext]:

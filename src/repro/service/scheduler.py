@@ -41,6 +41,8 @@ from repro.crypto.paillier import Ciphertext
 from repro.crypto.randomness_pool import RandomnessPool
 from repro.exceptions import ConfigurationError
 from repro.service.sharding import ShardedCloud
+from repro.telemetry import SlowQueryLog
+from repro.telemetry import metrics as _metrics
 
 __all__ = ["PendingQuery", "ServiceSession", "QueryScheduler", "QueryServer",
            "ServerStats"]
@@ -152,11 +154,40 @@ class QueryScheduler:
 
 @dataclass
 class ServerStats:
-    """Aggregate serving statistics (the benchmark's throughput numbers)."""
+    """Aggregate serving statistics (the benchmark's throughput numbers).
+
+    All mutation goes through :meth:`record_batch` and all multi-field
+    reads through :meth:`snapshot` — both hold the stats lock, so readers
+    polling a live server (``transport.stats``, benchmark emitters) never
+    see a batch's query count without its busy time.
+    """
 
     queries_served: int = 0
     batches_served: int = 0
     busy_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def record_batch(self, queries: int, elapsed: float) -> None:
+        """Account one executed batch atomically."""
+        with self._lock:
+            self.queries_served += queries
+            self.batches_served += 1
+            self.busy_seconds += elapsed
+
+    def snapshot(self) -> dict[str, float]:
+        """A mutually consistent view of every field and derived rate."""
+        with self._lock:
+            queries = self.queries_served
+            batches = self.batches_served
+            busy = self.busy_seconds
+        return {
+            "queries_served": queries,
+            "batches_served": batches,
+            "busy_seconds": busy,
+            "mean_batch_size": queries / batches if batches else 0.0,
+            "queries_per_second": queries / busy if busy else 0.0,
+        }
 
     @property
     def mean_batch_size(self) -> float:
@@ -206,7 +237,8 @@ class QueryServer:
                  batch_window_seconds: float = 0.01,
                  rng: Random | None = None,
                  session_pool_size: int = 0,
-                 precompute_idle_budget: int = 32) -> None:
+                 precompute_idle_budget: int = 32,
+                 slow_query_seconds: float | None = 1.0) -> None:
         self.store = store
         self.scheduler = QueryScheduler(batch_size)
         self.batch_window_seconds = batch_window_seconds
@@ -214,12 +246,29 @@ class QueryServer:
         self.session_pool_size = session_pool_size
         self.precompute_idle_budget = precompute_idle_budget
         self.stats = ServerStats()
+        self.slow_log = SlowQueryLog(threshold_seconds=slow_query_seconds)
         self.sessions: dict[str, ServiceSession] = {}
         self._request_ids = itertools.count(1)
         self._session_ids = itertools.count(1)
         self._serve_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        _metrics.get_registry().add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry: "_metrics.MetricsRegistry") -> None:
+        """Scrape-time collector mirroring serving state into the registry."""
+        registry.gauge(
+            "repro_scheduler_queue_depth",
+            "Queries queued and not yet dispatched to a batch.").set(
+                self.scheduler.pending)
+        registry.gauge(
+            "repro_scheduler_sessions",
+            "Open query sessions.").set(len(self.sessions))
+        for name, value in self.stats.snapshot().items():
+            registry.gauge(
+                "repro_scheduler_serving",
+                "Aggregate serving statistics of the query scheduler.",
+                ("stat",)).set(value, stat=name)
 
     @property
     def sharded(self) -> ShardedCloud:
@@ -302,9 +351,19 @@ class QueryServer:
             # attribution caveat under concurrent client-side encryption.
             batch_stats = recorder.finish(self.store.protocol_label, elapsed)
             timings = self.store.last_batch_timings
-            self.stats.queries_served += len(batch)
-            self.stats.batches_served += 1
-            self.stats.busy_seconds += elapsed
+            self.stats.record_batch(len(batch), elapsed)
+            registry = _metrics.get_registry()
+            registry.counter(
+                "repro_scheduler_batches_total",
+                "Batches executed by the query scheduler.",
+                ("protocol",)).inc(protocol=self.store.protocol_label)
+            registry.histogram(
+                "repro_batch_seconds", "Wall time of one scheduler batch.",
+                ("protocol",)).observe(
+                    elapsed, protocol=self.store.protocol_label)
+            self.slow_log.observe(elapsed,
+                                  protocol=self.store.protocol_label,
+                                  queries=len(batch))
 
         for request, shares in zip(batch, all_shares):
             reconstruct_started = time.perf_counter()
@@ -368,6 +427,7 @@ class QueryServer:
     def close(self) -> None:
         """Stop serving and release the sharded store's worker pool."""
         self.stop()
+        _metrics.get_registry().remove_collector(self._collect_metrics)
         self.store.close()
 
     def __enter__(self) -> "QueryServer":

@@ -1,0 +1,58 @@
+"""Process-wide observability: metrics, distributed tracing, structured logs.
+
+``repro.telemetry`` is the single instrumentation layer the rest of the
+package reports into:
+
+* :mod:`repro.telemetry.metrics` — a process-wide :class:`MetricsRegistry`
+  of typed counters / gauges / histograms with label support, lock-safe
+  increments, pull-collectors and Prometheus text exposition.
+* :mod:`repro.telemetry.tracing` — per-query distributed traces.  Each
+  protocol round opens a :class:`Span`; the trace context rides inside the
+  ``repro.transport`` wire envelope so spans recorded by the C2 daemon are
+  stitched back into C1's :class:`~repro.core.sknn_base.SkNNRunReport`.
+* :mod:`repro.telemetry.logs` — structured JSON logging with query ids and
+  a configurable slow-query log.
+* :mod:`repro.telemetry.httpd` — a tiny stdlib HTTP listener serving
+  ``/metrics`` (Prometheus text) and ``/stats`` (JSON snapshot).
+
+Every instrument is a no-op-cheap operation on the hot path: counters are a
+dict lookup plus a locked integer add, and spans cost a single contextvar
+read when no trace is active.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+)
+from repro.telemetry.tracing import (
+    Span,
+    Tracer,
+    current_wire_context,
+    get_tracer,
+    new_trace_id,
+    span,
+)
+from repro.telemetry.logs import SlowQueryLog, configure_json_logging
+from repro.telemetry.httpd import MetricsHTTPServer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsHTTPServer",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "configure_json_logging",
+    "current_wire_context",
+    "get_registry",
+    "get_tracer",
+    "new_trace_id",
+    "reset_registry",
+    "span",
+]

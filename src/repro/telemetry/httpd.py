@@ -1,0 +1,129 @@
+"""A tiny stdlib HTTP listener exposing the metrics registry.
+
+Each :class:`~repro.transport.daemon.PartyDaemon` (and the
+:class:`~repro.service.scheduler.QueryServer`) can start one of these on a
+side port:
+
+* ``GET /metrics`` — Prometheus text exposition of the registry.
+* ``GET /stats``   — JSON: the registry snapshot plus any extra
+  provider-supplied sections (daemon stats, slow-query log).
+* ``GET /healthz`` — liveness probe, returns ``ok``.
+
+Built on :class:`http.server.ThreadingHTTPServer`; no dependencies, no
+access logging noise, daemon threads only — closing the owner tears the
+listener down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping
+
+from repro.telemetry.metrics import MetricsRegistry, get_registry
+
+__all__ = ["MetricsHTTPServer", "parse_listen_address"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def parse_listen_address(listen: str) -> tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)``; port 0 binds an ephemeral port."""
+    host, _, port = listen.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {listen!r}")
+    return host, int(port)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "MetricsHTTPServer"
+
+    # Quiet: metrics scrapes must not spam the daemon log.
+    def log_message(self, format: str, *args) -> None:
+        return None
+
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0]
+        owner: MetricsHTTPServer = self.server.owner  # type: ignore[attr-defined]
+        if path == "/metrics":
+            body = owner.registry.render_prometheus().encode("utf-8")
+            self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/stats":
+            body = json.dumps(owner.stats_document(), default=str,
+                              indent=2).encode("utf-8")
+            self._reply(200, "application/json", body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain", b"ok\n")
+        else:
+            self._reply(404, "text/plain", b"not found\n")
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class MetricsHTTPServer:
+    """Serves ``/metrics`` and ``/stats`` for one process on a side port.
+
+    Args:
+        listen: ``HOST:PORT`` (port 0 for ephemeral).
+        registry: metrics registry to expose (default: process-wide).
+        extra_stats: optional callback contributing additional JSON
+            sections to ``/stats`` (e.g. the daemon's transport stats).
+    """
+
+    def __init__(self, listen: str = "127.0.0.1:0",
+                 registry: MetricsRegistry | None = None,
+                 extra_stats: Callable[[], Mapping] | None = None) -> None:
+        host, port = parse_listen_address(listen)
+        self.registry = registry if registry is not None else get_registry()
+        self._extra_stats = extra_stats
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def stats_document(self) -> dict:
+        document: dict = {"metrics": self.registry.snapshot()}
+        if self._extra_stats is not None:
+            try:
+                document.update(self._extra_stats())
+            except Exception as exc:  # stats must never take the page down
+                document["stats_error"] = repr(exc)
+        return document
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.2},
+                name="repro-metrics-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -26,7 +26,7 @@ import threading
 from collections import deque
 
 from repro.exceptions import ChannelError
-from repro.network.channel import Message, _count_payload
+from repro.network.channel import Message, _ambient_trace_context, _count_payload
 from repro.network.stats import TrafficStats
 from repro.transport.framing import FRAME_HEADER_BYTES, recv_frame, send_frame
 from repro.transport.wire import WireCodec
@@ -80,12 +80,13 @@ class TcpChannel:
             raise ChannelError(
                 f"cannot send as {sender!r}: this process is {self.local_role!r}")
         message = Message(sender=sender, recipient=self.remote_role,
-                          tag=tag, payload=payload)
+                          tag=tag, payload=payload,
+                          trace=_ambient_trace_context())
         body = self._codec.encode_message(message)
         with self._send_lock:
             sent = send_frame(self._sock, body)
         ciphertexts, plaintexts = _count_payload(payload)
-        self.traffic[sender].record(ciphertexts, plaintexts, sent)
+        self.traffic[sender].record(ciphertexts, plaintexts, sent, tag=tag)
         if self.record_transcript:
             self.transcript.append(message)
 
@@ -127,6 +128,11 @@ class TcpChannel:
             self._inbox.append(self._read_message())
         return self._inbox[0].tag
 
+    def next_trace(self) -> tuple[str, str] | None:
+        """The trace context of the queued head message (``None`` when the
+        sender had no active trace).  Only valid right after ``next_tag``."""
+        return self._inbox[0].trace if self._inbox else None
+
     def _next_message(self) -> Message:
         if self._inbox:
             return self._inbox.popleft()
@@ -141,7 +147,8 @@ class TcpChannel:
         message = self._codec.decode_message(body)
         ciphertexts, plaintexts = _count_payload(message.payload)
         self.traffic[self.remote_role].record(
-            ciphertexts, plaintexts, FRAME_HEADER_BYTES + len(body))
+            ciphertexts, plaintexts, FRAME_HEADER_BYTES + len(body),
+            tag=message.tag)
         if self.record_transcript:
             self.transcript.append(message)
         return message

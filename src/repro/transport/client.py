@@ -227,6 +227,11 @@ class RemoteCloud:
         return {"c1": self.c1.request("transport.stats", None),
                 "c2": self.c2.request("transport.stats", None)}
 
+    def metrics(self) -> dict[str, Any]:
+        """Both daemons' metric registries (Prometheus text + snapshot)."""
+        return {"c1": self.c1.request("transport.metrics", None),
+                "c2": self.c2.request("transport.metrics", None)}
+
     def shutdown_daemons(self) -> None:
         """Ask both daemons to exit (best effort)."""
         for client in (self.c1, self.c2):

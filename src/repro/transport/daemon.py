@@ -47,6 +47,9 @@ from repro.db.encrypted_table import EncryptedTable
 from repro.exceptions import ChannelError, ConfigurationError, ReproError
 from repro.network.channel import Message
 from repro.network.party import DecryptorParty
+from repro.telemetry import MetricsHTTPServer, SlowQueryLog
+from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry import tracing as telemetry_tracing
 from repro.transport.channel import TcpChannel
 from repro.transport.framing import recv_frame, send_frame
 from repro.transport.wire import WireCodec
@@ -126,7 +129,9 @@ class RemotePrivateKey:
     def __init__(self, public_key) -> None:
         self.public_key = public_key
         #: always-zero counter: remote decryptions are counted by the remote
-        #: process; reports produced on this side show C2 columns as 0.
+        #: process.  The C1 daemon fetches C2's per-query counter deltas
+        #: over the ``telemetry.collect`` exchange and merges them into the
+        #: run report, so distributed reports show real C2 columns.
         self.counter = OperationCounter()
 
     def __getattr__(self, name: str) -> Any:
@@ -165,11 +170,19 @@ class PartyDaemon:
         pool_cache: path for persisting/reloading the party's precompute
             pools across restarts (loaded lazily when the engine is built,
             saved on clean shutdown).
+        metrics_listen: ``HOST:PORT`` for a side HTTP listener serving
+            ``/metrics`` (Prometheus text) and ``/stats`` (JSON); ``None``
+            disables it.  Port 0 binds an ephemeral port, discoverable
+            through ``transport.stats``.
+        slow_query_seconds: wall-time threshold for the slow-query log
+            (``None`` disables it).
     """
 
     def __init__(self, role: str, host: str = "127.0.0.1", port: int = 0,
                  port_file: str | Path | None = None,
-                 pool_cache: str | Path | None = None) -> None:
+                 pool_cache: str | Path | None = None,
+                 metrics_listen: str | None = None,
+                 slow_query_seconds: float | None = 1.0) -> None:
         if role not in ("c1", "c2"):
             raise ConfigurationError(f"unknown party role {role!r}")
         self.role = role
@@ -178,6 +191,12 @@ class PartyDaemon:
         self.port = port
         self.port_file = Path(port_file) if port_file is not None else None
         self.pool_cache = Path(pool_cache) if pool_cache is not None else None
+        self.metrics_listen = metrics_listen
+        self._metrics_server: MetricsHTTPServer | None = None
+        self.slow_log = SlowQueryLog(threshold_seconds=slow_query_seconds)
+        # C2: per-trace counter snapshots for the telemetry.collect window.
+        self._trace_counters: dict[str, tuple[dict, dict]] = {}
+        self._trace_counters_lock = threading.Lock()
 
         self.codec = WireCodec()
         self.engine: PrecomputeEngine | None = None
@@ -221,11 +240,61 @@ class PartyDaemon:
         """Bind (if needed) and start the accept loop in the background."""
         if self._listener is None:
             self.bind()
+        if self.metrics_listen is not None and self._metrics_server is None:
+            self._metrics_server = MetricsHTTPServer(
+                self.metrics_listen, extra_stats=self._handle_stats).start()
+            logger.info("%s daemon metrics at %s/metrics",
+                        self.party_name, self._metrics_server.url)
+        telemetry_metrics.get_registry().add_collector(self._collect_metrics)
         accept_thread = threading.Thread(
             target=self._accept_loop, name=f"sknn-{self.role}-accept",
             daemon=True)
         accept_thread.start()
         self._threads.append(accept_thread)
+
+    def _collect_metrics(self,
+                         registry: telemetry_metrics.MetricsRegistry) -> None:
+        """Scrape-time collector mirroring daemon state into the registry."""
+        role = self.role
+        registry.gauge(
+            "repro_pending_shares",
+            "Decrypted result shares waiting in the C2 mailbox.",
+            ("role",)).set(len(self.mailbox), role=role)
+        operations = registry.gauge(
+            "repro_crypto_operations",
+            "Cumulative Paillier operations performed by this party.",
+            ("party", "op"))
+        public_key = self.codec.public_key
+        if public_key is not None:
+            for op, value in public_key.counter.snapshot().items():
+                operations.set(value, party=role, op=op)
+        if self._private_key is not None:
+            operations.set(self._private_key.counter.snapshot()["decryptions"],
+                           party=role, op="decryptions")
+        if self.engine is not None:
+            stats = self.engine.stats()
+            pools = registry.gauge(
+                "repro_pool_items", "Precompute pool fill level.",
+                ("role", "pool"))
+            for pool, remaining in stats.get("remaining", {}).items():
+                pools.set(remaining, role=role, pool=pool)
+            hits = registry.gauge(
+                "repro_pool_requests", "Precompute pool takes served.",
+                ("role", "outcome"))
+            hits.set(sum(stats.get("hits", {}).values())
+                     + stats.get("obfuscator_hits", 0),
+                     role=role, outcome="hit")
+            hits.set(sum(stats.get("misses", {}).values())
+                     + stats.get("obfuscator_misses", 0),
+                     role=role, outcome="miss")
+        if self._peer_channel is not None:
+            traffic = self._peer_channel.total_traffic()
+            wire = registry.gauge(
+                "repro_wire", "Cloud-to-cloud traffic on the peer link.",
+                ("role", "unit"))
+            wire.set(traffic.bytes_transferred, role=role, unit="bytes")
+            wire.set(traffic.messages, role=role, unit="messages")
+            wire.set(traffic.ciphertexts, role=role, unit="ciphertexts")
 
     def serve_forever(self, install_signal_handlers: bool = True) -> None:
         """Run until SIGTERM/SIGINT or a ``transport.shutdown`` request.
@@ -261,6 +330,11 @@ class PartyDaemon:
             return
         self._closed = True
         self._stop.set()
+        telemetry_metrics.get_registry().remove_collector(
+            self._collect_metrics)
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -370,19 +444,38 @@ class PartyDaemon:
         registry, cloud = self._build_p2_registry(channel)
         logger.info("cloud peer connected from %s (%d handlers)",
                     connection.address, len(registry))
+        tracer = telemetry_tracing.get_tracer()
+        steps = telemetry_metrics.get_registry().counter(
+            "repro_p2_steps_total",
+            "Protocol frames dispatched to P2 step handlers.", ("tag",))
         while not self._stop.is_set():
             try:
                 tag = channel.next_tag()
             except ChannelError:
                 break  # peer went away
+            if tag.startswith("telemetry."):
+                # Control frames from C1's telemetry layer: counter-delta
+                # windows and span collection — never routed to protocol
+                # handlers.
+                try:
+                    self._handle_peer_telemetry(tag, channel)
+                except ReproError as exc:
+                    logger.warning("telemetry frame %s failed: %s", tag, exc)
+                continue
             handler = registry.get(tag)
             if handler is None:
                 channel.receive("C2")  # consume the unroutable frame
                 channel.send("C2", f"no P2 step registered for tag {tag!r}",
                              tag="transport.error")
                 continue
+            # The envelope's trace context parents this handler's span
+            # under the C1-side span that sent the frame.
+            trace_context = channel.next_trace()
             try:
-                handler()
+                with tracer.remote_span(f"p2.{tag}", trace_context,
+                                        party="C2"):
+                    handler()
+                steps.inc(tag=tag)
             except ReproError as exc:
                 logger.warning("P2 step %s failed: %s", tag, exc)
                 # Unblock the C1 driver instead of leaving it waiting on a
@@ -390,6 +483,53 @@ class PartyDaemon:
                 channel.send("C2", f"P2 step {tag!r} failed: {exc}",
                              tag="transport.error")
         logger.info("cloud peer from %s disconnected", connection.address)
+
+    def _handle_peer_telemetry(self, tag: str, channel: TcpChannel) -> None:
+        """C2's side of the per-query telemetry exchange.
+
+        ``telemetry.trace_begin`` (payload: trace id) snapshots this
+        party's operation counters, opening the delta window for one query.
+        ``telemetry.collect`` (payload: trace id) closes the window and
+        replies with the counter deltas plus every finished span of that
+        trace, which C1 stitches into its ``SkNNRunReport``.
+        """
+        payload = channel.receive("C2")
+        trace_id = str(payload)
+        if tag == "telemetry.trace_begin":
+            assert self._private_key is not None
+            snapshot = (self._private_key.public_key.counter.snapshot(),
+                        self._private_key.counter.snapshot())
+            with self._trace_counters_lock:
+                # One C1 peer runs one query at a time; the bound guards
+                # against a leaky client that never collects.
+                while len(self._trace_counters) >= 16:
+                    self._trace_counters.pop(next(iter(self._trace_counters)))
+                self._trace_counters[trace_id] = snapshot
+            return
+        if tag != "telemetry.collect":
+            raise ChannelError(f"unknown telemetry frame {tag!r}")
+        with self._trace_counters_lock:
+            window = self._trace_counters.pop(trace_id, None)
+        counters: dict[str, int] = {}
+        if window is not None and self._private_key is not None:
+            pk_before, sk_before = window
+            pk_after = self._private_key.public_key.counter.snapshot()
+            sk_after = self._private_key.counter.snapshot()
+            counters = {
+                "encryptions":
+                    pk_after["encryptions"] - pk_before["encryptions"],
+                "exponentiations":
+                    pk_after["exponentiations"] - pk_before["exponentiations"],
+                "homomorphic_additions":
+                    pk_after["homomorphic_additions"]
+                    - pk_before["homomorphic_additions"],
+                "decryptions":
+                    sk_after["decryptions"] - sk_before["decryptions"],
+            }
+        spans = [span.as_payload()
+                 for span in telemetry_tracing.get_tracer().take(trace_id)]
+        channel.send("C2", {"counters": counters, "spans": spans},
+                     tag="telemetry.collect")
 
     def _build_p2_registry(
         self, channel: TcpChannel
@@ -455,6 +595,11 @@ class PartyDaemon:
             return self._handle_provision(payload)
         if tag == "transport.stats":
             return self._handle_stats()
+        if tag == "transport.metrics":
+            registry = telemetry_metrics.get_registry()
+            return {"role": self.role,
+                    "prometheus": registry.render_prometheus(),
+                    "snapshot": registry.snapshot()}
         if self.role == "c2" and tag == "transport.fetch_share":
             return self.mailbox.fetch(
                 payload["delivery_id"],
@@ -472,10 +617,17 @@ class PartyDaemon:
             "provisioned": self._provisioned(),
             "pending_shares": len(self.mailbox),
         }
+        if self._metrics_server is not None:
+            stats["metrics_address"] = self._metrics_server.url
         if self.engine is not None:
             stats["engine"] = self.engine.stats()
         if self._peer_channel is not None:
-            stats["traffic"] = self._peer_channel.total_traffic().snapshot()
+            traffic = self._peer_channel.total_traffic()
+            stats["traffic"] = traffic.snapshot()
+            stats["traffic_by_tag"] = traffic.per_tag_snapshot()
+        slow = self.slow_log.snapshot()
+        if slow["total_slow"]:
+            stats["slow_queries"] = slow
         return stats
 
     # -- provisioning ---------------------------------------------------------
@@ -570,6 +722,50 @@ class PartyDaemon:
                 f"(have: {sorted(self._protocols)})")
         return protocol
 
+    def _peer_trace_begin(self, trace_id: str) -> None:
+        """Open C2's counter-delta window for one query.
+
+        Sent *before* ``run_with_report`` constructs its
+        :class:`RunStatsRecorder`, so the telemetry frames never count
+        toward the query's traffic deltas."""
+        if self._peer_channel is not None:
+            self._peer_channel.send("C1", trace_id,
+                                    tag="telemetry.trace_begin")
+
+    def _peer_collect(self, trace_id: str) -> dict[str, Any] | None:
+        """Close the window: fetch C2's counter deltas and finished spans."""
+        if self._peer_channel is None:
+            return None
+        self._peer_channel.send("C1", trace_id, tag="telemetry.collect")
+        reply = self._peer_channel.receive(
+            "C1", expected_tag="telemetry.collect")
+        return reply if isinstance(reply, dict) else None
+
+    def _stitch_report(self, report, trace_id: str,
+                       remote: dict[str, Any] | None) -> None:
+        """Merge C2's per-query telemetry into C1's run report.
+
+        The recorder on this daemon only sees local counters (the remote
+        key's counter is always zero), so the C2 columns of the report are
+        filled from the deltas C2 measured over the same query window —
+        distributed reports then match a serial run's totals.  The local
+        and remote spans merge into one ``report.trace`` timeline.
+        """
+        spans: list[Any] = list(telemetry_tracing.get_tracer().take(trace_id))
+        if remote is not None:
+            counters = remote.get("counters") or {}
+            stats = report.stats
+            stats.c2_encryptions += int(counters.get("encryptions", 0))
+            stats.c2_exponentiations += int(
+                counters.get("exponentiations", 0))
+            stats.c2_decryptions += int(counters.get("decryptions", 0))
+            additions = int(counters.get("homomorphic_additions", 0))
+            if additions:
+                stats.extra["c2_homomorphic_additions"] = (
+                    stats.extra.get("c2_homomorphic_additions", 0) + additions)
+            spans.extend(remote.get("spans") or [])
+        report.trace = telemetry_tracing.trace_payload(trace_id, spans)
+
     def _handle_query(self, payload: dict[str, Any]) -> dict[str, Any]:
         protocol = self._protocol_for(payload.get("mode", "basic"))
         query: list[Ciphertext] = payload["query"]
@@ -577,9 +773,21 @@ class PartyDaemon:
         # One query at a time: the single C2 channel is shared protocol
         # state, exactly like the in-memory runtime's serve lock.
         with self._query_lock:
-            shares = protocol.run_with_report(
-                query, k, distance_bits=self.distance_bits)
+            # Root the trace here (run_with_report joins it) so the daemon
+            # can stitch C2's spans and counter deltas into the report.
+            with telemetry_tracing.trace(f"query.{protocol.name}",
+                                         party="C1", k=k) as root:
+                trace_id = root.trace_id
+                self._peer_trace_begin(trace_id)
+                shares = protocol.run_with_report(
+                    query, k, distance_bits=self.distance_bits)
             report = protocol.last_report
+            remote = self._peer_collect(trace_id)
+            if report is not None:
+                self._stitch_report(report, trace_id, remote)
+                self.slow_log.observe(report.wall_time_seconds,
+                                      protocol=protocol.name,
+                                      trace_id=trace_id, k=k)
         return {
             "masks": shares.masks_from_c1,
             "modulus": shares.modulus,
@@ -600,19 +808,38 @@ class PartyDaemon:
             raise ConfigurationError("batch queries and ks differ in length")
         results = []
         with self._query_lock:
-            recorder = RunStatsRecorder(self._require_cloud())
-            started = time.perf_counter()
-            for query, k in zip(queries, ks):
-                shares = protocol.run(query, k)
-                results.append({
-                    "masks": shares.masks_from_c1,
-                    "delivery_id": shares.delivery_id,
-                })
-            elapsed = time.perf_counter() - started
-            stats = recorder.finish(f"{protocol.name}-distributed", elapsed)
+            with telemetry_tracing.trace(
+                    f"batch.{protocol.name}", party="C1",
+                    queries=len(queries)) as root:
+                trace_id = root.trace_id
+                self._peer_trace_begin(trace_id)
+                recorder = RunStatsRecorder(self._require_cloud())
+                started = time.perf_counter()
+                for query, k in zip(queries, ks):
+                    shares = protocol.run(query, k)
+                    results.append({
+                        "masks": shares.masks_from_c1,
+                        "delivery_id": shares.delivery_id,
+                    })
+                elapsed = time.perf_counter() - started
+                stats = recorder.finish(f"{protocol.name}-distributed",
+                                        elapsed)
+            remote = self._peer_collect(trace_id)
+            spans: list[Any] = list(
+                telemetry_tracing.get_tracer().take(trace_id))
+            if remote is not None:
+                counters = remote.get("counters") or {}
+                stats.c2_encryptions += int(counters.get("encryptions", 0))
+                stats.c2_exponentiations += int(
+                    counters.get("exponentiations", 0))
+                stats.c2_decryptions += int(counters.get("decryptions", 0))
+                spans.extend(remote.get("spans") or [])
+            self.slow_log.observe(elapsed, protocol=f"{protocol.name}-batch",
+                                  trace_id=trace_id, queries=len(queries))
         return {
             "results": results,
             "modulus": self.codec.public_key.n,
             "stats": stats.as_payload(),
             "wall_time_seconds": elapsed,
+            "trace": telemetry_tracing.trace_payload(trace_id, spans),
         }

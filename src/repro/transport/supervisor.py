@@ -42,13 +42,18 @@ class LocalSupervisor:
         pool_cache: give each daemon a ``--pool-cache`` file inside the
             scratch directory (or, when a path is supplied, inside it) so a
             restarted pair starts hot.
+        metrics: start each daemon with ``--metrics-listen 127.0.0.1:0``
+            (an ephemeral Prometheus/stats HTTP listener, discoverable via
+            ``transport.stats`` → ``metrics_address``).
         python: interpreter for the subprocesses (defaults to this one).
     """
 
     def __init__(self, pool_cache: bool | str | Path = False,
+                 metrics: bool = False,
                  python: str | None = None) -> None:
         self._python = python or sys.executable
         self._pool_cache = pool_cache
+        self._metrics = metrics
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._processes: dict[str, subprocess.Popen] = {}
         self.addresses: dict[str, tuple[str, int]] = {}
@@ -77,6 +82,8 @@ class LocalSupervisor:
             ]
             if self._pool_cache:
                 command += ["--pool-cache", str(cache_dir / f"{role}.pools")]
+            if self._metrics:
+                command += ["--metrics-listen", "127.0.0.1:0"]
             environment = dict(os.environ)
             environment["PYTHONPATH"] = os.pathsep.join(
                 [path for path in sys.path if path])

@@ -33,20 +33,21 @@ class WireCodec:
         self.public_key = public_key
 
     def encode_message(self, message: Message) -> bytes:
-        """Encode a full message (sender, recipient, tag, payload)."""
+        """Encode a full message (sender, recipient, tag, payload[, trace])."""
         try:
             return message_envelope_to_bytes(
                 message.sender, message.recipient, message.tag,
-                message.payload)
+                message.payload, trace=message.trace)
         except SerializationError as exc:
             raise ChannelError(str(exc)) from exc
 
     def decode_message(self, body: bytes) -> Message:
         """Decode :meth:`encode_message` output."""
         try:
-            sender, recipient, tag, payload = message_envelope_from_bytes(
-                body, self.public_key)
+            sender, recipient, tag, payload, trace = (
+                message_envelope_from_bytes(body, self.public_key))
         except SerializationError as exc:
             raise ChannelError(str(exc)) from exc
         return Message(sender=sender, recipient=recipient, tag=tag,
-                       payload=payload)
+                       payload=payload,
+                       trace=tuple(trace) if trace else None)

@@ -134,6 +134,86 @@ class TestBitIdenticalAnswers:
             })
 
 
+class TestTelemetryStitching:
+    """Cross-cloud observability: one trace, C2's work fully accounted."""
+
+    def test_secure_query_yields_one_stitched_trace(self, owner, dataset,
+                                                    remote):
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(36))
+        _, report = remote.query(client.encrypt_query(list(QUERIES[0])), K,
+                                 mode="secure")
+        assert report is not None and report.trace is not None
+        trace = report.trace
+        spans = trace["spans"]
+        assert spans, "a distributed query must produce spans"
+        # Single trace: every span — C1's protocol rounds and C2's daemon
+        # handler dispatches alike — carries the same trace id.
+        assert {span["trace_id"] for span in spans} == {trace["trace_id"]}
+        assert {span["party"] for span in spans} == {"C1", "C2"}
+        names = [span["name"] for span in spans]
+        assert any(name.startswith("query.SkNNm") for name in names)
+        assert any(name.startswith("p2.") for name in names), (
+            "C2 daemon dispatch spans must be stitched into C1's trace")
+        # Spans arrive sorted by start time (the timeline contract).
+        starts = [span["start"] for span in spans]
+        assert starts == sorted(starts)
+
+    def test_c2_operation_counts_match_serial_totals(self, owner, dataset,
+                                                     remote):
+        """The zero-C2-counters gap: the daemon's report must account the
+        remote party's crypto work, and the grand totals must equal what
+        the in-memory serial stack counts at identical parameters."""
+        from repro.core.cloud import FederatedCloud
+        from repro.core.sknn_secure import SkNNSecure
+
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(37))
+        _, report = remote.query(client.encrypt_query(list(QUERIES[0])), K,
+                                 mode="secure")
+        assert report.stats.c2_encryptions > 0
+        assert report.stats.c2_decryptions > 0
+        assert report.stats.c2_exponentiations > 0
+
+        cloud = FederatedCloud.deploy(owner.keypair, rng=Random(38))
+        cloud.c1.host_database(owner.encrypt_database())
+        serial_client = QueryClient(owner.public_key, dataset.dimensions,
+                                    rng=Random(39))
+        protocol = SkNNSecure(cloud, distance_bits=owner.distance_bit_length())
+        protocol.run_with_report(
+            serial_client.encrypt_query(list(QUERIES[0])), K)
+        serial = protocol.last_report.stats
+
+        distributed = report.stats
+        # Decryptions and the wire transcript are rng-invariant: exact.
+        assert distributed.total_decryptions == serial.total_decryptions
+        assert distributed.messages == serial.messages
+        assert distributed.ciphertexts_exchanged == \
+            serial.ciphertexts_exchanged
+        # Encryption/exponentiation counts wiggle by a handful of ops with
+        # the protocol's coin flips (SMIN's random functionality choice),
+        # so the parity bar is a tight relative tolerance, not equality.
+        assert distributed.total_encryptions == pytest.approx(
+            serial.total_encryptions, rel=0.02)
+        assert distributed.total_exponentiations == pytest.approx(
+            serial.total_exponentiations, rel=0.02)
+
+    def test_metrics_control_tag_exposes_both_daemons(self, owner, dataset,
+                                                      remote):
+        """``transport.metrics`` returns each daemon's registry without
+        needing the HTTP listener."""
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(40))
+        remote.query(client.encrypt_query(list(QUERIES[0])), K, mode="basic")
+        for role, payload in remote.metrics().items():
+            assert payload["role"] == role
+            assert "# TYPE" in payload["prometheus"]
+        c2 = remote.metrics()["c2"]["snapshot"]
+        steps = c2.get("repro_p2_steps_total", {}).get("values", {})
+        assert steps and all(count > 0 for count in steps.values()), (
+            "C2 must count its handler dispatches by tag")
+
+
 class TestSystemIntegration:
     def test_sknn_system_distributed_mode(self, dataset):
         """``SkNNSystem`` spawns, provisions and shuts down its own pair."""

@@ -1,0 +1,150 @@
+"""Concurrent readers must always see consistent statistics snapshots.
+
+Regression tests for the telemetry PR: ``ServerStats``,
+``RandomnessPool.stats()`` and ``PrecomputeEngine.stats()`` are polled by
+live introspection (``transport.stats``, the metrics collectors, benchmark
+emitters) while worker/producer threads mutate them.  Each snapshot must be
+taken under the owning lock so no reader ever observes a torn view — a
+batch's query count without its busy time, or a hit/miss dict mid-resize.
+"""
+
+from __future__ import annotations
+
+import threading
+from random import Random
+
+from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
+from repro.crypto.randomness_pool import RandomnessPool
+from repro.service.scheduler import ServerStats
+
+QUERIES_PER_BATCH = 3
+SECONDS_PER_BATCH = 0.25
+
+
+def hammer(worker, reader, threads: int = 4) -> list:
+    """Run ``worker`` in N threads while the main thread runs ``reader``."""
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def guarded() -> None:
+        try:
+            while not stop.is_set():
+                worker()
+        except BaseException as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+            stop.set()
+
+    pool = [threading.Thread(target=guarded) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    try:
+        observations = [reader() for _ in range(300)]
+    finally:
+        stop.set()
+        for thread in pool:
+            thread.join()
+    assert not errors, errors
+    return observations
+
+
+class TestServerStats:
+    def test_snapshot_is_internally_consistent_under_writers(self):
+        stats = ServerStats()
+
+        def worker():
+            stats.record_batch(QUERIES_PER_BATCH, SECONDS_PER_BATCH)
+
+        for snap in hammer(worker, stats.snapshot):
+            # Every batch adds exactly (3 queries, 0.25s): any atomic
+            # snapshot keeps those ratios; a torn one breaks them.
+            assert snap["queries_served"] == \
+                QUERIES_PER_BATCH * snap["batches_served"]
+            assert abs(snap["busy_seconds"]
+                       - SECONDS_PER_BATCH * snap["batches_served"]) < 1e-6
+            if snap["batches_served"]:
+                assert snap["mean_batch_size"] == QUERIES_PER_BATCH
+
+    def test_record_batch_totals(self):
+        stats = ServerStats()
+        threads = [threading.Thread(
+            target=lambda: [stats.record_batch(2, 0.5) for _ in range(50)])
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = stats.snapshot()
+        assert snap["batches_served"] == 400
+        assert snap["queries_served"] == 800
+        assert abs(snap["busy_seconds"] - 200.0) < 1e-6
+
+
+class TestRandomnessPool:
+    def test_snapshot_under_concurrent_takers(self, public_key):
+        pool = RandomnessPool(public_key, size=64, rng=Random(3))
+
+        def worker():
+            pool.take_available(1)
+
+        for snap in hammer(worker, pool.stats):
+            # hits never exceed what was precomputed, and the four fields
+            # come from one lock hold so they cannot contradict each other.
+            assert snap["hits"] <= snap["precomputed_total"]
+            assert snap["remaining"] \
+                <= snap["precomputed_total"] - snap["hits"] + 64
+
+    def test_totals_after_join(self, public_key):
+        pool = RandomnessPool(public_key, size=32, rng=Random(4))
+        takes_per_thread = 40
+
+        def worker():
+            for _ in range(takes_per_thread):
+                pool.take_available(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = pool.stats()
+        assert snap["hits"] + snap["misses"] == 4 * takes_per_thread
+        assert snap["hits"] == 32  # everything precomputed was handed out
+
+
+class TestPrecomputeEngine:
+    def test_snapshot_while_hit_miss_dicts_grow(self, public_key):
+        """Readers copy the hit/miss dicts under the stats lock, so a
+        snapshot taken mid-run never observes a dict resize in flight."""
+        engine = PrecomputeEngine(
+            public_key, rng=Random(5),
+            config=PrecomputeConfig(obfuscators=8, zeros=4, ones=4,
+                                    zn_masks=8))
+        engine.warm()
+        counter = threading.Lock()
+        values = iter(range(100000))
+
+        def worker():
+            with counter:
+                value = next(values)
+            # distinct constants → new dict keys → dict resizes while the
+            # reader iterates; masks exercise the shared-name counters.
+            engine.encrypt_constant(value % 200)
+            engine.take_mask("zn")
+
+        for snap in hammer(worker, engine.stats, threads=3):
+            assert set(snap) >= {"remaining", "hits", "misses",
+                                 "obfuscator_hits", "offline_encryptions"}
+            assert all(count >= 0 for count in snap["hits"].values())
+            assert all(count >= 0 for count in snap["misses"].values())
+
+    def test_pool_hit_total_matches_stats(self, public_key):
+        engine = PrecomputeEngine(
+            public_key, rng=Random(6),
+            config=PrecomputeConfig(obfuscators=4, zeros=2, ones=2,
+                                    zn_masks=4))
+        engine.warm()
+        for _ in range(6):
+            engine.take_mask("zn")
+        snap = engine.stats()
+        assert engine.pool_hit_total() == \
+            sum(snap["hits"].values()) + snap["obfuscator_hits"]
