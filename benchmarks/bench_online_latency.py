@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import time
+from itertools import count
 from random import Random
 
 import pytest
@@ -50,6 +51,7 @@ from repro.crypto.paillier import generate_keypair
 from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
 from repro.db.datasets import synthetic_uniform
 from repro.db.knn import LinearScanKNN
+from repro.resilience import Deadline, ReplyCache, RetryPolicy, retry_call
 
 ONLINE_KEY_BITS = int(os.environ.get("REPRO_BENCH_ONLINE_BITS", "512"))
 ONLINE_N = int(os.environ.get("REPRO_BENCH_ONLINE_N", "16"))
@@ -57,12 +59,15 @@ ONLINE_M = 3
 ONLINE_K = 2
 #: measured repeats per path (best-of, to damp scheduler noise)
 REPEATS = int(os.environ.get("REPRO_BENCH_ONLINE_REPEATS",
-                             "2" if ONLINE_KEY_BITS >= 512 else "3"))
+                             "2" if ONLINE_KEY_BITS >= 512 else "5"))
 #: required warm-vs-inline speedup; the acceptance bar of 1.5x applies at
 #: paper scale, smaller keys keep a direction-only gate for CI smoke runs.
 MIN_SPEEDUP = 1.5 if ONLINE_KEY_BITS >= 512 else 1.1
 #: tracing a query (span per protocol round) must cost <= 5% wall clock.
 TELEMETRY_OVERHEAD_GATE = 0.05
+#: arming the resilience stack (shared deadline, retry wrapper, idempotent
+#: reply memo) on the happy path must also cost <= 5% wall clock.
+RESILIENCE_OVERHEAD_GATE = 0.05
 
 
 @pytest.fixture(scope="module")
@@ -81,6 +86,20 @@ def _best_of(fn, repeats: int, between=None) -> float:
         if between is not None and index + 1 < repeats:
             between()
     return best
+
+
+def _paired_overhead(wrapped: list, baseline: list) -> float:
+    """Median of per-round wrapped/baseline ratios.
+
+    Each round's samples run back to back, so machine drift cancels within
+    a pair, and the median sheds the occasional scheduler-outlier round
+    that a best-of comparison would amplify.
+    """
+    ratios = sorted(w / b for w, b in zip(wrapped, baseline))
+    mid = len(ratios) // 2
+    median = (ratios[mid] if len(ratios) % 2
+              else (ratios[mid - 1] + ratios[mid]) / 2.0)
+    return median - 1.0
 
 
 def _engine_window(before: dict, after: dict) -> dict:
@@ -135,10 +154,8 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         refill_seconds = time.perf_counter() - refill_started
         cloud.attach_engine(c1_engine, c2_engine)
         try:
-            warm_seconds = _best_of(
-                lambda: protocol.run(encrypted_query, ONLINE_K), REPEATS,
-                between=refill_all)
-            refill_all()
+            def warm_run():
+                protocol.run(encrypted_query, ONLINE_K)
 
             # Telemetry overhead: the same warm path with a live trace
             # collecting every protocol-round span.  The acceptance bar is
@@ -149,7 +166,48 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
                     protocol.run(encrypted_query, ONLINE_K)
                 tracing.get_tracer().take(root.trace_id)
 
-            traced_seconds = _best_of(traced_run, REPEATS, between=refill_all)
+            # Resilience overhead: the same warm path with the full client
+            # resilience stack armed — one shared absolute deadline, the
+            # retry wrapper and a per-query idempotency memo — on a run
+            # where nothing fails.  Every query uses a fresh key, so the
+            # memo does bookkeeping (insert + evict), never a replay.
+            reply_cache = ReplyCache(capacity=8, name="bench")
+            retry_policy = RetryPolicy()
+            retry_rng = Random(783)
+            query_ids = count(1)
+
+            def resilient_run():
+                key = f"bench-q-{next(query_ids)}"
+                retry_call(
+                    lambda: reply_cache.run(
+                        key,
+                        lambda: protocol.run(encrypted_query, ONLINE_K)),
+                    retry_policy, op="bench.resilience", rng=retry_rng,
+                    deadline=Deadline(60.0))
+
+            def timed(fn):
+                refill_all()
+                started = time.perf_counter()
+                fn()
+                return time.perf_counter() - started
+
+            # The three warm variants are sampled interleaved, one of each
+            # per round, so slow drift (CPU frequency, allocator state)
+            # lands on all of them equally instead of penalizing whichever
+            # path happens to run last; the overhead gates then compare
+            # best-of samples taken under the same conditions.
+            samples = {"warm": [], "traced": [], "resilient": []}
+            for _ in range(REPEATS):
+                samples["warm"].append(timed(warm_run))
+                samples["traced"].append(timed(traced_run))
+                samples["resilient"].append(timed(resilient_run))
+            warm_seconds = min(samples["warm"])
+            traced_seconds = min(samples["traced"])
+            resilient_seconds = min(samples["resilient"])
+            telemetry_overhead = _paired_overhead(samples["traced"],
+                                                  samples["warm"])
+            resilience_overhead = _paired_overhead(samples["resilient"],
+                                                   samples["warm"])
 
             # Measured offline/online split over one windowed warm query:
             # the refill is the offline price, the reported run the online
@@ -164,14 +222,16 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
             stats = {"c1": c1_engine.stats(), "c2": c2_engine.stats()}
         finally:
             cloud.attach_engine(None)
-        return (inline_seconds, warm_seconds, traced_seconds, refill_seconds,
-                inline_shares, warm_shares, stats, measured_split)
+        return (inline_seconds, warm_seconds, traced_seconds,
+                resilient_seconds, telemetry_overhead, resilience_overhead,
+                refill_seconds, inline_shares, warm_shares, stats,
+                measured_split)
 
-    (inline_seconds, warm_seconds, traced_seconds, refill_seconds,
-     inline_shares, warm_shares, stats, measured_split) = benchmark.pedantic(
+    (inline_seconds, warm_seconds, traced_seconds, resilient_seconds,
+     telemetry_overhead, resilience_overhead, refill_seconds, inline_shares,
+     warm_shares, stats, measured_split) = benchmark.pedantic(
         measure, rounds=1, iterations=1, warmup_rounds=0)
     speedup = inline_seconds / warm_seconds
-    telemetry_overhead = traced_seconds / warm_seconds - 1.0
 
     # Protocol outputs must be bit-identical across the two paths (the
     # ciphertext randomness differs; the delivered plaintext records do not).
@@ -197,13 +257,19 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         "path": "warm pools + tracing",
         "online (ms)": traced_seconds * 1000,
         "offline (ms)": refill_seconds * 1000,
+    }, {
+        "path": "warm pools + resilience",
+        "online (ms)": resilient_seconds * 1000,
+        "offline (ms)": refill_seconds * 1000,
     }]
     text = (f"SkNN_b online latency (K={ONLINE_KEY_BITS}, n={ONLINE_N}, "
             f"m={ONLINE_M}, k={ONLINE_K}, backend={get_backend().name})\n"
             + format_table(rows)
             + f"warm-pool speedup: {speedup:.2f}x (gate {MIN_SPEEDUP}x)\n"
             + f"telemetry overhead: {telemetry_overhead * 100:+.2f}% "
-            + f"(gate {TELEMETRY_OVERHEAD_GATE * 100:.0f}%)\n")
+            + f"(gate {TELEMETRY_OVERHEAD_GATE * 100:.0f}%)\n"
+            + f"resilience overhead: {resilience_overhead * 100:+.2f}% "
+            + f"(gate {RESILIENCE_OVERHEAD_GATE * 100:.0f}%)\n")
     write_result(results_dir, f"online_latency_K{ONLINE_KEY_BITS}.txt", text)
     write_bench_json(results_dir, f"online_latency_K{ONLINE_KEY_BITS}", {
         "kind": "measured",
@@ -213,9 +279,11 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
             "inline_query_s": inline_seconds,
             "warm_query_s": warm_seconds,
             "traced_query_s": traced_seconds,
+            "resilient_query_s": resilient_seconds,
             "offline_refill_s": refill_seconds,
             "speedup": speedup,
             "telemetry_overhead": telemetry_overhead,
+            "resilience_overhead": resilience_overhead,
         },
         "model": {
             "inline_counts": inline_model.as_dict(),
@@ -228,6 +296,7 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         "subsystem": "precompute", "key_size": ONLINE_KEY_BITS,
         "backend": get_backend().name, "speedup": speedup,
         "telemetry_overhead": telemetry_overhead,
+        "resilience_overhead": resilience_overhead,
     })
 
     assert speedup >= MIN_SPEEDUP, (
@@ -238,3 +307,7 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         f"tracing the warm path ({traced_seconds:.3f}s) must stay within "
         f"{TELEMETRY_OVERHEAD_GATE:.0%} of the untraced run "
         f"({warm_seconds:.3f}s); got {telemetry_overhead:+.2%}")
+    assert resilience_overhead <= RESILIENCE_OVERHEAD_GATE, (
+        f"arming deadlines+retry+idempotency ({resilient_seconds:.3f}s) "
+        f"must stay within {RESILIENCE_OVERHEAD_GATE:.0%} of the bare warm "
+        f"run ({warm_seconds:.3f}s); got {resilience_overhead:+.2%}")

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI chaos smoke: two live daemons under seeded faults, one correct answer.
+
+Exercises the resilience layer end to end against real OS processes:
+
+1. spawn the C1/C2 party daemons with a short ``--io-deadline``,
+2. route C1's peer link through a :class:`ChaosProxy` injecting seeded
+   frame drops on both directions of the C1<->C2 protocol stream,
+3. run a distributed SkNN_m query through the faults and assert the answer
+   equals the plaintext oracle (bit-identical recovery, not approximation),
+4. SIGKILL the C2 daemon mid-session, restart it via the supervisor, and
+   run the second query — the client's idempotent retry layer must
+   re-provision and recover transparently,
+5. assert the retry/chaos/restart activity is visible in the telemetry
+   registry (``repro_retries_total`` etc.), and
+6. write the chaos event log plus a JSON summary to
+   ``benchmarks/results/`` so CI uploads them as artifacts.
+
+Exit code 0 on success; any assertion failure is a CI failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from random import Random
+
+from repro.core.roles import DataOwner, QueryClient
+from repro.db.datasets import synthetic_uniform
+from repro.db.knn import LinearScanKNN
+from repro.resilience import ChaosProxy, ChaosSchedule, RetryPolicy
+from repro.telemetry import metrics as telemetry_metrics
+from repro.transport.client import RemoteCloud
+from repro.transport.supervisor import LocalSupervisor
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+KEY_BITS = 256
+QUERIES = ([3, 4], [6, 1])
+K = 2
+IO_DEADLINE = 5.0
+SEED = 1401
+
+
+def counter_total(name: str) -> float:
+    entry = telemetry_metrics.get_registry().snapshot().get(name)
+    return sum(entry["values"].values()) if entry else 0.0
+
+
+def main() -> int:
+    dataset = synthetic_uniform(n_records=10, dimensions=2, distance_bits=7,
+                                seed=5)
+    owner = DataOwner(dataset, key_size=KEY_BITS, rng=Random(20140709))
+    oracle = LinearScanKNN(dataset)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    started = time.monotonic()
+
+    with LocalSupervisor(io_deadline=IO_DEADLINE) as supervisor:
+        # Frame 0 in each direction is the provisioning hello (not retried);
+        # the seeded drops land anywhere after it.
+        forward = ChaosSchedule.from_seed(SEED, window=16, drops=1,
+                                          first_frame=2)
+        backward = ChaosSchedule.from_seed(SEED + 1, window=16, drops=1,
+                                           first_frame=2)
+        with ChaosProxy(supervisor.addresses["c2"], forward=forward,
+                        backward=backward, label="c1-c2") as proxy:
+            remote = RemoteCloud(
+                supervisor.addresses["c1"], supervisor.addresses["c2"],
+                retry=RetryPolicy(max_attempts=6, base_delay_seconds=0.05),
+                request_deadline=60.0, rng=Random(7))
+            # C1 dials C2 through the proxy; Bob's share fetches stay direct.
+            remote.c2_address = proxy.address
+            remote.provision(owner.keypair, owner.encrypt_database(),
+                             distance_bits=owner.distance_bit_length(),
+                             seed=11)
+            client = QueryClient(owner.public_key, dataset.dimensions,
+                                 rng=Random(8))
+
+            # -- phase 1: seeded frame drops on the peer link ---------------
+            shares, _ = remote.query(client.encrypt_query(QUERIES[0]), K,
+                                     mode="secure")
+            neighbors = client.reconstruct(shares)
+            expected = [r.record.values for r in oracle.query(QUERIES[0], K)]
+            assert neighbors == expected, (
+                f"chaos-exposed answer wrong: {neighbors} != {expected}")
+            phase1_faults = len(proxy.events)
+            assert phase1_faults > 0, (
+                "the drop schedule never fired during the faulted query")
+            print(f"frame-drop phase: correct answer after "
+                  f"{phase1_faults} injected faults")
+
+            # -- phase 2: SIGKILL C2, supervisor restart, second query ------
+            supervisor.kill("c2")
+            supervisor.restart_role("c2")
+            shares, _ = remote.query(client.encrypt_query(QUERIES[1]), K,
+                                     mode="secure")
+            neighbors = client.reconstruct(shares)
+            expected = [r.record.values for r in oracle.query(QUERIES[1], K)]
+            assert neighbors == expected, (
+                f"post-restart answer wrong: {neighbors} != {expected}")
+            print("daemon-kill phase: correct answer after C2 restart "
+                  f"(restarts={supervisor.restarts['c2']})")
+
+            retries = counter_total("repro_retries_total")
+            faults = counter_total("repro_chaos_faults_total")
+            restarts = counter_total("repro_daemon_restarts_total")
+            assert retries > 0, "recovery must have gone through the retry layer"
+            assert faults > 0, "the chaos schedule never fired"
+            assert restarts >= 1, "the supervisor restart was not counted"
+            assert supervisor.restarts["c2"] == 1
+
+            chaos_log = {
+                "seed": SEED,
+                "io_deadline": IO_DEADLINE,
+                "key_bits": KEY_BITS,
+                "events": proxy.events,
+                "repro_retries_total": retries,
+                "repro_chaos_faults_total": faults,
+                "repro_daemon_restarts_total": restarts,
+                "client_reconnects": remote.c1.reconnects
+                + remote.c2.reconnects,
+                "wall_time_seconds": round(time.monotonic() - started, 3),
+            }
+            remote.close()
+
+    (RESULTS_DIR / "chaos_smoke.json").write_text(
+        json.dumps(chaos_log, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"chaos smoke: OK ({chaos_log['wall_time_seconds']}s, "
+          f"{faults:g} faults, {retries:g} retries, {restarts:g} restarts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "obfuscator/mask exponentiations off the online "
                             "path")
     query.add_argument("--seed", type=int, default=0, help="workload seed")
+    query.add_argument("--retries", type=int, default=4,
+                       help="max attempts per remote operation in connected/"
+                            "distributed mode (1 disables retries)")
+    query.add_argument("--request-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="bound on each remote request/reply round trip; "
+                            "an unreachable daemon then fails fast with a "
+                            "typed error instead of hanging (default: wait)")
 
     calibrate = subparsers.add_parser(
         "calibrate", help="measure Paillier per-operation costs on this machine")
@@ -186,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
     party.add_argument("--json-logs", action="store_true",
                        help="emit one JSON object per log line (trace-aware) "
                             "instead of the plain text format")
+    party.add_argument("--io-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="bound on every mid-protocol read/write on the "
+                            "C1<->C2 peer channel; a dead peer surfaces as a "
+                            "typed retriable error instead of a hung query "
+                            "(default: 120; <=0 disables)")
 
     stats = subparsers.add_parser(
         "stats", help="pretty-print a running daemon's live statistics")
@@ -267,6 +281,7 @@ def _run_query(args: argparse.Namespace) -> int:
 def _run_query_connected(args: argparse.Namespace, table, query) -> int:
     """Provision a running daemon pair and answer one query over TCP."""
     from repro.core.roles import DataOwner, QueryClient
+    from repro.resilience import RetryPolicy
     from repro.transport.client import RemoteCloud
     from repro.transport.daemon import parse_address
 
@@ -277,8 +292,13 @@ def _run_query_connected(args: argparse.Namespace, table, query) -> int:
     print(f"{table.describe()}; query={query}, k={args.k}, "
           f"protocol={protocol_mode}, C1={args.connect_c1}, "
           f"C2={args.connect_c2}")
+    retry = (RetryPolicy(max_attempts=args.retries) if args.retries > 1
+             else RetryPolicy.none())
     remote = RemoteCloud(parse_address(args.connect_c1),
-                         parse_address(args.connect_c2))
+                         parse_address(args.connect_c2),
+                         retry=retry,
+                         request_deadline=args.request_deadline,
+                         rng=Random(args.seed + 5))
     try:
         remote.provision(owner.keypair, owner.encrypt_database(),
                          distance_bits=max(args.l,
@@ -306,7 +326,11 @@ def _run_party(args: argparse.Namespace) -> int:
     """Run one cloud party daemon until SIGTERM/SIGINT."""
     import logging
 
-    from repro.transport.daemon import PartyDaemon, parse_address
+    from repro.transport.daemon import (
+        DEFAULT_IO_DEADLINE,
+        PartyDaemon,
+        parse_address,
+    )
 
     level = getattr(logging, args.log_level.upper())
     if args.json_logs:
@@ -320,11 +344,16 @@ def _run_party(args: argparse.Namespace) -> int:
             format="%(asctime)s %(name)s %(levelname)s %(message)s")
     host, port = parse_address(args.listen)
     slow = args.slow_query_seconds if args.slow_query_seconds > 0 else None
+    if args.io_deadline is None:
+        io_deadline: float | None = DEFAULT_IO_DEADLINE
+    else:
+        io_deadline = args.io_deadline if args.io_deadline > 0 else None
     daemon = PartyDaemon(args.role, host=host, port=port,
                          port_file=args.port_file,
                          pool_cache=args.pool_cache,
                          metrics_listen=args.metrics_listen,
-                         slow_query_seconds=slow)
+                         slow_query_seconds=slow,
+                         io_deadline=io_deadline)
     daemon.serve_forever()
     return 0
 
@@ -336,6 +365,17 @@ def _render_daemon_stats(stats: dict) -> str:
              f"pending shares: {stats.get('pending_shares', 0)}"]
     if stats.get("metrics_address"):
         lines.append(f"metrics: {stats['metrics_address']}/metrics")
+    resilience = stats.get("resilience")
+    if resilience:
+        deadline = resilience.get("io_deadline")
+        lines.append(
+            f"resilience: uptime={resilience.get('uptime_seconds', 0):.0f}s  "
+            f"io-deadline={'off' if deadline is None else f'{deadline:g}s'}  "
+            f"reply-cache={resilience.get('reply_cache_entries', 0)}  "
+            f"peer-connected={resilience.get('peer_connected', False)}")
+        events = resilience.get("events") or {}
+        for family, total in sorted(events.items()):
+            lines.append(f"  {family}: {total:g}")
     traffic = stats.get("traffic")
     if traffic:
         lines.append(f"peer link: {traffic['messages']} messages, "

@@ -53,6 +53,47 @@ class ChannelError(ReproError):
     """Raised on misuse of the in-memory communication channel."""
 
 
+class DeadlineExceeded(ChannelError):
+    """Raised when a blocking channel/socket operation outlives its deadline.
+
+    Every wait in the distributed runtime (frame reads, share-mailbox waits,
+    request/reply round trips) is bounded; when the bound is hit the caller
+    gets this typed error instead of a hung thread.  The failure is
+    *retriable*: the peer may simply be slow, so retry layers treat it as a
+    transient fault.
+    """
+
+    retriable = True
+
+
+class PeerUnavailable(ChannelError):
+    """Raised when the remote party cannot be reached or went away.
+
+    Covers refused/reset/broken connections and clean EOF mid-protocol.
+    Like :class:`DeadlineExceeded` this is a *retriable* transport failure:
+    the peer may be restarting, so retry layers reconnect and try again.
+    """
+
+    retriable = True
+
+
+class ServiceUnavailable(ReproError):
+    """Raised when a serving layer rejects work instead of queueing it.
+
+    The typed backpressure signal: the :class:`~repro.service.scheduler.
+    QueryServer` raises it at submit time while its store is known to be
+    unreachable, so clients fail fast (and may retry after
+    :attr:`retry_after_seconds`) instead of wedging a scheduler slot.
+    """
+
+    retriable = True
+
+    def __init__(self, message: str,
+                 retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
+
+
 class DatabaseError(ReproError):
     """Base class for database substrate failures."""
 

@@ -39,7 +39,12 @@ from repro.core.sknn_base import SkNNRunReport
 from repro.core.system import QueryAnswer
 from repro.crypto.paillier import Ciphertext
 from repro.crypto.randomness_pool import RandomnessPool
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceeded,
+    PeerUnavailable,
+    ServiceUnavailable,
+)
 from repro.service.sharding import ShardedCloud
 from repro.telemetry import SlowQueryLog
 from repro.telemetry import metrics as _metrics
@@ -238,8 +243,16 @@ class QueryServer:
                  rng: Random | None = None,
                  session_pool_size: int = 0,
                  precompute_idle_budget: int = 32,
-                 slow_query_seconds: float | None = 1.0) -> None:
+                 slow_query_seconds: float | None = 1.0,
+                 degraded_cooldown_seconds: float = 5.0) -> None:
         self.store = store
+        # Graceful degradation: when a batch dies on an unreachable/dead
+        # backend (distributed C1/C2), submissions are rejected fast with a
+        # typed, retriable error for this long instead of piling queries
+        # onto a store that cannot answer them.
+        self.degraded_cooldown_seconds = degraded_cooldown_seconds
+        self._degraded_until = 0.0
+        self._degraded_reason: str | None = None
         self.scheduler = QueryScheduler(batch_size)
         self.batch_window_seconds = batch_window_seconds
         self.rng = rng
@@ -264,6 +277,10 @@ class QueryServer:
         registry.gauge(
             "repro_scheduler_sessions",
             "Open query sessions.").set(len(self.sessions))
+        registry.gauge(
+            "repro_scheduler_degraded",
+            "Whether the server is shedding load (1 = backpressure).").set(
+                1.0 if time.monotonic() < self._degraded_until else 0.0)
         for name, value in self.stats.snapshot().items():
             registry.gauge(
                 "repro_scheduler_serving",
@@ -299,8 +316,20 @@ class QueryServer:
 
         Malformed queries (wrong arity, bad ``k``) raise immediately at the
         submitting caller instead of being enqueued, so they can never poison
-        a batch shared with other sessions' queries.
+        a batch shared with other sessions' queries.  While the backend is
+        known-unreachable the server is *degraded*: submissions fail fast
+        with a typed, retriable :class:`ServiceUnavailable` (backpressure)
+        instead of queueing onto a store that cannot answer.
         """
+        remaining = self._degraded_until - time.monotonic()
+        if remaining > 0:
+            _metrics.get_registry().counter(
+                "repro_rejected_queries_total",
+                "Queries rejected before enqueueing, by reason.",
+                ("reason",)).inc(reason="backpressure")
+            raise ServiceUnavailable(
+                f"query service is degraded ({self._degraded_reason}); "
+                f"retry in {remaining:.1f}s", retry_after_seconds=remaining)
         started = time.perf_counter()
         encrypted_query = session.client.encrypt_query(query_record)
         encrypt_elapsed = time.perf_counter() - started
@@ -342,11 +371,21 @@ class QueryServer:
                     [request.k for request in batch],
                 )
             except BaseException as error:  # resolve waiters, then re-raise
+                if isinstance(error, (PeerUnavailable, DeadlineExceeded)):
+                    # The backend is unreachable, not merely erroring on one
+                    # query: shed load for a cooldown instead of feeding it
+                    # batches that will all blow their deadlines.
+                    self._degraded_until = (time.monotonic()
+                                            + self.degraded_cooldown_seconds)
+                    self._degraded_reason = str(error)
                 for request in batch:
                     request.error = error
                     request.done.set()
                 raise
             elapsed = time.perf_counter() - started
+            # A served batch proves the backend is back: lift backpressure.
+            self._degraded_until = 0.0
+            self._degraded_reason = None
             # Counters/traffic are per batch; see RunStatsRecorder for the
             # attribution caveat under concurrent client-side encryption.
             batch_stats = recorder.finish(self.store.protocol_label, elapsed)

@@ -25,10 +25,16 @@ import socket
 import threading
 from collections import deque
 
-from repro.exceptions import ChannelError
+from repro.exceptions import ChannelError, DeadlineExceeded, PeerUnavailable
 from repro.network.channel import Message, _ambient_trace_context, _count_payload
 from repro.network.stats import TrafficStats
-from repro.transport.framing import FRAME_HEADER_BYTES, recv_frame, send_frame
+from repro.telemetry import metrics as _metrics
+from repro.transport.framing import (
+    FRAME_HEADER_BYTES,
+    deadline_at,
+    recv_frame,
+    send_frame,
+)
 from repro.transport.wire import WireCodec
 
 __all__ = ["TcpChannel"]
@@ -43,7 +49,8 @@ class TcpChannel:
 
     def __init__(self, sock: socket.socket, codec: WireCodec,
                  local_role: str, remote_role: str,
-                 record_transcript: bool = False) -> None:
+                 record_transcript: bool = False,
+                 io_deadline: float | None = None) -> None:
         """Wrap a connected socket as a protocol channel.
 
         Args:
@@ -53,9 +60,19 @@ class TcpChannel:
             remote_role: the endpoint at the other end of the socket.
             record_transcript: keep every message in :attr:`transcript`
                 (tests/debugging only — unbounded memory on a daemon).
+            io_deadline: bound (seconds) on every *mid-protocol* blocking
+                operation: a ``receive`` awaiting the peer's reply and a
+                ``send`` into a wedged peer both raise
+                :class:`~repro.exceptions.DeadlineExceeded` after this long
+                instead of hanging the protocol thread.  ``None`` keeps the
+                pre-resilience unbounded behaviour.  Idle dispatch waits
+                (:meth:`next_tag`) are *not* bounded — waiting for the next
+                query is legitimate idleness, and shutdown unblocks it by
+                closing the socket.
         """
         self._sock = sock
         self._codec = codec
+        self.io_deadline = io_deadline
         self.local_role = local_role
         self.remote_role = remote_role
         # Mirror DuplexChannel's endpoint naming (C1 is endpoint_a there).
@@ -84,7 +101,12 @@ class TcpChannel:
                           trace=_ambient_trace_context())
         body = self._codec.encode_message(message)
         with self._send_lock:
-            sent = send_frame(self._sock, body)
+            try:
+                sent = send_frame(self._sock, body,
+                                  deadline=deadline_at(self.io_deadline))
+            except DeadlineExceeded:
+                self._count_deadline_hit("send")
+                raise
         ciphertexts, plaintexts = _count_payload(payload)
         self.traffic[sender].record(ciphertexts, plaintexts, sent, tag=tag)
         if self.record_transcript:
@@ -96,7 +118,9 @@ class TcpChannel:
             raise ChannelError(
                 f"cannot receive as {recipient!r}: this process is "
                 f"{self.local_role!r}")
-        message = self._next_message()
+        # A mid-protocol wait for the peer's next frame is bounded by the
+        # channel's io deadline; only idle dispatch waits are unbounded.
+        message = self._next_message(deadline=deadline_at(self.io_deadline))
         if message.tag == "transport.error":
             # The remote party failed mid-protocol and told us why instead
             # of leaving this side blocked on a frame that will never come.
@@ -117,15 +141,17 @@ class TcpChannel:
         return len(self._inbox)
 
     # -- daemon dispatch support ----------------------------------------------
-    def next_tag(self) -> str:
+    def next_tag(self, timeout: float | None = None) -> str:
         """Block for the next incoming message and return its tag.
 
         The message stays queued: the handler selected by the tag consumes
         it through the normal ``receive`` path.  This is what a daemon's
         dispatch loop uses to route frames to protocol step handlers.
+        Waiting here is idleness, not a stuck protocol, so it is unbounded
+        by default; pass ``timeout`` (seconds) to bound it explicitly.
         """
         if not self._inbox:
-            self._inbox.append(self._read_message())
+            self._inbox.append(self._read_message(deadline_at(timeout)))
         return self._inbox[0].tag
 
     def next_trace(self) -> tuple[str, str] | None:
@@ -133,16 +159,27 @@ class TcpChannel:
         sender had no active trace).  Only valid right after ``next_tag``."""
         return self._inbox[0].trace if self._inbox else None
 
-    def _next_message(self) -> Message:
+    def _next_message(self, deadline: float | None = None) -> Message:
         if self._inbox:
             return self._inbox.popleft()
-        return self._read_message()
+        return self._read_message(deadline)
 
-    def _read_message(self) -> Message:
-        with self._recv_lock:
-            body = recv_frame(self._sock)
+    def _count_deadline_hit(self, direction: str) -> None:
+        _metrics.get_registry().counter(
+            "repro_deadline_hits_total",
+            "Blocking channel operations that hit their deadline.",
+            ("role", "direction")).inc(role=self.local_role,
+                                       direction=direction)
+
+    def _read_message(self, deadline: float | None = None) -> Message:
+        try:
+            with self._recv_lock:
+                body = recv_frame(self._sock, deadline=deadline)
+        except DeadlineExceeded:
+            self._count_deadline_hit("receive")
+            raise
         if body is None:
-            raise ChannelError(
+            raise PeerUnavailable(
                 f"connection to {self.remote_role} closed")
         message = self._codec.decode_message(body)
         ciphertexts, plaintexts = _count_payload(message.payload)

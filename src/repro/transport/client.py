@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import socket
 import threading
+import uuid
+from itertools import count
+from random import Random
 from typing import Any, Sequence
 
 from repro.core.roles import ResultShares
@@ -26,65 +29,183 @@ from repro.core.sknn_base import SkNNRunReport
 from repro.crypto.paillier import Ciphertext, PaillierKeyPair
 from repro.crypto.serialization import private_key_to_dict
 from repro.db.encrypted_table import EncryptedTable
-from repro.exceptions import ChannelError, ConfigurationError, QueryError
+from repro.exceptions import (
+    ChannelError,
+    ConfigurationError,
+    DeadlineExceeded,
+    PeerUnavailable,
+    QueryError,
+    ReproError,
+    ServiceUnavailable,
+)
 from repro.network.channel import Message
 from repro.network.stats import ProtocolRunStats
+from repro.resilience.policy import Deadline, RetryPolicy, retry_call
+from repro.telemetry import metrics as telemetry_metrics
 from repro.transport.daemon import DEFAULT_FETCH_TIMEOUT
 from repro.transport.framing import recv_frame, send_frame
 from repro.transport.wire import WireCodec
 
 __all__ = ["DaemonClient", "RemoteCloud", "RemoteProtocol", "RemoteStore"]
 
+#: reconstruction table for typed ``transport.error`` payloads — the daemon
+#: sends ``{"type", "message", "retriable"}`` and the client re-raises the
+#: matching class so retry layers decide without string matching.
+_REMOTE_ERRORS: dict[str, type[ReproError]] = {
+    "DeadlineExceeded": DeadlineExceeded,
+    "PeerUnavailable": PeerUnavailable,
+    "ServiceUnavailable": ServiceUnavailable,
+    "ConfigurationError": ConfigurationError,
+    "QueryError": QueryError,
+    "ChannelError": ChannelError,
+}
+
 
 class DaemonClient:
-    """One request/reply control connection to a party daemon."""
+    """One request/reply control connection to a party daemon.
+
+    The connection is established eagerly (a wrong address fails fast) but
+    *heals lazily*: any transport failure — broken pipe, blown deadline,
+    daemon restart — drops the socket, and the next :meth:`request`
+    re-dials and re-runs the ``transport.hello`` handshake transparently.
+
+    Args:
+        address: daemon ``(host, port)``.
+        codec: shared wire codec (its public key may arrive later).
+        connect_timeout: bound on dial + hello.
+        request_deadline: default bound (seconds) on one request/reply
+            round trip; ``None`` waits indefinitely.  Per-call ``timeout``
+            overrides it.
+        retry: default :class:`RetryPolicy` applied by :meth:`request`;
+            ``None`` (the default) means a single attempt — callers that
+            own idempotency keys (:class:`RemoteCloud`) layer their own
+            retries on top.
+        rng: jitter source for backoff (seedable for deterministic tests).
+    """
 
     def __init__(self, address: tuple[str, int], codec: WireCodec,
-                 connect_timeout: float = 30.0) -> None:
+                 connect_timeout: float = 30.0,
+                 request_deadline: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 rng: Random | None = None) -> None:
         self.address = address
         self._codec = codec
         self._lock = threading.Lock()
+        self.connect_timeout = connect_timeout
+        self.request_deadline = request_deadline
+        self.retry = retry
+        self.rng = rng
+        self.role: str = "?"
+        self.reconnects = 0
+        self._sock: socket.socket | None = None
+        self._connect()
+
+    # -- connection management ------------------------------------------------
+    def _connect(self) -> None:
         try:
-            self._sock = socket.create_connection(address,
-                                                  timeout=connect_timeout)
+            sock = socket.create_connection(self.address,
+                                            timeout=self.connect_timeout)
         except OSError as exc:
-            raise ChannelError(
-                f"cannot connect to daemon at {address[0]}:{address[1]}: "
-                f"{exc}") from exc
-        self._sock.settimeout(None)
-        hello = self.request("transport.hello", {"peer": "client"})
-        self.role: str = hello.get("role", "?")
+            raise PeerUnavailable(
+                f"cannot connect to daemon at {self.address[0]}:"
+                f"{self.address[1]}: {exc}") from exc
+        sock.settimeout(None)
+        self._sock = sock
+        try:
+            hello = self._exchange("transport.hello", {"peer": "client"},
+                                   Deadline(self.connect_timeout))
+        except ChannelError:
+            self._drop()
+            raise
+        self.role = hello.get("role", self.role)
 
-    def request(self, tag: str, payload: Any) -> Any:
-        """Send one control message and return the daemon's reply payload.
+    def _reconnect(self) -> None:
+        self._connect()
+        self.reconnects += 1
+        telemetry_metrics.get_registry().counter(
+            "repro_reconnects_total",
+            "Peer/daemon connections re-established after a failure.",
+            ("role",)).inc(role="client")
 
-        A ``transport.error`` reply raises :class:`ChannelError` carrying
-        the daemon's explanation.
-        """
+    def _drop(self) -> None:
+        """Discard a socket we no longer trust (desync, EOF, deadline)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # -- request/reply --------------------------------------------------------
+    def _exchange(self, tag: str, payload: Any, deadline: Deadline) -> Any:
+        assert self._sock is not None
         message = Message(sender="client", recipient="daemon", tag=tag,
                           payload=payload)
-        with self._lock:
-            send_frame(self._sock, self._codec.encode_message(message))
-            body = recv_frame(self._sock)
+        try:
+            send_frame(self._sock, self._codec.encode_message(message),
+                       deadline=deadline.expires_at)
+            body = recv_frame(self._sock, deadline=deadline.expires_at)
+        except ChannelError:
+            # The stream may hold a half-written request or a late reply:
+            # drop it so the next request starts on a clean connection.
+            self._drop()
+            raise
         if body is None:
-            raise ChannelError(
+            self._drop()
+            raise PeerUnavailable(
                 f"daemon at {self.address[0]}:{self.address[1]} closed the "
                 f"connection while handling {tag!r}")
         reply = self._codec.decode_message(body)
         if reply.tag == "transport.error":
-            raise ChannelError(f"daemon {self.role}: {reply.payload}")
+            raise self._remote_error(reply.payload)
         expected = (tag + ".ok") if tag != "transport.hello" else "transport.hello_ok"
         if reply.tag != expected:
+            self._drop()
             raise ChannelError(
                 f"expected reply {expected!r} but got {reply.tag!r}")
         return reply.payload
 
+    def _remote_error(self, payload: Any) -> ReproError:
+        """Reconstruct the daemon's exception from a typed error frame."""
+        if isinstance(payload, dict) and "message" in payload:
+            error_class = _REMOTE_ERRORS.get(str(payload.get("type")),
+                                             ChannelError)
+            return error_class(f"daemon {self.role}: {payload['message']}")
+        return ChannelError(f"daemon {self.role}: {payload}")
+
+    def request(self, tag: str, payload: Any,
+                timeout: float | None = None,
+                retry: RetryPolicy | None = None) -> Any:
+        """Send one control message and return the daemon's reply payload.
+
+        A ``transport.error`` reply raises the reconstructed typed
+        exception (:class:`ChannelError` for untyped/legacy payloads).
+        ``timeout`` bounds the whole round trip (default: the client's
+        ``request_deadline``); ``retry`` overrides the client's policy for
+        this call.  Retries silently reconnect a dropped socket first.
+        """
+        policy = retry if retry is not None else self.retry
+        # One absolute deadline shared by every attempt: a hung daemon
+        # consumes it once and the call returns within ~1x the configured
+        # bound; only *fast* failures (refused connection, typed error
+        # replies) leave room for retries.
+        deadline = Deadline(timeout if timeout is not None
+                            else self.request_deadline)
+
+        def attempt() -> Any:
+            with self._lock:
+                if self._sock is None:
+                    self._reconnect()
+                return self._exchange(tag, payload, deadline)
+
+        if policy is None:
+            return attempt()
+        return retry_call(attempt, policy, op=tag, rng=self.rng,
+                          deadline=deadline)
+
     def close(self) -> None:
         """Close the control connection (idempotent)."""
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop()
 
 
 class RemoteCloud:
@@ -94,21 +215,47 @@ class RemoteCloud:
         c1_address: ``(host, port)`` of the C1 daemon.
         c2_address: ``(host, port)`` of the C2 daemon.
         fetch_timeout: how long :meth:`query` waits for C2 to file a share.
+        retry: retry policy for queries and share fetches (``None`` arms
+            the default :class:`RetryPolicy`; pass ``RetryPolicy.none()``
+            to disable).  Retries are safe: every query carries a fresh
+            idempotency id, so a re-sent request replays the daemon's
+            memoized reply instead of re-consuming single-use state.
+        request_deadline: bound (seconds) on one request/reply round trip
+            against either daemon; ``None`` waits indefinitely.
+        rng: backoff-jitter source (seedable for deterministic tests).
     """
 
     def __init__(self, c1_address: tuple[str, int],
                  c2_address: tuple[str, int],
-                 fetch_timeout: float = DEFAULT_FETCH_TIMEOUT) -> None:
+                 fetch_timeout: float = DEFAULT_FETCH_TIMEOUT,
+                 retry: RetryPolicy | None = None,
+                 request_deadline: float | None = None,
+                 rng: Random | None = None) -> None:
         self.codec = WireCodec()
         self.c1_address = c1_address
         self.c2_address = c2_address
         self.fetch_timeout = fetch_timeout
-        self.c1 = DaemonClient(c1_address, self.codec)
-        self.c2 = DaemonClient(c2_address, self.codec)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.request_deadline = request_deadline
+        self._rng = rng if rng is not None else Random()
+        self.c1 = DaemonClient(c1_address, self.codec,
+                               request_deadline=request_deadline,
+                               rng=self._rng)
+        self.c2 = DaemonClient(c2_address, self.codec,
+                               request_deadline=request_deadline,
+                               rng=self._rng)
         #: populated by :meth:`provision` (or :meth:`adopt_public_key`)
         self.table_size: int | None = None
         self.dimensions: int | None = None
         self.distance_bits: int | None = None
+        # Provision payloads kept verbatim so a restarted daemon can be
+        # re-provisioned transparently between retry attempts.
+        self._provision_payloads: dict[str, dict[str, Any]] | None = None
+        self._query_seq = count(1)
+        self._client_id = uuid.uuid4().hex[:12]
+
+    def _next_query_id(self) -> str:
+        return f"q-{self._client_id}-{next(self._query_seq)}"
 
     # -- provisioning (Alice's role) ------------------------------------------
     def provision(self, keypair: PaillierKeyPair,
@@ -135,24 +282,44 @@ class RemoteCloud:
         load = dict(n_records=len(encrypted_table),
                     dimensions=encrypted_table.dimensions,
                     k=k_default, queries=precompute_queries)
-        c2_reply = self.c2.request("transport.provision", {
+        c2_payload = {
             "private_key": private_key_to_dict(keypair.private_key),
             "distance_bits": distance_bits,
             "seed": seed,
             "precompute": (dict(load, sbd_bit_length=distance_bits)
                            if precompute_queries > 0 else None),
-        })
-        # Only now can ciphertexts travel on these connections.
-        self.codec.public_key = keypair.public_key
-        c1_reply = self.c1.request("transport.provision", {
+        }
+        c1_payload = {
             "encrypted_table": encrypted_table.to_dict(),
             "distance_bits": distance_bits,
             "c2_address": [self.c2_address[0], self.c2_address[1]],
             "seed": seed + 1 if seed is not None else None,
             "precompute": (dict(load, sbd_bit_length=distance_bits)
                            if precompute_queries > 0 else None),
-        })
+        }
+        c2_reply = self.c2.request("transport.provision", c2_payload)
+        # Only now can ciphertexts travel on these connections.
+        self.codec.public_key = keypair.public_key
+        c1_reply = self.c1.request("transport.provision", c1_payload)
+        self._provision_payloads = {"c1": c1_payload, "c2": c2_payload}
         return {"c1": c1_reply, "c2": c2_reply}
+
+    def ensure_provisioned(self) -> None:
+        """Re-provision any daemon that lost its state (e.g. restarted).
+
+        Pings both daemons and re-sends the stored provision payloads —
+        C2 first, then C1 (whose peer dial needs a provisioned C2) — when a
+        daemon reports ``provisioned: false``.  A no-op for clouds that
+        never provisioned through this object (nothing stored to replay).
+        """
+        if self._provision_payloads is None:
+            return
+        if not self.c2.request("transport.ping", None).get("provisioned"):
+            self.c2.request("transport.provision",
+                            self._provision_payloads["c2"])
+        if not self.c1.request("transport.ping", None).get("provisioned"):
+            self.c1.request("transport.provision",
+                            self._provision_payloads["c1"])
 
     def adopt_public_key(self, public_key) -> None:
         """Attach the key for ciphertext traffic to already-provisioned daemons."""
@@ -166,14 +333,31 @@ class RemoteCloud:
         down) never severs the original connections.
         """
         other = RemoteCloud(self.c1_address, self.c2_address,
-                            fetch_timeout=self.fetch_timeout)
+                            fetch_timeout=self.fetch_timeout,
+                            retry=self.retry,
+                            request_deadline=self.request_deadline)
         other.codec.public_key = self.codec.public_key
         other.table_size = self.table_size
         other.dimensions = self.dimensions
         other.distance_bits = self.distance_bits
+        other._provision_payloads = self._provision_payloads
         return other
 
     # -- queries (Bob's role) --------------------------------------------------
+    def _recover(self, error: BaseException, attempt: int) -> None:
+        """Between-attempt hook: heal whatever the failure broke.
+
+        A restarted daemon answers its ping with ``provisioned: false`` and
+        gets its stored provision payload re-sent; a merely-dropped
+        connection heals inside :meth:`DaemonClient.request`.  Failures
+        here are swallowed — the next attempt surfaces whatever is still
+        wrong, and the retry schedule keeps backing off.
+        """
+        try:
+            self.ensure_provisioned()
+        except ReproError:
+            pass
+
     def query(self, encrypted_query: Sequence[Ciphertext], k: int,
               mode: str = "basic"
               ) -> tuple[ResultShares, SkNNRunReport | None]:
@@ -183,43 +367,88 @@ class RemoteCloud:
         half is fetched from C2 directly, and the two halves are assembled
         into complete :class:`ResultShares` here — at Bob, the only place
         both halves may meet.
+
+        The whole operation is idempotently retried: the query id keys
+        C1's reply cache (a resend replays the memoized answer) and doubles
+        as the fetch attempt token on C2 (a re-fetch replays the delivered
+        share).  When the *fetch* phase fails the id is rotated, so the
+        retry re-runs the query end to end instead of replaying a cached
+        reply whose delivery id died with C2.
         """
-        reply = self.c1.request("transport.query", {
-            "mode": mode, "k": k, "query": list(encrypted_query),
-        })
-        shares = self._complete_shares(reply["masks"], reply["modulus"],
-                                       reply["delivery_id"])
-        report = (SkNNRunReport.from_payload(reply["report"])
-                  if reply.get("report") else None)
-        return shares, report
+        state = {"query_id": self._next_query_id()}
+
+        def run_once() -> tuple[ResultShares, SkNNRunReport | None]:
+            reply = self.c1.request("transport.query", {
+                "mode": mode, "k": k, "query": list(encrypted_query),
+                "query_id": state["query_id"],
+            })
+            try:
+                shares = self._complete_shares(reply["masks"],
+                                               reply["modulus"],
+                                               reply["delivery_id"],
+                                               attempt=state["query_id"])
+            except ReproError:
+                state["query_id"] = self._next_query_id()
+                raise
+            report = (SkNNRunReport.from_payload(reply["report"])
+                      if reply.get("report") else None)
+            return shares, report
+
+        return retry_call(run_once, self.retry, op="query", rng=self._rng,
+                          on_retry=self._recover)
 
     def query_batch(self, encrypted_queries: Sequence[Sequence[Ciphertext]],
                     ks: Sequence[int], mode: str = "basic"
                     ) -> tuple[list[ResultShares], ProtocolRunStats, float]:
-        """Run a scheduler batch; returns shares, stats and wall time."""
-        reply = self.c1.request("transport.query_batch", {
-            "mode": mode,
-            "ks": list(ks),
-            "queries": [list(query) for query in encrypted_queries],
-        })
-        modulus = reply["modulus"]
-        shares = [
-            self._complete_shares(result["masks"], modulus,
-                                  result["delivery_id"])
-            for result in reply["results"]
-        ]
-        stats = ProtocolRunStats.from_payload(reply["stats"])
-        return shares, stats, reply["wall_time_seconds"]
+        """Run a scheduler batch; returns shares, stats and wall time.
+
+        Retried under the same idempotency scheme as :meth:`query` (one
+        batch id covers the batch reply and every share fetch in it).
+        """
+        state = {"batch_id": self._next_query_id()}
+
+        def run_once() -> tuple[list[ResultShares], ProtocolRunStats, float]:
+            reply = self.c1.request("transport.query_batch", {
+                "mode": mode,
+                "ks": list(ks),
+                "queries": [list(query) for query in encrypted_queries],
+                "batch_id": state["batch_id"],
+            })
+            modulus = reply["modulus"]
+            try:
+                shares = [
+                    self._complete_shares(result["masks"], modulus,
+                                          result["delivery_id"],
+                                          attempt=state["batch_id"])
+                    for result in reply["results"]
+                ]
+            except ReproError:
+                state["batch_id"] = self._next_query_id()
+                raise
+            stats = ProtocolRunStats.from_payload(reply["stats"])
+            return shares, stats, reply["wall_time_seconds"]
+
+        return retry_call(run_once, self.retry, op="query_batch",
+                          rng=self._rng, on_retry=self._recover)
 
     def _complete_shares(self, masks: list[list[int]], modulus: int,
-                         delivery_id: int) -> ResultShares:
+                         delivery_id: int,
+                         attempt: str | None = None) -> ResultShares:
         masked_values = self.c2.request("transport.fetch_share", {
             "delivery_id": delivery_id,
             "timeout": self.fetch_timeout,
-        })
+            "attempt": attempt,
+        }, timeout=self._fetch_request_timeout())
         return ResultShares(masks_from_c1=masks,
                             masked_values_from_c2=masked_values,
                             modulus=modulus, delivery_id=delivery_id)
+
+    def _fetch_request_timeout(self) -> float | None:
+        """Round-trip bound for a fetch: the daemon may legitimately hold
+        the request for ``fetch_timeout`` while C2 finishes decrypting."""
+        if self.request_deadline is None:
+            return None
+        return max(self.request_deadline, self.fetch_timeout + 5.0)
 
     # -- maintenance -----------------------------------------------------------
     def stats(self) -> dict[str, Any]:

@@ -33,6 +33,7 @@ import signal
 import socket
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from random import Random
 from typing import Any, Callable
@@ -44,14 +45,22 @@ from repro.crypto.paillier import Ciphertext, OperationCounter
 from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
 from repro.crypto.serialization import private_key_from_dict
 from repro.db.encrypted_table import EncryptedTable
-from repro.exceptions import ChannelError, ConfigurationError, ReproError
+from repro.exceptions import (
+    ChannelError,
+    ConfigurationError,
+    DeadlineExceeded,
+    PeerUnavailable,
+    ReproError,
+)
 from repro.network.channel import Message
 from repro.network.party import DecryptorParty
+from repro.resilience.idempotency import ReplyCache
+from repro.resilience.policy import is_retriable
 from repro.telemetry import MetricsHTTPServer, SlowQueryLog
 from repro.telemetry import metrics as telemetry_metrics
 from repro.telemetry import tracing as telemetry_tracing
 from repro.transport.channel import TcpChannel
-from repro.transport.framing import recv_frame, send_frame
+from repro.transport.framing import deadline_at, recv_frame, send_frame
 from repro.transport.wire import WireCodec
 
 __all__ = ["PartyDaemon", "ShareMailbox", "parse_address", "RemotePrivateKey"]
@@ -60,6 +69,11 @@ logger = logging.getLogger("repro.transport")
 
 #: how long a Bob client may wait for C2 to file a share before giving up
 DEFAULT_FETCH_TIMEOUT = 60.0
+
+#: default bound on every mid-protocol blocking read/write on the C1<->C2
+#: peer channel (``--io-deadline`` overrides); a dead or wedged peer then
+#: surfaces as a typed ``DeadlineExceeded`` instead of a hung query thread.
+DEFAULT_IO_DEADLINE = 120.0
 
 
 def parse_address(text: str) -> tuple[str, int]:
@@ -77,10 +91,23 @@ class ShareMailbox:
     C2's delivery handler files shares here (through the party's
     ``share_sink`` hook); Bob clients fetch them over their own connection.
     Fetching removes the share — each is handed out exactly once.
+
+    The exactly-once guarantee survives client retries through an optional
+    *attempt token*: a fetch carrying a token memoizes the delivered share
+    under ``(delivery_id, token)``, and a later fetch with the **same**
+    token replays it (the client's reply was lost on the wire, not the
+    share).  A fetch without a token, or with a different token, is a
+    genuine second consumer and is still refused.
     """
+
+    #: replay memo bound — ample for one client's retry window without
+    #: letting a long-lived daemon accumulate decrypted shares.
+    DELIVERED_MEMO = 32
 
     def __init__(self) -> None:
         self._shares: dict[int, list[list[int]]] = {}
+        self._delivered: OrderedDict[tuple[int, str], list[list[int]]] = (
+            OrderedDict())
         self._condition = threading.Condition()
 
     def put(self, delivery_id: int, masked_values: list[list[int]]) -> None:
@@ -90,26 +117,47 @@ class ShareMailbox:
             self._condition.notify_all()
 
     def fetch(self, delivery_id: int,
-              timeout: float = DEFAULT_FETCH_TIMEOUT) -> list[list[int]]:
-        """Wait for a share to arrive, pop it, and return it."""
+              timeout: float = DEFAULT_FETCH_TIMEOUT,
+              attempt: str | None = None) -> list[list[int]]:
+        """Wait for a share to arrive, pop it, and return it.
+
+        ``attempt`` is the client's idempotency token: a replayed fetch
+        with the same token returns the already-delivered share instead of
+        failing, keeping retries safe without weakening single-use
+        semantics for everyone else.
+        """
         deadline = time.monotonic() + timeout
         with self._condition:
+            if attempt is not None:
+                replay = self._delivered.get((delivery_id, attempt))
+                if replay is not None:
+                    telemetry_metrics.get_registry().counter(
+                        "repro_replayed_replies_total",
+                        "Idempotent replays of already-served requests.",
+                        ("cache",)).inc(cache="mailbox")
+                    return replay
             while delivery_id not in self._shares:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    raise ChannelError(
+                    raise DeadlineExceeded(
                         f"no share filed under delivery id {delivery_id} "
                         f"within {timeout:.0f}s")
                 # A timed-out wait still re-checks the predicate once: the
                 # share may have been filed between the timeout firing and
                 # the lock being reacquired.
                 self._condition.wait(remaining)
-            return self._shares.pop(delivery_id)
+            share = self._shares.pop(delivery_id)
+            if attempt is not None:
+                self._delivered[(delivery_id, attempt)] = share
+                while len(self._delivered) > self.DELIVERED_MEMO:
+                    self._delivered.popitem(last=False)
+            return share
 
     def clear(self) -> None:
         """Drop every stored share (a new provisioning/C1 epoch began)."""
         with self._condition:
             self._shares.clear()
+            self._delivered.clear()
             self._condition.notify_all()
 
     def __len__(self) -> int:
@@ -176,13 +224,18 @@ class PartyDaemon:
             through ``transport.stats``.
         slow_query_seconds: wall-time threshold for the slow-query log
             (``None`` disables it).
+        io_deadline: bound (seconds) on every mid-protocol blocking
+            read/write on the C1↔C2 peer channel — a dead peer surfaces as
+            a typed, retriable error instead of a hung query thread.
+            ``None`` disables the bound.
     """
 
     def __init__(self, role: str, host: str = "127.0.0.1", port: int = 0,
                  port_file: str | Path | None = None,
                  pool_cache: str | Path | None = None,
                  metrics_listen: str | None = None,
-                 slow_query_seconds: float | None = 1.0) -> None:
+                 slow_query_seconds: float | None = 1.0,
+                 io_deadline: float | None = DEFAULT_IO_DEADLINE) -> None:
         if role not in ("c1", "c2"):
             raise ConfigurationError(f"unknown party role {role!r}")
         self.role = role
@@ -192,6 +245,11 @@ class PartyDaemon:
         self.port_file = Path(port_file) if port_file is not None else None
         self.pool_cache = Path(pool_cache) if pool_cache is not None else None
         self.metrics_listen = metrics_listen
+        self.io_deadline = io_deadline
+        self._started_at = time.monotonic()
+        # Idempotent replay of completed transport.query/query_batch
+        # replies, keyed by the client's query id (see _handle_control).
+        self._reply_cache = ReplyCache(name=f"{role}-query")
         self._metrics_server: MetricsHTTPServer | None = None
         self.slow_log = SlowQueryLog(threshold_seconds=slow_query_seconds)
         # C2: per-trace counter snapshots for the telemetry.collect window.
@@ -210,6 +268,10 @@ class PartyDaemon:
         self._cloud: FederatedCloud | None = None
         self._protocols: dict[str, Any] = {}
         self._peer_channel: TcpChannel | None = None
+        # Provisioned inputs kept so a failed peer link can be re-dialled
+        # and the protocol stack rebuilt without a client re-provision.
+        self._table: EncryptedTable | None = None
+        self._c2_address: tuple[str, int] | None = None
         self._query_lock = threading.Lock()
 
         self._listener: socket.socket | None = None
@@ -415,7 +477,9 @@ class PartyDaemon:
     def _provisioned(self) -> bool:
         if self.role == "c2":
             return self._private_key is not None
-        return self._cloud is not None
+        # The table is the provisioned state; the peer link may be down
+        # between queries (it is re-dialled on demand by _ensure_peer).
+        return self._table is not None
 
     # -- low-level framing helpers -------------------------------------------
     def _read_message(self, sock: socket.socket) -> Message | None:
@@ -430,12 +494,27 @@ class PartyDaemon:
                           tag=tag, payload=payload)
         send_frame(sock, self.codec.encode_message(message))
 
+    def _send_error(self, sock: socket.socket, error: Exception) -> None:
+        """Send a *typed* ``transport.error`` frame.
+
+        The payload carries the error class name and retriability so the
+        client can reconstruct the right exception type and its retry layer
+        can decide without string matching.  (Old clients that expect a
+        plain string render the dict — degraded, not broken.)
+        """
+        self._send_message(sock, "transport.error", {
+            "type": type(error).__name__,
+            "message": str(error),
+            "retriable": is_retriable(error),
+        })
+
     # -- the C1<->C2 protocol link (C2 side) ----------------------------------
     def _serve_cloud_peer(self, connection: _Connection) -> None:
         """Dispatch protocol frames from C1 to the registered P2 handlers."""
         if self.role != "c2" or self._private_key is None:
             raise ChannelError("C2 is not provisioned yet")
-        channel = TcpChannel(connection.sock, self.codec, "C2", "C1")
+        channel = TcpChannel(connection.sock, self.codec, "C2", "C1",
+                             io_deadline=self.io_deadline)
         self._peer_channel = channel
         # A fresh peer connection means a fresh (or restarted) C1 whose
         # delivery-id counter starts over: stale shares from a previous
@@ -480,8 +559,11 @@ class PartyDaemon:
                 logger.warning("P2 step %s failed: %s", tag, exc)
                 # Unblock the C1 driver instead of leaving it waiting on a
                 # reply frame that will never come.
-                channel.send("C2", f"P2 step {tag!r} failed: {exc}",
-                             tag="transport.error")
+                try:
+                    channel.send("C2", f"P2 step {tag!r} failed: {exc}",
+                                 tag="transport.error")
+                except ChannelError:
+                    break  # the peer that caused the failure is gone
         logger.info("cloud peer from %s disconnected", connection.address)
 
     def _handle_peer_telemetry(self, tag: str, channel: TcpChannel) -> None:
@@ -566,16 +648,14 @@ class PartyDaemon:
             try:
                 reply = self._handle_control(message)
             except ReproError as exc:
-                self._send_message(connection.sock, "transport.error",
-                                   str(exc))
+                self._send_error(connection.sock, exc)
                 continue
             except (KeyError, TypeError, AttributeError) as exc:
                 # A malformed payload (missing field, wrong shape — e.g. a
                 # version-skewed client) earns a diagnostic error frame, not
                 # a dropped connection.
-                self._send_message(
-                    connection.sock, "transport.error",
-                    f"malformed {message.tag!r} payload: {exc!r}")
+                self._send_error(connection.sock, ChannelError(
+                    f"malformed {message.tag!r} payload: {exc!r}"))
                 continue
             self._send_message(connection.sock, message.tag + ".ok", reply)
             if message.tag == "transport.shutdown":
@@ -586,7 +666,9 @@ class PartyDaemon:
         tag = message.tag
         payload = message.payload
         if tag == "transport.ping":
-            return {"role": self.role, "provisioned": self._provisioned()}
+            return {"role": self.role, "provisioned": self._provisioned(),
+                    "uptime_seconds": time.monotonic() - self._started_at,
+                    "io_deadline": self.io_deadline}
         if tag == "transport.shutdown":
             logger.info("%s daemon shutting down on client request",
                         self.party_name)
@@ -603,11 +685,22 @@ class PartyDaemon:
         if self.role == "c2" and tag == "transport.fetch_share":
             return self.mailbox.fetch(
                 payload["delivery_id"],
-                timeout=payload.get("timeout", DEFAULT_FETCH_TIMEOUT))
+                timeout=payload.get("timeout", DEFAULT_FETCH_TIMEOUT),
+                attempt=payload.get("attempt"))
         if self.role == "c1" and tag == "transport.query":
-            return self._handle_query(payload)
+            # The client's query id keys the replay memo: a retried query
+            # whose reply was lost re-reads the completed answer, and a
+            # duplicate of an in-flight query waits for the original run
+            # instead of double-consuming pool entries and mailbox shares.
+            return self._reply_cache.run(
+                payload.get("query_id"),
+                lambda: self._handle_query(payload),
+                timeout=self.io_deadline)
         if self.role == "c1" and tag == "transport.query_batch":
-            return self._handle_query_batch(payload)
+            return self._reply_cache.run(
+                payload.get("batch_id"),
+                lambda: self._handle_query_batch(payload),
+                timeout=self.io_deadline)
         raise ChannelError(
             f"unsupported control tag {tag!r} for role {self.role!r}")
 
@@ -616,6 +709,13 @@ class PartyDaemon:
             "role": self.role,
             "provisioned": self._provisioned(),
             "pending_shares": len(self.mailbox),
+            "resilience": {
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "io_deadline": self.io_deadline,
+                "reply_cache_entries": len(self._reply_cache),
+                "peer_connected": self._peer_channel is not None,
+                "events": self._resilience_events(),
+            },
         }
         if self._metrics_server is not None:
             stats["metrics_address"] = self._metrics_server.url
@@ -630,6 +730,24 @@ class PartyDaemon:
             stats["slow_queries"] = slow
         return stats
 
+    @staticmethod
+    def _resilience_events() -> dict[str, float]:
+        """Nonzero totals of this process's resilience counters."""
+        families = ("repro_retries_total", "repro_deadline_hits_total",
+                    "repro_reconnects_total", "repro_replayed_replies_total",
+                    "repro_daemon_restarts_total",
+                    "repro_rejected_queries_total",
+                    "repro_chaos_faults_total")
+        snapshot = telemetry_metrics.get_registry().snapshot()
+        events = {}
+        for family in families:
+            entry = snapshot.get(family)
+            if entry:
+                total = sum(entry.get("values", {}).values())
+                if total:
+                    events[family] = total
+        return events
+
     # -- provisioning ---------------------------------------------------------
     def _handle_provision(self, payload: dict[str, Any]) -> dict[str, Any]:
         if not isinstance(payload, dict):
@@ -637,6 +755,9 @@ class PartyDaemon:
         seed = payload.get("seed")
         self.rng = Random(seed) if seed is not None else None
         self.distance_bits = payload.get("distance_bits")
+        # New provisioning epoch: replies memoized against the previous
+        # table/key must never be replayed to post-provision retries.
+        self._reply_cache.clear()
         if self.role == "c2":
             return self._provision_c2(payload)
         return self._provision_c1(payload)
@@ -657,37 +778,99 @@ class PartyDaemon:
         table = EncryptedTable.from_dict(payload["encrypted_table"])
         self.codec.public_key = table.public_key
         host, port = payload["c2_address"]
-        peer_sock = socket.create_connection((host, port), timeout=30)
-        peer_sock.settimeout(None)
-        hello = Message(sender="C1", recipient="C2", tag="transport.hello",
-                        payload={"peer": "cloud"})
-        send_frame(peer_sock, self.codec.encode_message(hello))
-        body = recv_frame(peer_sock)
-        if body is None or self.codec.decode_message(
-                body).tag != "transport.hello_ok":
-            raise ChannelError(f"C2 at {host}:{port} rejected the peer hello")
-        channel = TcpChannel(peer_sock, self.codec, "C1", "C2")
-        self._peer_channel = channel
+        self._table = table
+        self._c2_address = (host, int(port))
+        self._reset_peer()
+        precompute = payload.get("precompute")
+        loaded = self._build_engine(
+            PrecomputeConfig.for_query_load(**precompute)
+            if precompute else None)
+        self._rebuild_c1_stack()
+        logger.info("C1 provisioned (%d records, %d dims, peer %s:%d)",
+                    len(table), table.dimensions, host, port)
+        return {"role": "c1", "pool_items_loaded": loaded}
 
+    # -- C1 peer link management ------------------------------------------------
+    def _connect_peer(self) -> TcpChannel:
+        """Dial C2 and complete the cloud-peer hello.
+
+        Every failure — refused connection, silence, a rejection frame
+        (e.g. a restarted C2 that has not been re-provisioned yet) — maps
+        to retriable :class:`PeerUnavailable`: the caller's retry layer
+        re-provisions and tries again.
+        """
+        assert self._c2_address is not None
+        host, port = self._c2_address
+        try:
+            peer_sock = socket.create_connection((host, port), timeout=10)
+        except OSError as exc:
+            raise PeerUnavailable(
+                f"cannot reach C2 at {host}:{port}: {exc}") from exc
+        try:
+            peer_sock.settimeout(None)
+            hello = Message(sender="C1", recipient="C2",
+                            tag="transport.hello", payload={"peer": "cloud"})
+            send_frame(peer_sock, self.codec.encode_message(hello),
+                       deadline=deadline_at(10.0))
+            body = recv_frame(peer_sock, deadline=deadline_at(10.0))
+            if body is None or self.codec.decode_message(
+                    body).tag != "transport.hello_ok":
+                raise PeerUnavailable(
+                    f"C2 at {host}:{port} rejected the peer hello")
+        except BaseException:
+            try:
+                peer_sock.close()
+            except OSError:
+                pass
+            raise
+        return TcpChannel(peer_sock, self.codec, "C1", "C2",
+                          io_deadline=self.io_deadline)
+
+    def _rebuild_c1_stack(self) -> None:
+        """(Re)dial C2 and rebuild the protocol stack over the new channel.
+
+        The encrypted table and the precompute engine survive a rebuild —
+        only the channel-bound objects (cloud pair, protocol drivers) are
+        reconstructed, so a reconnect is cheap and the warm pools are kept.
+        """
+        assert self._table is not None
+        table = self._table
+        channel = self._connect_peer()
+        self._peer_channel = channel
         c1 = CloudC1(table.public_key, channel, rng=self._derive_rng())
         c1.host_database(table)
         c2_stub = DecryptorParty(
             "C2", RemotePrivateKey(table.public_key), channel,
             rng=self._derive_rng())
         self._cloud = FederatedCloud(c1=c1, c2=c2_stub, channel=channel)
-        precompute = payload.get("precompute")
-        loaded = self._build_engine(
-            PrecomputeConfig.for_query_load(**precompute)
-            if precompute else None)
         if self.engine is not None:
             self._cloud.attach_engine(self.engine, None)
         self._protocols = {"basic": SkNNBasic(self._cloud)}
         if self.distance_bits is not None:
             self._protocols["secure"] = SkNNSecure(
                 self._cloud, distance_bits=self.distance_bits)
-        logger.info("C1 provisioned (%d records, %d dims, peer %s:%d)",
-                    len(table), table.dimensions, host, port)
-        return {"role": "c1", "pool_items_loaded": loaded}
+
+    def _reset_peer(self) -> None:
+        """Tear down the peer link and everything bound to its channel."""
+        if self._peer_channel is not None:
+            self._peer_channel.close()
+        self._peer_channel = None
+        self._cloud = None
+        self._protocols = {}
+
+    def _ensure_peer(self) -> None:
+        """Re-dial C2 if the peer link was torn down by an earlier failure."""
+        if self.role != "c1" or self._table is None:
+            return
+        if self._peer_channel is not None:
+            return
+        self._rebuild_c1_stack()
+        telemetry_metrics.get_registry().counter(
+            "repro_reconnects_total",
+            "Peer/daemon connections re-established after a failure.",
+            ("role",)).inc(role=self.role)
+        logger.info("C1 re-established the peer link to C2 at %s:%d",
+                    *self._c2_address)
 
     def _build_engine(self, config: PrecomputeConfig | None) -> int:
         """Build/warm this party's engine; reload the pool cache first."""
@@ -766,23 +949,41 @@ class PartyDaemon:
             spans.extend(remote.get("spans") or [])
         report.trace = telemetry_tracing.trace_payload(trace_id, spans)
 
+    def _peer_failure(self, exc: ChannelError) -> PeerUnavailable:
+        """Convert a mid-query channel failure into a retriable error.
+
+        Any channel error mid-protocol leaves the peer link desynchronised
+        (frames consumed out of step), so the link is torn down; the next
+        query — typically the client's retry of this one — re-dials through
+        :meth:`_ensure_peer` and runs on a fresh channel.
+        """
+        self._reset_peer()
+        if isinstance(exc, PeerUnavailable):
+            return exc
+        return PeerUnavailable(f"peer link to C2 failed mid-query: {exc}")
+
     def _handle_query(self, payload: dict[str, Any]) -> dict[str, Any]:
-        protocol = self._protocol_for(payload.get("mode", "basic"))
         query: list[Ciphertext] = payload["query"]
         k: int = payload["k"]
         # One query at a time: the single C2 channel is shared protocol
         # state, exactly like the in-memory runtime's serve lock.
         with self._query_lock:
-            # Root the trace here (run_with_report joins it) so the daemon
-            # can stitch C2's spans and counter deltas into the report.
-            with telemetry_tracing.trace(f"query.{protocol.name}",
-                                         party="C1", k=k) as root:
-                trace_id = root.trace_id
-                self._peer_trace_begin(trace_id)
-                shares = protocol.run_with_report(
-                    query, k, distance_bits=self.distance_bits)
-            report = protocol.last_report
-            remote = self._peer_collect(trace_id)
+            self._ensure_peer()
+            protocol = self._protocol_for(payload.get("mode", "basic"))
+            try:
+                # Root the trace here (run_with_report joins it) so the
+                # daemon can stitch C2's spans and counter deltas into the
+                # report.
+                with telemetry_tracing.trace(f"query.{protocol.name}",
+                                             party="C1", k=k) as root:
+                    trace_id = root.trace_id
+                    self._peer_trace_begin(trace_id)
+                    shares = protocol.run_with_report(
+                        query, k, distance_bits=self.distance_bits)
+                report = protocol.last_report
+                remote = self._peer_collect(trace_id)
+            except ChannelError as exc:
+                raise self._peer_failure(exc) from exc
             if report is not None:
                 self._stitch_report(report, trace_id, remote)
                 self.slow_log.observe(report.wall_time_seconds,
@@ -801,30 +1002,34 @@ class PartyDaemon:
         gets the same batch semantics as the sharded in-process store."""
         from repro.core.sknn_base import RunStatsRecorder
 
-        protocol = self._protocol_for(payload.get("mode", "basic"))
         queries = payload["queries"]
         ks = payload["ks"]
         if len(queries) != len(ks):
             raise ConfigurationError("batch queries and ks differ in length")
         results = []
         with self._query_lock:
-            with telemetry_tracing.trace(
-                    f"batch.{protocol.name}", party="C1",
-                    queries=len(queries)) as root:
-                trace_id = root.trace_id
-                self._peer_trace_begin(trace_id)
-                recorder = RunStatsRecorder(self._require_cloud())
-                started = time.perf_counter()
-                for query, k in zip(queries, ks):
-                    shares = protocol.run(query, k)
-                    results.append({
-                        "masks": shares.masks_from_c1,
-                        "delivery_id": shares.delivery_id,
-                    })
-                elapsed = time.perf_counter() - started
-                stats = recorder.finish(f"{protocol.name}-distributed",
-                                        elapsed)
-            remote = self._peer_collect(trace_id)
+            self._ensure_peer()
+            protocol = self._protocol_for(payload.get("mode", "basic"))
+            try:
+                with telemetry_tracing.trace(
+                        f"batch.{protocol.name}", party="C1",
+                        queries=len(queries)) as root:
+                    trace_id = root.trace_id
+                    self._peer_trace_begin(trace_id)
+                    recorder = RunStatsRecorder(self._require_cloud())
+                    started = time.perf_counter()
+                    for query, k in zip(queries, ks):
+                        shares = protocol.run(query, k)
+                        results.append({
+                            "masks": shares.masks_from_c1,
+                            "delivery_id": shares.delivery_id,
+                        })
+                    elapsed = time.perf_counter() - started
+                    stats = recorder.finish(f"{protocol.name}-distributed",
+                                            elapsed)
+                remote = self._peer_collect(trace_id)
+            except ChannelError as exc:
+                raise self._peer_failure(exc) from exc
             spans: list[Any] = list(
                 telemetry_tracing.get_tracer().take(trace_id))
             if remote is not None:

@@ -8,6 +8,19 @@ C1, and a hardened shutdown path (graceful ``transport.shutdown`` request,
 then SIGTERM, then SIGKILL) that never leaks child processes — each daemon
 additionally installs its own SIGTERM/atexit cleanup, so even a supervisor
 crash leaves no orphaned listeners.
+
+Resilience duties on top of process management:
+
+* every (re)start is **health-gated** — ports being bound is not enough;
+  :func:`~repro.resilience.health.wait_until_healthy` proves the daemon
+  answers its control plane before anyone is handed its address;
+* :meth:`restart_role` respawns a single crashed/killed daemon **on its
+  previous port** (``SO_REUSEADDR`` makes the rebind immediate), so peer
+  daemons and clients reconnect to the address they already hold;
+* a restarted daemon reloads its ``--pool-cache``, so the warm precompute
+  pools survive the crash;
+* an optional monitor thread (:meth:`start_monitor`) auto-restarts daemons
+  that die, counting ``repro_daemon_restarts_total`` either way.
 """
 
 from __future__ import annotations
@@ -16,12 +29,15 @@ import os
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Any
 
 from repro.core.roles import DataOwner
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DeadlineExceeded
+from repro.resilience.health import wait_until_healthy
+from repro.telemetry import metrics as telemetry_metrics
 from repro.transport.client import RemoteCloud
 
 __all__ = ["LocalSupervisor"]
@@ -46,53 +62,83 @@ class LocalSupervisor:
             (an ephemeral Prometheus/stats HTTP listener, discoverable via
             ``transport.stats`` → ``metrics_address``).
         python: interpreter for the subprocesses (defaults to this one).
+        io_deadline: forwarded to each daemon as ``--io-deadline`` (bound
+            on mid-protocol peer-channel operations); ``None`` keeps the
+            daemon default.
     """
 
     def __init__(self, pool_cache: bool | str | Path = False,
                  metrics: bool = False,
-                 python: str | None = None) -> None:
+                 python: str | None = None,
+                 io_deadline: float | None = None) -> None:
         self._python = python or sys.executable
         self._pool_cache = pool_cache
         self._metrics = metrics
+        self._io_deadline = io_deadline
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._processes: dict[str, subprocess.Popen] = {}
         self.addresses: dict[str, tuple[str, int]] = {}
         self._remote: RemoteCloud | None = None
+        self._monitor_thread: threading.Thread | None = None
+        self._monitor_stop = threading.Event()
+        self._restart_lock = threading.Lock()
+        self.restarts: dict[str, int] = {"c1": 0, "c2": 0}
 
     # -- lifecycle ------------------------------------------------------------
-    def start(self) -> "LocalSupervisor":
-        """Spawn both daemons and wait until they are accepting connections."""
-        if self._processes:
-            return self
-        self._tempdir = tempfile.TemporaryDirectory(prefix="repro-transport-")
-        scratch = Path(self._tempdir.name)
+    def _scratch(self) -> Path:
+        assert self._tempdir is not None
+        return Path(self._tempdir.name)
+
+    def _cache_dir(self) -> Path:
         if isinstance(self._pool_cache, (str, Path)):
             cache_dir = Path(self._pool_cache)
             cache_dir.mkdir(parents=True, exist_ok=True)
-        else:
-            cache_dir = scratch
+            return cache_dir
+        return self._scratch()
+
+    def _spawn(self, role: str, listen: str) -> None:
+        """Start one daemon process; the caller waits for port + health."""
+        scratch = self._scratch()
+        port_file = scratch / f"{role}.port"
+        log_file = scratch / f"{role}.log"
+        # A stale port file would satisfy the wait loop instantly with the
+        # *previous* incarnation's line; remove it before spawning.
+        port_file.unlink(missing_ok=True)
+        command = [
+            self._python, "-m", "repro", "party",
+            "--role", role,
+            "--listen", listen,
+            "--port-file", str(port_file),
+        ]
+        if self._pool_cache:
+            command += ["--pool-cache",
+                        str(self._cache_dir() / f"{role}.pools")]
+        if self._metrics:
+            command += ["--metrics-listen", "127.0.0.1:0"]
+        if self._io_deadline is not None:
+            command += ["--io-deadline", str(self._io_deadline)]
+        environment = dict(os.environ)
+        environment["PYTHONPATH"] = os.pathsep.join(
+            [path for path in sys.path if path])
+        with open(log_file, "ab") as log:
+            process = subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT,
+                env=environment)
+        self._processes[role] = process
+
+    def start(self) -> "LocalSupervisor":
+        """Spawn both daemons and wait until they are accepting connections
+        *and* answering their control plane (hello + ping)."""
+        if self._processes:
+            return self
+        if self._tempdir is None:
+            self._tempdir = tempfile.TemporaryDirectory(
+                prefix="repro-transport-")
         for role in ("c2", "c1"):
-            port_file = scratch / f"{role}.port"
-            log_file = scratch / f"{role}.log"
-            command = [
-                self._python, "-m", "repro", "party",
-                "--role", role,
-                "--listen", "127.0.0.1:0",
-                "--port-file", str(port_file),
-            ]
-            if self._pool_cache:
-                command += ["--pool-cache", str(cache_dir / f"{role}.pools")]
-            if self._metrics:
-                command += ["--metrics-listen", "127.0.0.1:0"]
-            environment = dict(os.environ)
-            environment["PYTHONPATH"] = os.pathsep.join(
-                [path for path in sys.path if path])
-            with open(log_file, "wb") as log:
-                process = subprocess.Popen(
-                    command, stdout=log, stderr=subprocess.STDOUT,
-                    env=environment)
-            self._processes[role] = process
-            self.addresses[role] = self._wait_for_port(role, port_file)
+            self._spawn(role, "127.0.0.1:0")
+            self.addresses[role] = self._wait_for_port(
+                role, self._scratch() / f"{role}.port")
+            wait_until_healthy(self.addresses[role], timeout=_START_TIMEOUT)
         return self
 
     def _wait_for_port(self, role: str, port_file: Path) -> tuple[str, int]:
@@ -122,9 +168,9 @@ class LocalSupervisor:
         return log_file.read_text()[-2000:]
 
     def restart(self) -> "LocalSupervisor":
-        """Stop both daemons and start a fresh pair (pool caches survive
-        when the supervisor was created with a persistent ``pool_cache``
-        path)."""
+        """Stop both daemons and start a fresh, *health-checked* pair (pool
+        caches survive when the supervisor was created with a persistent
+        ``pool_cache`` path)."""
         pool_cache = self._pool_cache
         self.shutdown()
         self._pool_cache = pool_cache
@@ -132,20 +178,110 @@ class LocalSupervisor:
         self.addresses = {}
         return self.start()
 
+    # -- single-role crash recovery -------------------------------------------
+    def kill(self, role: str) -> None:
+        """SIGKILL one daemon (chaos testing: an abrupt crash, no cleanup)."""
+        process = self._processes.get(role)
+        if process is None:
+            raise ConfigurationError(f"no {role!r} daemon to kill")
+        process.kill()
+        process.wait()
+
+    def restart_role(self, role: str,
+                     timeout: float = _START_TIMEOUT) -> tuple[str, int]:
+        """Respawn one daemon **on its previous port** and gate on health.
+
+        The stable address is what makes single-role recovery transparent:
+        clients and the peer daemon reconnect to the ``(host, port)`` they
+        already hold.  The daemon's listener sets ``SO_REUSEADDR``, so the
+        rebind succeeds as soon as the old process is gone.  Returns the
+        (unchanged) address once the daemon answers hello + ping.
+
+        The new process starts *unprovisioned*: the client's retry layer
+        (``RemoteCloud.ensure_provisioned``) re-ships the key/table on its
+        next attempt, and a ``--pool-cache`` makes it warm again.
+        """
+        with self._restart_lock:
+            process = self._processes.get(role)
+            if process is None:
+                raise ConfigurationError(f"no {role!r} daemon to restart")
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+            previous = self.addresses.get(role)
+            listen = (f"{previous[0]}:{previous[1]}" if previous
+                      else "127.0.0.1:0")
+            self._spawn(role, listen)
+            self.addresses[role] = self._wait_for_port(
+                role, self._scratch() / f"{role}.port")
+            try:
+                wait_until_healthy(self.addresses[role], timeout=timeout)
+            except DeadlineExceeded as exc:
+                raise ConfigurationError(
+                    f"restarted {role} daemon never became healthy: {exc}\n"
+                    f"{self._tail_log(role)}") from exc
+            self.restarts[role] += 1
+            telemetry_metrics.get_registry().counter(
+                "repro_daemon_restarts_total",
+                "Party daemons restarted by a supervisor.",
+                ("role",)).inc(role=role)
+            return self.addresses[role]
+
+    # -- liveness monitor ------------------------------------------------------
+    def start_monitor(self, interval: float = 0.5) -> None:
+        """Watch both processes; auto-restart any that die.
+
+        The monitor only handles *process death* (crash, OOM-kill); a hung
+        daemon is the deadline layer's problem.  Idempotent.
+        """
+        if self._monitor_thread is not None:
+            return
+        self._monitor_stop.clear()
+
+        def watch() -> None:
+            while not self._monitor_stop.wait(interval):
+                for role in list(self._processes):
+                    process = self._processes.get(role)
+                    if process is None or process.poll() is None:
+                        continue
+                    if self._monitor_stop.is_set():
+                        return
+                    try:
+                        self.restart_role(role)
+                    except ConfigurationError:
+                        return  # unrecoverable; leave evidence in the log
+
+        self._monitor_thread = threading.Thread(
+            target=watch, name="sknn-supervisor-monitor", daemon=True)
+        self._monitor_thread.start()
+
+    def stop_monitor(self) -> None:
+        """Stop the liveness monitor (idempotent)."""
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=5.0)
+            self._monitor_thread = None
+
     # -- provisioning / clients ------------------------------------------------
-    def connect(self) -> RemoteCloud:
-        """Open a fresh client connection pair to the daemons."""
+    def connect(self, **client_options: Any) -> RemoteCloud:
+        """Open a fresh client connection pair to the daemons.
+
+        ``client_options`` (``retry``, ``request_deadline``, ``rng``,
+        ``fetch_timeout``) pass through to :class:`RemoteCloud`.
+        """
         if not self.addresses:
             self.start()
-        return RemoteCloud(self.addresses["c1"], self.addresses["c2"])
+        return RemoteCloud(self.addresses["c1"], self.addresses["c2"],
+                           **client_options)
 
     def provision_from_owner(self, owner: DataOwner,
                              distance_bits: int | None = None,
                              seed: int | None = None,
                              precompute_queries: int = 0,
-                             k_default: int = 1) -> RemoteCloud:
+                             k_default: int = 1,
+                             **client_options: Any) -> RemoteCloud:
         """Play Alice: encrypt the owner's table and provision both daemons."""
-        remote = self.connect()
+        remote = self.connect(**client_options)
         remote.provision(
             owner.keypair, owner.encrypt_database(),
             distance_bits=(distance_bits if distance_bits is not None
@@ -158,6 +294,7 @@ class LocalSupervisor:
     # -- shutdown --------------------------------------------------------------
     def shutdown(self, timeout: float = 10.0) -> None:
         """Stop both daemons: graceful request, SIGTERM, then SIGKILL."""
+        self.stop_monitor()
         if self._remote is not None:
             self._remote.shutdown_daemons()
             self._remote.close()

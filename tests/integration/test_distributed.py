@@ -18,7 +18,7 @@ from repro.core.roles import DataOwner, QueryClient
 from repro.core.system import SkNNSystem
 from repro.db.datasets import synthetic_uniform
 from repro.db.knn import LinearScanKNN
-from repro.exceptions import ChannelError
+from repro.exceptions import ChannelError, ConfigurationError
 from repro.transport.client import RemoteCloud
 from repro.transport.supervisor import LocalSupervisor
 
@@ -289,7 +289,9 @@ class TestDaemonHygiene:
         with LocalSupervisor() as sup:
             remote = sup.connect()
             try:
-                with pytest.raises(ChannelError, match="not provisioned"):
+                # The typed error frame reconstructs the daemon's actual
+                # (non-retriable) exception on the client side.
+                with pytest.raises(ConfigurationError, match="not provisioned"):
                     remote.c1.request("transport.query",
                                       {"mode": "basic", "k": 1, "query": []})
             finally:

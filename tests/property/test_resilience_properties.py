@@ -1,0 +1,169 @@
+"""Property-based tests for the resilience layer's idempotency guarantees.
+
+The retry layer may replay any request an arbitrary number of times, in any
+interleaving, and the system must behave as if each logical operation ran
+exactly once: a duplicated query never re-runs the (counter-incrementing)
+crypto work, a replayed ``fetch_share`` never yields a second share, and
+single-use mailbox semantics survive every retry schedule Hypothesis can
+invent.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from tests.property.conftest import cached_keypair
+from repro.exceptions import ChannelError, DeadlineExceeded, PeerUnavailable
+from repro.resilience import ReplyCache, RetryPolicy, retry_call
+from repro.transport.daemon import ShareMailbox
+
+# A "schedule" is the order the client replays request keys in, duplicates
+# and all — exactly what a retrying DaemonClient can generate.
+key_schedules = st.lists(
+    st.sampled_from(["q-a", "q-b", "q-c", "q-d"]), min_size=1, max_size=24)
+
+
+@given(schedule=key_schedules)
+def test_reply_cache_computes_each_key_exactly_once(schedule):
+    cache = ReplyCache(name="prop")
+    calls: dict[str, int] = {}
+
+    def run(key):
+        def compute():
+            calls[key] = calls.get(key, 0) + 1
+            return ("reply", key, calls[key])
+        return cache.run(key, compute)
+
+    results = {key: run(key) for key in schedule}
+    for key in schedule:
+        assert calls[key] == 1
+        # every replay observed the first attempt's reply verbatim
+        assert run(key) == results[key] == ("reply", key, 1)
+
+
+@given(schedule=key_schedules)
+def test_duplicated_queries_never_double_increment_paillier_counters(schedule):
+    """A replayed transport.query must not redo encryption work."""
+    public_key = cached_keypair(bits=128).public_key
+    cache = ReplyCache(name="prop-crypto")
+    before = public_key.counter.snapshot()["encryptions"]
+
+    for key in schedule:
+        cache.run(key, lambda: public_key.encrypt(7, rng=Random(1)))
+
+    performed = public_key.counter.snapshot()["encryptions"] - before
+    assert performed == len(set(schedule))
+
+
+@given(
+    delivery_ids=st.lists(st.integers(min_value=0, max_value=5),
+                          min_size=1, max_size=6, unique=True),
+    replays=st.lists(st.integers(min_value=0, max_value=7),
+                     min_size=0, max_size=16),
+)
+def test_mailbox_token_replays_never_yield_a_second_share(delivery_ids,
+                                                          replays):
+    """Per delivery id: one tokened fetch consumes the share, replays of the
+    same token read the memo, and the mailbox never re-delivers."""
+    mailbox = ShareMailbox()
+    shares = {}
+    for delivery_id in delivery_ids:
+        shares[delivery_id] = [[delivery_id, delivery_id + 1]]
+        mailbox.put(delivery_id, shares[delivery_id])
+
+    delivered = {}
+    for delivery_id in delivery_ids:
+        delivered[delivery_id] = mailbox.fetch(
+            delivery_id, timeout=0.1, attempt=f"q-{delivery_id}")
+        assert delivered[delivery_id] == shares[delivery_id]
+    assert len(mailbox) == 0
+
+    for replay_index in replays:
+        delivery_id = delivery_ids[replay_index % len(delivery_ids)]
+        again = mailbox.fetch(delivery_id, timeout=0.05,
+                              attempt=f"q-{delivery_id}")
+        assert again == delivered[delivery_id]
+    assert len(mailbox) == 0
+
+
+@given(delivery_id=st.integers(min_value=0, max_value=100),
+       foreign_tokens=st.lists(st.text(alphabet="xyz", min_size=1,
+                                       max_size=4),
+                               min_size=1, max_size=4))
+def test_mailbox_single_use_survives_foreign_tokens(delivery_id,
+                                                    foreign_tokens):
+    """Only the token that consumed a share may replay it; every other
+    token (and the token-less path) is told the share does not exist."""
+    mailbox = ShareMailbox()
+    mailbox.put(delivery_id, [[1]])
+    mailbox.fetch(delivery_id, timeout=0.1, attempt="owner")
+    for token in foreign_tokens:
+        with pytest.raises(ChannelError, match="no share filed"):
+            mailbox.fetch(delivery_id, timeout=0.01, attempt=token)
+    with pytest.raises(ChannelError, match="no share filed"):
+        mailbox.fetch(delivery_id, timeout=0.01)
+    # the rightful owner can still replay after all those rejections
+    assert mailbox.fetch(delivery_id, timeout=0.1,
+                         attempt="owner") == [[1]]
+
+
+@given(failures=st.integers(min_value=0, max_value=6),
+       max_attempts=st.integers(min_value=1, max_value=5),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_retry_call_attempt_count_is_bounded(failures, max_attempts, seed):
+    """Exactly ``min(failures + 1, max_attempts)`` attempts run, never more."""
+    attempts = []
+
+    def operation():
+        attempts.append(1)
+        if len(attempts) <= failures:
+            raise PeerUnavailable("transient")
+        return "done"
+
+    policy = RetryPolicy(max_attempts=max_attempts, base_delay_seconds=0.0,
+                         jitter=0.5)
+    expected_attempts = min(failures + 1, max_attempts)
+    if failures >= max_attempts:
+        with pytest.raises(PeerUnavailable):
+            retry_call(operation, policy, rng=Random(seed), op="prop")
+    else:
+        assert retry_call(operation, policy, rng=Random(seed),
+                          op="prop") == "done"
+    assert len(attempts) == expected_attempts
+
+
+@given(retry_index=st.integers(min_value=0, max_value=12),
+       seed=st.integers(min_value=0, max_value=2**16))
+def test_backoff_is_bounded_and_deterministic(retry_index, seed):
+    policy = RetryPolicy(base_delay_seconds=0.05, multiplier=2.0,
+                         max_delay_seconds=2.0, jitter=0.5)
+    delay = policy.backoff_seconds(retry_index, Random(seed))
+    assert 0 <= delay <= policy.max_delay_seconds
+    nominal = min(policy.base_delay_seconds * 2.0 ** retry_index,
+                  policy.max_delay_seconds)
+    assert delay >= nominal * (1.0 - policy.jitter) - 1e-12
+    assert delay == policy.backoff_seconds(retry_index, Random(seed))
+
+
+@given(keys=st.lists(st.integers(min_value=0, max_value=50),
+                     min_size=1, max_size=40))
+def test_reply_cache_capacity_is_respected(keys):
+    cache = ReplyCache(capacity=8, name="prop-bound")
+    for key in keys:
+        cache.run(f"k{key}", lambda key=key: key)
+    assert len(cache) <= 8
+
+
+def test_retried_fetch_after_timeout_still_single_use():
+    """A fetch that timed out (share arrived late) then retried with the
+    same token delivers exactly once."""
+    mailbox = ShareMailbox()
+    with pytest.raises(DeadlineExceeded):
+        mailbox.fetch(3, timeout=0.05, attempt="q-late")
+    mailbox.put(3, [[9]])
+    assert mailbox.fetch(3, timeout=0.1, attempt="q-late") == [[9]]
+    assert mailbox.fetch(3, timeout=0.1, attempt="q-late") == [[9]]
+    assert len(mailbox) == 0
