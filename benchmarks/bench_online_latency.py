@@ -51,7 +51,8 @@ from repro.crypto.paillier import generate_keypair
 from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
 from repro.db.datasets import synthetic_uniform
 from repro.db.knn import LinearScanKNN
-from repro.resilience import Deadline, ReplyCache, RetryPolicy, retry_call
+from repro.resilience import (Deadline, DurableReplyCache, ReplyCache,
+                              RetryPolicy, retry_call)
 
 ONLINE_KEY_BITS = int(os.environ.get("REPRO_BENCH_ONLINE_BITS", "512"))
 ONLINE_N = int(os.environ.get("REPRO_BENCH_ONLINE_N", "16"))
@@ -68,6 +69,9 @@ TELEMETRY_OVERHEAD_GATE = 0.05
 #: arming the resilience stack (shared deadline, retry wrapper, idempotent
 #: reply memo) on the happy path must also cost <= 5% wall clock.
 RESILIENCE_OVERHEAD_GATE = 0.05
+#: swapping the reply memo for its durable variant (one CRC-framed,
+#: fsync-ed journal append per completed query) must also cost <= 5%.
+DURABILITY_OVERHEAD_GATE = 0.05
 
 
 @pytest.fixture(scope="module")
@@ -114,7 +118,7 @@ def _engine_window(before: dict, after: dict) -> dict:
 
 
 def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
-                                             results_dir):
+                                             results_dir, tmp_path):
     """Warm pools must make the online SkNN_b query >= MIN_SPEEDUP faster."""
     public_key = online_keypair.public_key
     table = synthetic_uniform(n_records=ONLINE_N, dimensions=ONLINE_M,
@@ -185,6 +189,32 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
                     retry_policy, op="bench.resilience", rng=retry_rng,
                     deadline=Deadline(60.0))
 
+            # Durability overhead: the same armed stack, but the reply memo
+            # is the durable variant — every completed query appends one
+            # CRC-framed record to an fsync-ed journal before the reply
+            # becomes visible (the crash-recovery write path, on a run
+            # where nothing crashes).
+            durable_cache = DurableReplyCache(
+                tmp_path / "bench-replies.journal", capacity=8,
+                name="bench-durable")
+
+            def durable_wire_reply():
+                # The daemon journals the wire-shaped reply payload (plain
+                # ints and lists), not the ResultShares object — mirror that
+                # so the journal write is representative.
+                shares = protocol.run(encrypted_query, ONLINE_K)
+                return {"masks": shares.masks_from_c1,
+                        "masked": shares.masked_values_from_c2,
+                        "modulus": shares.modulus,
+                        "delivery_id": shares.delivery_id}
+
+            def durable_run():
+                key = f"bench-dq-{next(query_ids)}"
+                retry_call(
+                    lambda: durable_cache.run(key, durable_wire_reply),
+                    retry_policy, op="bench.durability", rng=retry_rng,
+                    deadline=Deadline(60.0))
+
             def timed(fn):
                 refill_all()
                 started = time.perf_counter()
@@ -196,17 +226,23 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
             # lands on all of them equally instead of penalizing whichever
             # path happens to run last; the overhead gates then compare
             # best-of samples taken under the same conditions.
-            samples = {"warm": [], "traced": [], "resilient": []}
+            samples = {"warm": [], "traced": [], "resilient": [],
+                       "durable": []}
             for _ in range(REPEATS):
                 samples["warm"].append(timed(warm_run))
                 samples["traced"].append(timed(traced_run))
                 samples["resilient"].append(timed(resilient_run))
+                samples["durable"].append(timed(durable_run))
+            durable_cache.close()
             warm_seconds = min(samples["warm"])
             traced_seconds = min(samples["traced"])
             resilient_seconds = min(samples["resilient"])
+            durable_seconds = min(samples["durable"])
             telemetry_overhead = _paired_overhead(samples["traced"],
                                                   samples["warm"])
             resilience_overhead = _paired_overhead(samples["resilient"],
+                                                   samples["warm"])
+            durability_overhead = _paired_overhead(samples["durable"],
                                                    samples["warm"])
 
             # Measured offline/online split over one windowed warm query:
@@ -223,12 +259,14 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         finally:
             cloud.attach_engine(None)
         return (inline_seconds, warm_seconds, traced_seconds,
-                resilient_seconds, telemetry_overhead, resilience_overhead,
+                resilient_seconds, durable_seconds, telemetry_overhead,
+                resilience_overhead, durability_overhead,
                 refill_seconds, inline_shares, warm_shares, stats,
                 measured_split)
 
     (inline_seconds, warm_seconds, traced_seconds, resilient_seconds,
-     telemetry_overhead, resilience_overhead, refill_seconds, inline_shares,
+     durable_seconds, telemetry_overhead, resilience_overhead,
+     durability_overhead, refill_seconds, inline_shares,
      warm_shares, stats, measured_split) = benchmark.pedantic(
         measure, rounds=1, iterations=1, warmup_rounds=0)
     speedup = inline_seconds / warm_seconds
@@ -261,6 +299,10 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         "path": "warm pools + resilience",
         "online (ms)": resilient_seconds * 1000,
         "offline (ms)": refill_seconds * 1000,
+    }, {
+        "path": "warm pools + durability",
+        "online (ms)": durable_seconds * 1000,
+        "offline (ms)": refill_seconds * 1000,
     }]
     text = (f"SkNN_b online latency (K={ONLINE_KEY_BITS}, n={ONLINE_N}, "
             f"m={ONLINE_M}, k={ONLINE_K}, backend={get_backend().name})\n"
@@ -269,7 +311,9 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
             + f"telemetry overhead: {telemetry_overhead * 100:+.2f}% "
             + f"(gate {TELEMETRY_OVERHEAD_GATE * 100:.0f}%)\n"
             + f"resilience overhead: {resilience_overhead * 100:+.2f}% "
-            + f"(gate {RESILIENCE_OVERHEAD_GATE * 100:.0f}%)\n")
+            + f"(gate {RESILIENCE_OVERHEAD_GATE * 100:.0f}%)\n"
+            + f"durability overhead: {durability_overhead * 100:+.2f}% "
+            + f"(gate {DURABILITY_OVERHEAD_GATE * 100:.0f}%)\n")
     write_result(results_dir, f"online_latency_K{ONLINE_KEY_BITS}.txt", text)
     write_bench_json(results_dir, f"online_latency_K{ONLINE_KEY_BITS}", {
         "kind": "measured",
@@ -280,10 +324,12 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
             "warm_query_s": warm_seconds,
             "traced_query_s": traced_seconds,
             "resilient_query_s": resilient_seconds,
+            "durable_query_s": durable_seconds,
             "offline_refill_s": refill_seconds,
             "speedup": speedup,
             "telemetry_overhead": telemetry_overhead,
             "resilience_overhead": resilience_overhead,
+            "durability_overhead": durability_overhead,
         },
         "model": {
             "inline_counts": inline_model.as_dict(),
@@ -297,6 +343,7 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         "backend": get_backend().name, "speedup": speedup,
         "telemetry_overhead": telemetry_overhead,
         "resilience_overhead": resilience_overhead,
+        "durability_overhead": durability_overhead,
     })
 
     assert speedup >= MIN_SPEEDUP, (
@@ -311,3 +358,7 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         f"arming deadlines+retry+idempotency ({resilient_seconds:.3f}s) "
         f"must stay within {RESILIENCE_OVERHEAD_GATE:.0%} of the bare warm "
         f"run ({warm_seconds:.3f}s); got {resilience_overhead:+.2%}")
+    assert durability_overhead <= DURABILITY_OVERHEAD_GATE, (
+        f"the durable reply journal ({durable_seconds:.3f}s) must stay "
+        f"within {DURABILITY_OVERHEAD_GATE:.0%} of the bare warm run "
+        f"({warm_seconds:.3f}s); got {durability_overhead:+.2%}")

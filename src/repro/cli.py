@@ -181,6 +181,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist warmed precompute pools to this file at "
                             "shutdown and reload them at startup, so a "
                             "restarted party starts hot")
+    party.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="persist daemon state (C2 share mailbox, C1 "
+                            "reply cache, provision manifest) under this "
+                            "directory via crash-consistent journals, so a "
+                            "killed-and-restarted party replays pending "
+                            "deliveries and serves retried fetches without "
+                            "re-provisioning (disabled by default)")
+    party.add_argument("--journal-compact-every", type=int, default=512,
+                       metavar="N",
+                       help="rewrite a state journal once it exceeds N "
+                            "records (default: 512)")
+    party.add_argument("--no-state-fsync", action="store_true",
+                       help="skip fsync on state-journal appends and "
+                            "snapshot writes (faster, but a power loss may "
+                            "drop the latest records; process crashes are "
+                            "still covered)")
     party.add_argument("--log-level", default="info",
                        choices=["debug", "info", "warning", "error"],
                        help="daemon log verbosity (default: info)")
@@ -353,7 +369,10 @@ def _run_party(args: argparse.Namespace) -> int:
                          pool_cache=args.pool_cache,
                          metrics_listen=args.metrics_listen,
                          slow_query_seconds=slow,
-                         io_deadline=io_deadline)
+                         io_deadline=io_deadline,
+                         state_dir=args.state_dir,
+                         state_fsync=not args.no_state_fsync,
+                         journal_compact_every=args.journal_compact_every)
     daemon.serve_forever()
     return 0
 

@@ -32,9 +32,16 @@ to release the workers.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from random import Random
 from typing import Callable, Literal, Sequence
@@ -43,7 +50,7 @@ from repro.core.cloud import FederatedCloud
 from repro.core.roles import ResultShares
 from repro.core.sknn_base import SkNNProtocol
 from repro.crypto.paillier import Ciphertext, PaillierPrivateKey, PaillierPublicKey
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DeadlineExceeded, ServiceUnavailable
 
 __all__ = [
     "ParallelSkNNBasic",
@@ -266,6 +273,20 @@ def ssed_chunk_worker(task: ChunkWorkerTask) -> tuple[int, list[list[int]]]:
     from repro.crypto.backend import get_backend, set_backend
     from repro.crypto.randomness_pool import RandomnessPool
 
+    # Chaos hook: kill exactly one worker mid-scatter.  The sentinel path in
+    # REPRO_CHAOS_WORKER_KILL is unlinked atomically, so of all the workers
+    # racing for it precisely one wins — and dies without any cleanup
+    # (``os._exit`` skips atexit and executor bookkeeping, the closest a
+    # Python worker gets to SIGKILL-ing itself), breaking the process pool.
+    kill_sentinel = os.environ.get("REPRO_CHAOS_WORKER_KILL")
+    if kill_sentinel:
+        try:
+            os.unlink(kill_sentinel)
+        except OSError:
+            pass
+        else:
+            os._exit(1)
+
     start_index, record_rows, queries, n, p, q, seed, backend_name = task[:8]
     pool_slice = task[8] if len(task) > 8 else None
     if get_backend().name != backend_name:
@@ -304,18 +325,37 @@ class PersistentWorkerPool:
     :meth:`map` call and reused until :meth:`close` — exactly the lifetime a
     query-serving system needs.  Instances are context managers.
 
+    The process backend additionally tolerates worker death: tasks are
+    submitted individually, and when a worker crash breaks the pool
+    (:class:`BrokenProcessPool`) the executor is discarded, a fresh one is
+    spawned, and **only the lost tasks** are resubmitted — up to
+    ``task_retries`` respawn rounds, bounded by the caller's deadline.
+    Tasks must therefore be idempotent and self-contained (the SSED chunk
+    tasks are: each carries its own RNG seed, so a resubmitted chunk
+    reproduces bit-identical distances).  When retries are exhausted the
+    pool raises the typed, retriable
+    :class:`~repro.exceptions.ServiceUnavailable` so the serving layer can
+    shed the query instead of returning partial results.
+
     Args:
         workers: number of parallel workers.
         backend: ``"process"``, ``"thread"`` or ``"serial"`` (no pool).
+        task_retries: default respawn-and-resubmit rounds per :meth:`map`
+            call on the process backend (``0`` disables recovery).
     """
 
-    def __init__(self, workers: int = 6, backend: Backend = "process") -> None:
+    def __init__(self, workers: int = 6, backend: Backend = "process",
+                 task_retries: int = 2) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         if backend not in ("thread", "process", "serial"):
             raise ConfigurationError(f"unknown backend {backend!r}")
+        if task_retries < 0:
+            raise ConfigurationError("task_retries must be >= 0")
         self.workers = workers
         self.backend = backend
+        self.task_retries = task_retries
+        self.respawns = 0  # executors discarded after a worker crash
         self._executor: Executor | None = None
         self._closed = False
 
@@ -350,16 +390,82 @@ class PersistentWorkerPool:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def _discard_executor(self) -> None:
+        """Drop a broken executor so the next round spawns fresh workers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self.respawns += 1
+
     # -- execution ----------------------------------------------------------
-    def map(self, fn: Callable, tasks: Sequence) -> list:
-        """Apply ``fn`` to every task on the pool's workers (order preserved)."""
+    def map(self, fn: Callable, tasks: Sequence,
+            task_retries: int | None = None, deadline=None) -> list:
+        """Apply ``fn`` to every task on the pool's workers (order preserved).
+
+        Args:
+            fn: picklable task function.
+            tasks: idempotent, self-contained task tuples.
+            task_retries: override the pool's respawn-round budget for this
+                call (process backend only).
+            deadline: optional :class:`~repro.resilience.policy.Deadline`
+                bounding the whole map — including any respawn rounds; on
+                expiry :class:`~repro.exceptions.DeadlineExceeded` is raised.
+        """
         executor = self._ensure_executor()
         if executor is None:
             return [fn(task) for task in tasks]
-        if self.backend == "process":
-            chunk = max(len(tasks) // (self.workers * 4), 1)
-            return list(executor.map(fn, tasks, chunksize=chunk))
-        return list(executor.map(fn, tasks))
+        if self.backend != "process":
+            return list(executor.map(fn, tasks))
+        retries = self.task_retries if task_retries is None else task_retries
+        return self._map_process(fn, list(tasks), retries, deadline)
+
+    def _map_process(self, fn: Callable, tasks: list, task_retries: int,
+                     deadline) -> list:
+        """Per-task submission with respawn + targeted resubmission."""
+        results: list = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        for round_index in range(task_retries + 1):
+            executor = self._ensure_executor()
+            assert executor is not None
+            futures = {index: executor.submit(fn, tasks[index])
+                       for index in pending}
+            lost: list[int] = []
+            try:
+                for index, future in futures.items():
+                    timeout = (None if deadline is None
+                               else deadline.require(f"chunk task {index}"))
+                    try:
+                        results[index] = future.result(timeout=timeout)
+                    except BrokenProcessPool:
+                        lost.append(index)
+                    except FuturesTimeoutError:
+                        raise DeadlineExceeded(
+                            f"chunk task {index} still running at the "
+                            "request deadline") from None
+            finally:
+                for future in futures.values():
+                    future.cancel()
+            if not lost:
+                return results
+            # A worker died mid-scatter.  Completed chunks keep their
+            # results; only the lost ones go back out, on a fresh pool.
+            self._discard_executor()
+            if round_index >= task_retries:
+                break
+            self._count_chunk_retries(len(lost))
+            pending = lost
+        raise ServiceUnavailable(
+            f"worker pool lost {len(pending)} chunk task(s) even after "
+            f"{task_retries} respawn round(s)", retry_after_seconds=1.0)
+
+    @staticmethod
+    def _count_chunk_retries(amount: int) -> None:
+        from repro.telemetry import metrics as _metrics
+
+        _metrics.get_registry().counter(
+            "repro_chunk_retries_total",
+            "Scatter chunk tasks resubmitted after a worker crash broke "
+            "the process pool.").inc(amount)
 
 
 class ParallelSkNNBasic(SkNNProtocol):

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import json
 import threading
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from random import Random
@@ -472,14 +473,22 @@ class PrecomputeEngine:
     def save_pools(self, path: "str | Path") -> int:
         """Persist the warmed pools to ``path``; returns the items saved.
 
-        The file is a versioned JSON document binding the material to the
-        public key's modulus (a cache for a different key is rejected at
-        load).  Pools are *drained* into the file, so a factor or mask tuple
-        is either in memory or on disk, never both — the single-use
-        guarantee survives the round trip.  Meant to run at daemon shutdown
-        (``--pool-cache``) so a restarted party starts hot.
+        The file is a versioned, CRC-stamped JSON document binding the
+        material to the public key's modulus (a cache for a different key is
+        rejected at load).  Pools are *drained* into the file, so a factor
+        or mask tuple is either in memory or on disk, never both — the
+        single-use guarantee survives the round trip.  The write is atomic
+        (tmp + fsync + rename), so a crash mid-save leaves either the
+        previous cache or the complete new one, never a torn file.  Meant
+        to run at daemon shutdown (``--pool-cache``) so a restarted party
+        starts hot.
         """
         from pathlib import Path
+
+        # Function-level import: crypto is a lower layer than resilience
+        # (resilience's chaos module imports transport framing, which
+        # imports crypto serialization).
+        from repro.resilience.durability import atomic_write_bytes
 
         with self._lock:
             constants = {str(value): [format(raw, "x") for raw in store]
@@ -502,13 +511,14 @@ class PrecomputeEngine:
             "constants": constants,
             "masks": masks,
         }
+        data["crc"] = format(
+            zlib.crc32(json.dumps(data, sort_keys=True,
+                                  separators=(",", ":")).encode("utf-8")),
+            "08x")
         saved = (len(factors)
                  + sum(len(v) for v in constants.values())
                  + sum(len(v) for v in masks.values()))
-        target = Path(path)
-        temporary = target.with_name(target.name + ".tmp")
-        temporary.write_text(json.dumps(data))
-        temporary.replace(target)
+        atomic_write_bytes(Path(path), json.dumps(data).encode("utf-8"))
         return saved
 
     def load_pools(self, path: "str | Path") -> int:
@@ -534,6 +544,18 @@ class PrecomputeEngine:
                 or data.get("format") != _POOL_CACHE_VERSION):
             raise ConfigurationError(
                 f"{path} is not a version-{_POOL_CACHE_VERSION} pool cache")
+        stored_crc = data.pop("crc", None)
+        if stored_crc is not None:
+            computed = format(
+                zlib.crc32(json.dumps(data, sort_keys=True,
+                                      separators=(",", ":")).encode("utf-8")),
+                "08x")
+            if stored_crc != computed:
+                # A corrupted cache is rejected, never half-adopted: bad
+                # randomness here would silently weaken every masking step.
+                raise ConfigurationError(
+                    f"pool cache {path} failed its CRC check "
+                    f"(stored {stored_crc}, computed {computed})")
         if data.get("n") != format(self.public_key.n, "x"):
             raise ConfigurationError(
                 f"pool cache {path} was produced under a different key")

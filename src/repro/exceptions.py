@@ -108,3 +108,14 @@ class QueryError(DatabaseError):
 
 class ConfigurationError(ReproError):
     """Raised when a system component is configured inconsistently."""
+
+
+class CorruptStateError(ReproError):
+    """Raised when persisted daemon state fails its integrity checks.
+
+    A snapshot or journal that is torn, truncated or bit-flipped beyond
+    what a single crash can explain (see
+    :mod:`repro.resilience.durability`) raises this instead of a raw
+    decode error, so recovery code can reject the state — log, discard,
+    start fresh — rather than crash the daemon at startup.
+    """

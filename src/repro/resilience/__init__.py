@@ -12,6 +12,12 @@ from the deployed system:
   memo that makes retried ``transport.query``/``transport.fetch_share``
   requests safe: a duplicate never re-consumes single-use pool entries or
   mailbox shares, and a duplicate of an in-flight request re-attaches to it.
+* :mod:`repro.resilience.durability` — crash-consistent persistence:
+  atomic CRC-checked snapshots (tmp + fsync + rename), the append-only
+  :class:`Journal` with replay-on-open and torn-tail repair,
+  :class:`DurableReplyCache`, and the crash-point injection harness
+  (:func:`arm_crash_point` / ``REPRO_CRASH_POINT``) that proves the
+  atomicity guarantees under SIGKILL at every boundary.
 * :mod:`repro.resilience.health` — control-plane liveness probes gating
   supervisor restarts.
 * :mod:`repro.resilience.chaos` — the deterministic fault-injection
@@ -28,6 +34,16 @@ rejected queries, injected faults — is counted in the
 """
 
 from repro.resilience.chaos import ChaosChannel, ChaosProxy, ChaosSchedule
+from repro.resilience.durability import (
+    CrashPointFired,
+    DurableReplyCache,
+    Journal,
+    arm_crash_point,
+    crash_point,
+    disarm_crash_points,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.resilience.health import probe_daemon, wait_until_healthy
 from repro.resilience.idempotency import ReplyCache
 from repro.resilience.policy import Deadline, RetryPolicy, is_retriable, retry_call
@@ -36,11 +52,19 @@ __all__ = [
     "ChaosChannel",
     "ChaosProxy",
     "ChaosSchedule",
+    "CrashPointFired",
     "Deadline",
+    "DurableReplyCache",
+    "Journal",
     "ReplyCache",
     "RetryPolicy",
+    "arm_crash_point",
+    "crash_point",
+    "disarm_crash_points",
     "is_retriable",
     "probe_daemon",
+    "read_snapshot",
     "retry_call",
     "wait_until_healthy",
+    "write_snapshot",
 ]

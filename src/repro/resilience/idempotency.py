@@ -88,18 +88,30 @@ class ReplyCache:
                         f"{timeout:.1f}s")
         try:
             value = compute()
+            with self._condition:
+                # Persistence hook first: a durable subclass must make the
+                # reply recoverable *before* any waiter can observe it.
+                self._record_completed(key, value)
+                entry.done = True
+                entry.value = value
+                self._evict_completed()
+                self._condition.notify_all()
         except BaseException:
             # Failures are not memoized: a retry must re-run the handler.
+            # (A failed persistence hook counts as a failure too — a reply
+            # that could not be made durable is never served from memory.)
             with self._condition:
                 self._entries.pop(key, None)
                 self._condition.notify_all()
             raise
-        with self._condition:
-            entry.done = True
-            entry.value = value
-            self._evict_completed()
-            self._condition.notify_all()
         return value
+
+    # -- persistence hooks (no-ops here; see resilience.durability) ---------
+    def _record_completed(self, key: str, value: Any) -> None:
+        """Called under the lock, before a completed reply becomes visible."""
+
+    def _record_cleared(self) -> None:
+        """Called under the lock when the cache is wiped (new epoch)."""
 
     def _count_replay(self) -> None:
         _metrics.get_registry().counter(
@@ -121,6 +133,7 @@ class ReplyCache:
     def clear(self) -> None:
         """Forget everything (a new provisioning epoch began)."""
         with self._condition:
+            self._record_cleared()
             self._entries.clear()
             self._condition.notify_all()
 

@@ -47,6 +47,7 @@ from repro.crypto.precompute import PrecomputeEngine
 from repro.crypto.randomness_pool import RandomnessPool
 from repro.db.encrypted_table import EncryptedRecord
 from repro.exceptions import ConfigurationError
+from repro.resilience.policy import Deadline
 
 __all__ = ["TableShard", "ShardCandidate", "BatchPhaseTimings", "ShardedCloud"]
 
@@ -310,15 +311,23 @@ class ShardedCloud:
         return tasks
 
     def scatter_distances(
-        self, encrypted_queries: Sequence[Sequence[Ciphertext]]
+        self, encrypted_queries: Sequence[Sequence[Ciphertext]],
+        deadline: Deadline | None = None,
     ) -> list[list[int]]:
         """Distance phase for a whole batch in one scan pass over all shards.
+
+        The chunk tasks are built exactly once — each carries its own RNG
+        seed drawn from C1's stream — and the *same* task list is what the
+        pool resubmits if a worker dies mid-scatter, so a retried chunk
+        reproduces bit-identical distances (see
+        :meth:`~repro.core.parallel.PersistentWorkerPool.map`).  ``deadline``
+        bounds the scatter including any respawn rounds.
 
         Returns ``distances[query][global_record_index]`` — the plaintext
         squared distances SkNN_b reveals to the C2 role.
         """
         tasks = self._build_batch_tasks(encrypted_queries)
-        results = self.pool.map(ssed_chunk_worker, tasks)
+        results = self.pool.map(ssed_chunk_worker, tasks, deadline=deadline)
         n_records = len(self.cloud.c1.encrypted_table)
         distances = [[0] * n_records for _ in encrypted_queries]
         for start_index, chunk_distances in results:
@@ -355,12 +364,15 @@ class ShardedCloud:
 
     # -- answering ----------------------------------------------------------
     def answer_batch(self, encrypted_queries: Sequence[Sequence[Ciphertext]],
-                     ks: Sequence[int]) -> list[ResultShares]:
+                     ks: Sequence[int],
+                     deadline: Deadline | None = None) -> list[ResultShares]:
         """Answer a batch of queries sharing one scan pass over the shards.
 
         Args:
             encrypted_queries: one attribute-wise encrypted query per entry.
             ks: the requested ``k`` for each query (same length as the batch).
+            deadline: optional request deadline bounding the scatter phase,
+                including any worker-crash respawn rounds.
 
         Returns:
             One :class:`~repro.core.roles.ResultShares` per query, in order.
@@ -373,7 +385,8 @@ class ShardedCloud:
             self.validate_query(query, k)
 
         started = time.perf_counter()
-        distances = self.scatter_distances(encrypted_queries)
+        distances = self.scatter_distances(encrypted_queries,
+                                           deadline=deadline)
         distance_elapsed = time.perf_counter() - started
 
         merge_started = time.perf_counter()

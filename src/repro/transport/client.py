@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 import uuid
 from itertools import count
 from random import Random
@@ -434,11 +435,38 @@ class RemoteCloud:
     def _complete_shares(self, masks: list[list[int]], modulus: int,
                          delivery_id: int,
                          attempt: str | None = None) -> ResultShares:
-        masked_values = self.c2.request("transport.fetch_share", {
+        """Fetch C2's share half and assemble the complete shares.
+
+        An *unreachable* C2 (connection refused/reset — it may be mid
+        restart) is retried here with the **same** attempt token: a C2
+        with a durable mailbox comes back holding the share, so the retry
+        returns the bit-identical value with zero query re-execution.
+        Only :class:`PeerUnavailable` earns this treatment — a
+        :class:`DeadlineExceeded` fetch means the share is genuinely gone
+        (an amnesiac restart voided it), and propagates so the caller
+        rotates the query id and re-runs end to end.
+        """
+        payload = {
             "delivery_id": delivery_id,
             "timeout": self.fetch_timeout,
             "attempt": attempt,
-        }, timeout=self._fetch_request_timeout())
+        }
+        for retry_index in count():
+            try:
+                masked_values = self.c2.request(
+                    "transport.fetch_share", payload,
+                    timeout=self._fetch_request_timeout())
+                break
+            except PeerUnavailable:
+                if retry_index + 1 >= self.retry.max_attempts:
+                    raise
+                time.sleep(self.retry.backoff_seconds(retry_index,
+                                                      rng=self._rng))
+                # On a retry the share is either already recovered in the
+                # mailbox or gone for good — don't hold the daemon-side
+                # wait open for the full fetch window.
+                payload = dict(payload,
+                               timeout=min(self.fetch_timeout, 5.0))
         return ResultShares(masks_from_c1=masks,
                             masked_values_from_c2=masked_values,
                             modulus=modulus, delivery_id=delivery_id)

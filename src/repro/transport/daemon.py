@@ -33,6 +33,7 @@ import signal
 import socket
 import threading
 import time
+import uuid
 from collections import OrderedDict
 from pathlib import Path
 from random import Random
@@ -43,17 +44,24 @@ from repro.core.sknn_basic import SkNNBasic
 from repro.core.sknn_secure import SkNNSecure
 from repro.crypto.paillier import Ciphertext, OperationCounter
 from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
-from repro.crypto.serialization import private_key_from_dict
+from repro.crypto.serialization import (
+    payload_from_jsonable,
+    payload_to_jsonable,
+    private_key_from_dict,
+)
 from repro.db.encrypted_table import EncryptedTable
 from repro.exceptions import (
     ChannelError,
     ConfigurationError,
+    CorruptStateError,
     DeadlineExceeded,
     PeerUnavailable,
     ReproError,
 )
 from repro.network.channel import Message
 from repro.network.party import DecryptorParty
+from repro.resilience import durability
+from repro.resilience.durability import DurableReplyCache
 from repro.resilience.idempotency import ReplyCache
 from repro.resilience.policy import is_retriable
 from repro.telemetry import MetricsHTTPServer, SlowQueryLog
@@ -63,7 +71,8 @@ from repro.transport.channel import TcpChannel
 from repro.transport.framing import deadline_at, recv_frame, send_frame
 from repro.transport.wire import WireCodec
 
-__all__ = ["PartyDaemon", "ShareMailbox", "parse_address", "RemotePrivateKey"]
+__all__ = ["PartyDaemon", "ShareMailbox", "DurableShareMailbox",
+           "parse_address", "RemotePrivateKey"]
 
 logger = logging.getLogger("repro.transport")
 
@@ -109,10 +118,13 @@ class ShareMailbox:
         self._delivered: OrderedDict[tuple[int, str], list[list[int]]] = (
             OrderedDict())
         self._condition = threading.Condition()
+        #: the C1 epoch whose delivery ids currently populate the mailbox
+        self._epoch: str | None = None
 
     def put(self, delivery_id: int, masked_values: list[list[int]]) -> None:
         """File one share and wake anyone waiting for it."""
         with self._condition:
+            self._record_put(delivery_id, masked_values)
             self._shares[delivery_id] = masked_values
             self._condition.notify_all()
 
@@ -146,6 +158,9 @@ class ShareMailbox:
                 # share may have been filed between the timeout firing and
                 # the lock being reacquired.
                 self._condition.wait(remaining)
+            # Persist the consumption *before* handing the share out: after
+            # a crash, replay must agree with what any client observed.
+            self._record_take(delivery_id, attempt)
             share = self._shares.pop(delivery_id)
             if attempt is not None:
                 self._delivered[(delivery_id, attempt)] = share
@@ -153,16 +168,142 @@ class ShareMailbox:
                     self._delivered.popitem(last=False)
             return share
 
+    def adopt_epoch(self, epoch: str | None) -> bool:
+        """Align the mailbox with a connecting C1's delivery-id epoch.
+
+        Delivery ids are minted by one C1 *process*; a different (or
+        unknown) epoch means the counter started over, so every stored
+        share could collide with a recycled id and must be dropped.  The
+        same epoch reconnecting — a dropped link, not a restart — keeps
+        pending shares fetchable.  Returns ``True`` when the mailbox
+        content was kept.
+        """
+        with self._condition:
+            if epoch is not None and epoch == self._epoch:
+                return True
+            self._record_epoch(epoch)
+            self._epoch = epoch
+            self._shares.clear()
+            self._delivered.clear()
+            self._condition.notify_all()
+            return False
+
     def clear(self) -> None:
         """Drop every stored share (a new provisioning/C1 epoch began)."""
         with self._condition:
+            self._record_clear()
+            self._epoch = None
             self._shares.clear()
             self._delivered.clear()
             self._condition.notify_all()
 
+    # -- persistence hooks (no-ops here; see DurableShareMailbox) -----------
+    def _record_put(self, delivery_id: int,
+                    masked_values: list[list[int]]) -> None:
+        """Called under the lock before a share becomes fetchable."""
+
+    def _record_take(self, delivery_id: int, attempt: str | None) -> None:
+        """Called under the lock before a share is popped/memoized."""
+
+    def _record_epoch(self, epoch: str | None) -> None:
+        """Called under the lock when a new C1 epoch wipes the mailbox."""
+
+    def _record_clear(self) -> None:
+        """Called under the lock when the mailbox is wiped outright."""
+
+    def close(self) -> None:
+        """Release any persistence resources (no-op for the in-memory box)."""
+
     def __len__(self) -> int:
         with self._condition:
             return len(self._shares)
+
+
+class DurableShareMailbox(ShareMailbox):
+    """A :class:`ShareMailbox` whose contents survive a daemon crash.
+
+    Every state transition — a share filed, a share consumed (with its
+    attempt-token memo), an epoch change, a wipe — is appended to a
+    crash-consistent :class:`~repro.resilience.durability.Journal` before
+    it takes effect in memory.  On construction the journal is replayed,
+    so a C2 daemon SIGKILLed between delivering a share and the client's
+    fetch comes back with the share still pending: the retried
+    ``fetch_share`` (same attempt token) returns the bit-identical value
+    and the query is never re-executed.
+
+    The journal is compacted (atomic rewrite of just the live state) once
+    it outgrows ``compact_every`` records, bounding disk usage by the
+    mailbox size rather than the daemon's query count.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True,
+                 compact_every: int = 512) -> None:
+        super().__init__()
+        self._journal = durability.Journal(path, name="mailbox", fsync=fsync)
+        self._compact_every = max(int(compact_every), 1)
+        for record in self._journal.open():
+            if not isinstance(record, dict):
+                continue
+            operation = record.get("op")
+            if operation == "put":
+                self._shares[int(record["id"])] = record["share"]
+            elif operation == "take":
+                share = self._shares.pop(int(record["id"]), None)
+                attempt = record.get("attempt")
+                if share is not None and attempt is not None:
+                    self._delivered[(int(record["id"]), attempt)] = share
+                    while len(self._delivered) > self.DELIVERED_MEMO:
+                        self._delivered.popitem(last=False)
+            elif operation == "epoch":
+                self._epoch = record.get("epoch")
+                self._shares.clear()
+                self._delivered.clear()
+            elif operation == "clear":
+                self._epoch = None
+                self._shares.clear()
+                self._delivered.clear()
+        #: pending shares + delivered memos brought back by journal replay
+        self.recovered = len(self._shares) + len(self._delivered)
+
+    # -- persistence hooks (called under the condition lock) ----------------
+    def _record_put(self, delivery_id: int,
+                    masked_values: list[list[int]]) -> None:
+        self._journal.append(
+            {"op": "put", "id": delivery_id, "share": masked_values})
+        self._maybe_compact()
+
+    def _record_take(self, delivery_id: int, attempt: str | None) -> None:
+        self._journal.append(
+            {"op": "take", "id": delivery_id, "attempt": attempt})
+        self._maybe_compact()
+
+    def _record_epoch(self, epoch: str | None) -> None:
+        self._journal.append({"op": "epoch", "epoch": epoch})
+
+    def _record_clear(self) -> None:
+        self._journal.append({"op": "clear"})
+
+    def _maybe_compact(self) -> None:
+        if self._journal.records <= self._compact_every:
+            return
+        records: list[dict[str, Any]] = []
+        if self._epoch is not None:
+            records.append({"op": "epoch", "epoch": self._epoch})
+        records.extend({"op": "put", "id": delivery_id, "share": share}
+                       for delivery_id, share in self._shares.items())
+        for (delivery_id, attempt), share in self._delivered.items():
+            records.append({"op": "put", "id": delivery_id, "share": share})
+            records.append(
+                {"op": "take", "id": delivery_id, "attempt": attempt})
+        self._journal.rewrite(records)
+
+    def close(self) -> None:
+        self._journal.close()
+
+    @property
+    def journal_records(self) -> int:
+        """Records currently in the journal file (introspection)."""
+        return self._journal.records
 
 
 class RemotePrivateKey:
@@ -228,14 +369,31 @@ class PartyDaemon:
             read/write on the C1↔C2 peer channel — a dead peer surfaces as
             a typed, retriable error instead of a hung query thread.
             ``None`` disables the bound.
+        state_dir: when given, arms crash-consistent durability: the C2
+            share mailbox and C1 reply cache journal every transition to
+            disk (replayed on the next start), and a provision manifest
+            lets a restarted daemon serve fetch/replay traffic without
+            being re-provisioned.  ``None`` (the default) keeps all state
+            in memory, exactly as before.
+        state_fsync: fsync journal appends and snapshot writes (the
+            durability guarantee; disable only for benchmarks).
+        journal_compact_every: rewrite a journal once it exceeds this many
+            records, bounding disk usage by live state rather than query
+            count.
     """
+
+    #: snapshot kind tag of the provision manifest
+    MANIFEST_KIND = "party-provision-manifest"
 
     def __init__(self, role: str, host: str = "127.0.0.1", port: int = 0,
                  port_file: str | Path | None = None,
                  pool_cache: str | Path | None = None,
                  metrics_listen: str | None = None,
                  slow_query_seconds: float | None = 1.0,
-                 io_deadline: float | None = DEFAULT_IO_DEADLINE) -> None:
+                 io_deadline: float | None = DEFAULT_IO_DEADLINE,
+                 state_dir: str | Path | None = None,
+                 state_fsync: bool = True,
+                 journal_compact_every: int = 512) -> None:
         if role not in ("c1", "c2"):
             raise ConfigurationError(f"unknown party role {role!r}")
         self.role = role
@@ -246,10 +404,26 @@ class PartyDaemon:
         self.pool_cache = Path(pool_cache) if pool_cache is not None else None
         self.metrics_listen = metrics_listen
         self.io_deadline = io_deadline
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.state_fsync = state_fsync
+        self.journal_compact_every = journal_compact_every
         self._started_at = time.monotonic()
+        #: this process's delivery-id epoch (C1 only): sent in the cloud
+        #: hello so C2 wipes its mailbox exactly when the id counter
+        #: restarted, not on every reconnect of the same process.
+        self.epoch = uuid.uuid4().hex if role == "c1" else None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
         # Idempotent replay of completed transport.query/query_batch
         # replies, keyed by the client's query id (see _handle_control).
-        self._reply_cache = ReplyCache(name=f"{role}-query")
+        # With a state dir, completed replies are journaled and survive a
+        # crash: a retried query id after a restart replays from disk.
+        if self.state_dir is not None and role == "c1":
+            self._reply_cache: ReplyCache = DurableReplyCache(
+                self.state_dir / "replies.journal", name=f"{role}-query",
+                fsync=state_fsync, compact_every=journal_compact_every)
+        else:
+            self._reply_cache = ReplyCache(name=f"{role}-query")
         self._metrics_server: MetricsHTTPServer | None = None
         self.slow_log = SlowQueryLog(threshold_seconds=slow_query_seconds)
         # C2: per-trace counter snapshots for the telemetry.collect window.
@@ -258,7 +432,13 @@ class PartyDaemon:
 
         self.codec = WireCodec()
         self.engine: PrecomputeEngine | None = None
-        self.mailbox = ShareMailbox()
+        if self.state_dir is not None and role == "c2":
+            self.mailbox: ShareMailbox = DurableShareMailbox(
+                self.state_dir / "mailbox.journal", fsync=state_fsync,
+                compact_every=journal_compact_every)
+        else:
+            self.mailbox = ShareMailbox()
+        self._count_recovered()
         self.rng: Random | None = None
         self.distance_bits: int | None = None
 
@@ -281,6 +461,73 @@ class PartyDaemon:
         self._stop = threading.Event()
         self._closed = False
 
+    def _count_recovered(self) -> None:
+        """Publish how much journaled state the restart brought back."""
+        recovered = telemetry_metrics.get_registry().counter(
+            "repro_recovered_deliveries_total",
+            "Mailbox shares and completed replies replayed from the "
+            "durability journals after a restart.", ("role", "kind"))
+        shares = getattr(self.mailbox, "recovered", 0)
+        if shares:
+            recovered.inc(shares, role=self.role, kind="share")
+        replies = getattr(self._reply_cache, "recovered", 0)
+        if replies:
+            recovered.inc(replies, role=self.role, kind="reply")
+        if shares or replies:
+            logger.info("%s recovered %d shares and %d replies from %s",
+                        self.party_name, shares, replies, self.state_dir)
+
+    # -- durable provision manifest -------------------------------------------
+    def _manifest_path(self) -> Path | None:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / "manifest.json"
+
+    def _persist_manifest(self, payload: dict[str, Any]) -> None:
+        """Snapshot the provision payload so a restart self-provisions."""
+        path = self._manifest_path()
+        if path is None:
+            return
+        document = {"role": self.role,
+                    "payload": payload_to_jsonable(payload)}
+        durability.write_snapshot(path, self.MANIFEST_KIND, document,
+                                  fsync=self.state_fsync)
+        logger.info("%s persisted its provision manifest to %s",
+                    self.party_name, path)
+
+    def _recover_state(self) -> None:
+        """Self-provision from the manifest left by a previous incarnation.
+
+        Runs before the accept loop, so by the time the port is
+        discoverable the daemon already serves fetch/replay traffic (C2:
+        recovered mailbox + key; C1: reply cache + table) without anyone
+        re-shipping the provision payloads.  A corrupt manifest is
+        rejected — logged and ignored, never a startup crash.  C1 does not
+        dial its peer here: the link comes up lazily on the first query
+        (:meth:`_ensure_peer`), because C2 may itself still be restarting.
+        """
+        path = self._manifest_path()
+        if path is None:
+            return
+        try:
+            document = durability.read_snapshot(path, self.MANIFEST_KIND)
+        except CorruptStateError as exc:
+            logger.warning("ignoring corrupt provision manifest: %s", exc)
+            return
+        if document is None:
+            return
+        if document.get("role") != self.role:
+            logger.warning("ignoring manifest for role %r (this is %s)",
+                           document.get("role"), self.role)
+            return
+        payload = payload_from_jsonable(document.get("payload"), None)
+        try:
+            self._handle_provision(payload, from_recovery=True)
+        except ReproError as exc:
+            logger.warning("manifest recovery failed: %s", exc)
+            return
+        logger.info("%s re-provisioned itself from %s", self.party_name, path)
+
     # -- lifecycle ------------------------------------------------------------
     def bind(self) -> tuple[str, int]:
         """Bind the listening socket; returns the actual ``(host, port)``."""
@@ -299,7 +546,14 @@ class PartyDaemon:
         return self.host, self.port
 
     def start(self) -> None:
-        """Bind (if needed) and start the accept loop in the background."""
+        """Bind (if needed) and start the accept loop in the background.
+
+        With a ``state_dir``, manifest recovery runs first — before the
+        port file is written — so clients that discover the address never
+        observe a half-recovered daemon.
+        """
+        if not self._provisioned():
+            self._recover_state()
         if self._listener is None:
             self.bind()
         if self.metrics_listen is not None and self._metrics_server is None:
@@ -413,6 +667,9 @@ class PartyDaemon:
                     logger.warning("could not save pool cache: %s", exc)
         if self._peer_channel is not None:
             self._peer_channel.close()
+        self.mailbox.close()
+        if isinstance(self._reply_cache, DurableReplyCache):
+            self._reply_cache.close()
         with self._state_lock:
             connections = list(self._connections)
         for connection in connections:
@@ -456,7 +713,8 @@ class PartyDaemon:
                     raise ChannelError("peer connected before provisioning")
                 self._send_message(connection.sock, "transport.hello_ok",
                                    {"role": self.role})
-                self._serve_cloud_peer(connection)
+                self._serve_cloud_peer(connection,
+                                       epoch=hello.payload.get("epoch"))
             elif peer_kind == "client":
                 self._send_message(connection.sock, "transport.hello_ok",
                                    {"role": self.role,
@@ -509,17 +767,21 @@ class PartyDaemon:
         })
 
     # -- the C1<->C2 protocol link (C2 side) ----------------------------------
-    def _serve_cloud_peer(self, connection: _Connection) -> None:
+    def _serve_cloud_peer(self, connection: _Connection,
+                          epoch: str | None = None) -> None:
         """Dispatch protocol frames from C1 to the registered P2 handlers."""
         if self.role != "c2" or self._private_key is None:
             raise ChannelError("C2 is not provisioned yet")
         channel = TcpChannel(connection.sock, self.codec, "C2", "C1",
                              io_deadline=self.io_deadline)
         self._peer_channel = channel
-        # A fresh peer connection means a fresh (or restarted) C1 whose
-        # delivery-id counter starts over: stale shares from a previous
-        # epoch must never be fetchable under a recycled id.
-        self.mailbox.clear()
+        # Delivery ids are minted per C1 *process*: a peer hello carrying a
+        # new (or no) epoch means the id counter started over, so stale
+        # shares must never be fetchable under a recycled id.  The same
+        # epoch re-dialling — a dropped link, or this daemon restarting
+        # under a durable mailbox — keeps pending shares fetchable.
+        if not self.mailbox.adopt_epoch(epoch):
+            logger.info("C2 reset its mailbox for C1 epoch %s", epoch)
         registry, cloud = self._build_p2_registry(channel)
         logger.info("cloud peer connected from %s (%d handlers)",
                     connection.address, len(registry))
@@ -717,6 +979,20 @@ class PartyDaemon:
                 "events": self._resilience_events(),
             },
         }
+        if self.state_dir is not None:
+            stats["durability"] = {
+                "state_dir": str(self.state_dir),
+                "fsync": self.state_fsync,
+                "mailbox_journal_records": getattr(
+                    self.mailbox, "journal_records", 0),
+                "reply_journal_records": getattr(
+                    self._reply_cache, "journal_records", 0),
+                "recovered_shares": getattr(self.mailbox, "recovered", 0),
+                "recovered_replies": getattr(
+                    self._reply_cache, "recovered", 0),
+                "manifest": (self._manifest_path() is not None
+                             and self._manifest_path().exists()),
+            }
         if self._metrics_server is not None:
             stats["metrics_address"] = self._metrics_server.url
         if self.engine is not None:
@@ -737,7 +1013,10 @@ class PartyDaemon:
                     "repro_reconnects_total", "repro_replayed_replies_total",
                     "repro_daemon_restarts_total",
                     "repro_rejected_queries_total",
-                    "repro_chaos_faults_total")
+                    "repro_chaos_faults_total",
+                    "repro_journal_records_total",
+                    "repro_recovered_deliveries_total",
+                    "repro_chunk_retries_total")
         snapshot = telemetry_metrics.get_registry().snapshot()
         events = {}
         for family in families:
@@ -749,23 +1028,40 @@ class PartyDaemon:
         return events
 
     # -- provisioning ---------------------------------------------------------
-    def _handle_provision(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _handle_provision(self, payload: dict[str, Any],
+                          from_recovery: bool = False) -> dict[str, Any]:
+        """Install a provision payload.
+
+        ``from_recovery`` marks a replay of the persisted manifest at
+        startup: the durable caches just replayed their journals, so the
+        epoch wipes a *client-initiated* provision performs (reply cache,
+        mailbox) are skipped — wiping here would throw away exactly the
+        state the restart is trying to recover — and the manifest is not
+        re-persisted.
+        """
         if not isinstance(payload, dict):
             raise ConfigurationError("malformed provision payload")
         seed = payload.get("seed")
         self.rng = Random(seed) if seed is not None else None
         self.distance_bits = payload.get("distance_bits")
-        # New provisioning epoch: replies memoized against the previous
-        # table/key must never be replayed to post-provision retries.
-        self._reply_cache.clear()
+        if not from_recovery:
+            # New provisioning epoch: replies memoized against the previous
+            # table/key must never be replayed to post-provision retries.
+            self._reply_cache.clear()
         if self.role == "c2":
-            return self._provision_c2(payload)
-        return self._provision_c1(payload)
+            reply = self._provision_c2(payload, from_recovery=from_recovery)
+        else:
+            reply = self._provision_c1(payload, dial_peer=not from_recovery)
+        if not from_recovery:
+            self._persist_manifest(payload)
+        return reply
 
-    def _provision_c2(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _provision_c2(self, payload: dict[str, Any],
+                      from_recovery: bool = False) -> dict[str, Any]:
         self._private_key = private_key_from_dict(payload["private_key"])
         self.codec.public_key = self._private_key.public_key
-        self.mailbox.clear()  # new provisioning epoch: drop stale shares
+        if not from_recovery:
+            self.mailbox.clear()  # new provisioning epoch: drop stale shares
         precompute = payload.get("precompute")
         loaded = self._build_engine(
             PrecomputeConfig.for_decryptor_load(**precompute)
@@ -774,7 +1070,8 @@ class PartyDaemon:
                     self.codec.public_key.key_size, self.distance_bits)
         return {"role": "c2", "pool_items_loaded": loaded}
 
-    def _provision_c1(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _provision_c1(self, payload: dict[str, Any],
+                      dial_peer: bool = True) -> dict[str, Any]:
         table = EncryptedTable.from_dict(payload["encrypted_table"])
         self.codec.public_key = table.public_key
         host, port = payload["c2_address"]
@@ -785,9 +1082,11 @@ class PartyDaemon:
         loaded = self._build_engine(
             PrecomputeConfig.for_query_load(**precompute)
             if precompute else None)
-        self._rebuild_c1_stack()
-        logger.info("C1 provisioned (%d records, %d dims, peer %s:%d)",
-                    len(table), table.dimensions, host, port)
+        if dial_peer:
+            self._rebuild_c1_stack()
+        logger.info("C1 provisioned (%d records, %d dims, peer %s:%d%s)",
+                    len(table), table.dimensions, host, port,
+                    "" if dial_peer else "; peer dial deferred")
         return {"role": "c1", "pool_items_loaded": loaded}
 
     # -- C1 peer link management ------------------------------------------------
@@ -809,7 +1108,8 @@ class PartyDaemon:
         try:
             peer_sock.settimeout(None)
             hello = Message(sender="C1", recipient="C2",
-                            tag="transport.hello", payload={"peer": "cloud"})
+                            tag="transport.hello",
+                            payload={"peer": "cloud", "epoch": self.epoch})
             send_frame(peer_sock, self.codec.encode_message(hello),
                        deadline=deadline_at(10.0))
             body = recv_frame(peer_sock, deadline=deadline_at(10.0))

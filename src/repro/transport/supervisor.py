@@ -65,16 +65,23 @@ class LocalSupervisor:
         io_deadline: forwarded to each daemon as ``--io-deadline`` (bound
             on mid-protocol peer-channel operations); ``None`` keeps the
             daemon default.
+        state_dir: give each daemon a ``--state-dir`` (a per-role
+            subdirectory of the scratch dir, or of the supplied path) so
+            mailbox/reply journals and the provision manifest survive a
+            crash — a restarted role then serves fetch/replay traffic
+            without re-provisioning.
     """
 
     def __init__(self, pool_cache: bool | str | Path = False,
                  metrics: bool = False,
                  python: str | None = None,
-                 io_deadline: float | None = None) -> None:
+                 io_deadline: float | None = None,
+                 state_dir: bool | str | Path = False) -> None:
         self._python = python or sys.executable
         self._pool_cache = pool_cache
         self._metrics = metrics
         self._io_deadline = io_deadline
+        self._state_dir = state_dir
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._processes: dict[str, subprocess.Popen] = {}
         self.addresses: dict[str, tuple[str, int]] = {}
@@ -96,6 +103,14 @@ class LocalSupervisor:
             return cache_dir
         return self._scratch()
 
+    def _role_state_dir(self, role: str) -> Path:
+        base = (Path(self._state_dir)
+                if isinstance(self._state_dir, (str, Path))
+                else self._scratch() / "state")
+        state = base / role
+        state.mkdir(parents=True, exist_ok=True)
+        return state
+
     def _spawn(self, role: str, listen: str) -> None:
         """Start one daemon process; the caller waits for port + health."""
         scratch = self._scratch()
@@ -113,6 +128,8 @@ class LocalSupervisor:
         if self._pool_cache:
             command += ["--pool-cache",
                         str(self._cache_dir() / f"{role}.pools")]
+        if self._state_dir:
+            command += ["--state-dir", str(self._role_state_dir(role))]
         if self._metrics:
             command += ["--metrics-listen", "127.0.0.1:0"]
         if self._io_deadline is not None:
@@ -186,6 +203,11 @@ class LocalSupervisor:
             raise ConfigurationError(f"no {role!r} daemon to kill")
         process.kill()
         process.wait()
+        # The dead daemon's port file is now a lie: a health probe (or the
+        # port-wait loop of a concurrent restart) reading it would bind to
+        # the previous incarnation's line.  Remove it with the process.
+        if self._tempdir is not None:
+            (self._scratch() / f"{role}.port").unlink(missing_ok=True)
 
     def restart_role(self, role: str,
                      timeout: float = _START_TIMEOUT) -> tuple[str, int]:
@@ -208,6 +230,10 @@ class LocalSupervisor:
             if process.poll() is None:
                 process.kill()
                 process.wait()
+            # Remove the stale port file *before* respawning: between the
+            # old process dying and the new one binding, nothing may serve
+            # a probe the dead daemon's port line.
+            (self._scratch() / f"{role}.port").unlink(missing_ok=True)
             previous = self.addresses.get(role)
             listen = (f"{previous[0]}:{previous[1]}" if previous
                       else "127.0.0.1:0")

@@ -1,0 +1,161 @@
+"""Crash-point injection harness: SIGKILL at every durability boundary.
+
+The unit suite proves atomicity with in-process ``raise``-mode crash
+points; this file proves it with *real* crashes: a subprocess arms a
+``kill``-mode crash point through the ``REPRO_CRASH_POINT`` environment
+variable, performs a snapshot write or journal append, and SIGKILLs itself
+at the armed boundary.  The parent then opens the surviving files exactly
+the way a restarted daemon would and asserts the state machine's
+guarantees:
+
+* **snapshots** — at every boundary (pre-fsync, post-fsync, pre-rename)
+  the reader sees the complete *old* document; the new one only ever
+  becomes visible atomically, after the rename;
+* **journals** — a crash around an append loses at most that one record;
+  replay-on-open never raises, and the intact prefix always survives;
+* **startup** — recovery from the post-crash state directory never fails
+  on corrupted state (the torn-tail repair truncates, the CRC rejects).
+
+Part of the chaos suite (see ``.github/workflows``): run with a daemon
+SIGKILL scenario in ``test_durability.py`` and the chaos smoke script.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import CorruptStateError
+from repro.resilience.durability import Journal, read_snapshot, write_snapshot
+
+SNAPSHOT_POINTS = ("snapshot.pre_fsync", "snapshot.post_fsync",
+                   "snapshot.pre_rename")
+JOURNAL_POINTS = ("journal.pre_fsync", "journal.post_fsync")
+
+#: subprocess body: perform one durability operation; the armed kill-mode
+#: crash point (from REPRO_CRASH_POINT) SIGKILLs the process mid-way.
+_CHILD = """
+import sys
+from pathlib import Path
+from repro.resilience.durability import Journal, write_snapshot
+
+target = Path(sys.argv[1])
+operation = sys.argv[2]
+if operation == "snapshot":
+    write_snapshot(target, "crash-test", {"v": "new"})
+else:
+    journal = Journal(target, name="crash-test")
+    journal.open()
+    journal.append({"n": 2})
+print("SURVIVED", flush=True)
+"""
+
+
+def run_child(target: Path, operation: str, point: str,
+              mode: str = "kill") -> subprocess.CompletedProcess:
+    env = dict(os.environ,
+               REPRO_CRASH_POINT=f"{point}:{mode}",
+               PYTHONPATH=os.pathsep.join(
+                   [str(Path(__file__).resolve().parents[2] / "src")]
+                   + os.environ.get("PYTHONPATH", "").split(os.pathsep)))
+    return subprocess.run(
+        [sys.executable, "-c", _CHILD, str(target), operation],
+        env=env, capture_output=True, text=True, timeout=60)
+
+
+class TestSnapshotCrashPoints:
+    @pytest.mark.parametrize("point", SNAPSHOT_POINTS)
+    def test_sigkill_at_boundary_preserves_the_old_snapshot(self, tmp_path,
+                                                            point):
+        target = tmp_path / "state.json"
+        write_snapshot(target, "crash-test", {"v": "old"})
+
+        result = run_child(target, "snapshot", point)
+        assert result.returncode == -signal.SIGKILL, result.stderr
+        assert "SURVIVED" not in result.stdout
+
+        # A restarted daemon reads the complete old document — never a torn
+        # mix, never a CorruptStateError.
+        assert read_snapshot(target, "crash-test") == {"v": "old"}
+
+    def test_without_a_crash_the_new_snapshot_lands_whole(self, tmp_path):
+        target = tmp_path / "state.json"
+        write_snapshot(target, "crash-test", {"v": "old"})
+        result = run_child(target, "snapshot", "unknown.point")
+        assert result.returncode == 0, result.stderr
+        assert "SURVIVED" in result.stdout
+        assert read_snapshot(target, "crash-test") == {"v": "new"}
+
+
+class TestJournalCrashPoints:
+    @pytest.mark.parametrize("point", JOURNAL_POINTS)
+    def test_sigkill_around_append_loses_at_most_that_record(self, tmp_path,
+                                                             point):
+        target = tmp_path / "ops.journal"
+        journal = Journal(target, name="crash-test")
+        journal.open()
+        journal.append({"n": 1})
+        journal.close()
+
+        result = run_child(target, "journal", point)
+        assert result.returncode == -signal.SIGKILL, result.stderr
+
+        # Startup replay must succeed: the durable prefix is intact, and
+        # only the record being appended at the crash may be missing.
+        survivor = Journal(target, name="crash-test")
+        records = survivor.open()
+        survivor.close()
+        assert records[0] == {"n": 1}
+        assert len(records) in (1, 2)
+        if len(records) == 2:
+            assert records[1] == {"n": 2}
+
+    @pytest.mark.parametrize("point", JOURNAL_POINTS)
+    def test_post_crash_journal_accepts_new_appends(self, tmp_path, point):
+        target = tmp_path / "ops.journal"
+        journal = Journal(target, name="crash-test")
+        journal.open()
+        journal.append({"n": 1})
+        journal.close()
+        run_child(target, "journal", point)
+
+        survivor = Journal(target, name="crash-test")
+        survivor.open()
+        survivor.append({"n": 3})
+        survivor.close()
+        reread = Journal(target, name="crash-test")
+        records = reread.open()
+        reread.close()
+        assert records[0] == {"n": 1}
+        assert records[-1] == {"n": 3}
+        # every surviving record is intact — no CorruptStateError, no junk
+        assert all(isinstance(record, dict) for record in records)
+
+
+class TestCorruptionOnOpen:
+    """Deliberate file damage (beyond what a single crash can produce)."""
+
+    def test_truncated_snapshot_is_rejected_typed(self, tmp_path):
+        target = tmp_path / "state.json"
+        write_snapshot(target, "crash-test", {"v": 1})
+        target.write_bytes(target.read_bytes()[:10])
+        with pytest.raises(CorruptStateError):
+            read_snapshot(target, "crash-test")
+
+    def test_mid_file_journal_damage_is_rejected_typed(self, tmp_path):
+        target = tmp_path / "ops.journal"
+        journal = Journal(target, name="crash-test")
+        journal.open()
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        journal.close()
+        raw = bytearray(target.read_bytes())
+        raw[2] ^= 0xFF  # flip a bit inside the first record's CRC
+        target.write_bytes(bytes(raw))
+        with pytest.raises(CorruptStateError):
+            Journal(target, name="crash-test").open()

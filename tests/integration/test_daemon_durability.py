@@ -1,0 +1,227 @@
+"""Durable daemon state across real process crashes.
+
+The headline recovery story of the durability layer, end to end over real
+daemon processes:
+
+* **C2 SIGKILL with a pending delivery** — a secure query is answered by
+  C1 and C2 files its decrypted share, then C2 is SIGKILLed *before* Bob
+  fetches.  After a supervisor restart the original ``fetch_share``
+  attempt token must return the bit-identical share with **zero** query
+  re-execution: the share was journaled before it became fetchable, the
+  restarted C2 replays the journal, and C1's query counter never moves.
+* **Manifest recovery** — the restarted C2 self-provisions from its
+  durable manifest and serves fetch/replay traffic before any client
+  re-ships the key material.
+* **Worker death mid-scatter** — a ``PersistentWorkerPool`` worker
+  SIGKILLs itself while computing SSED chunks; the pool respawns and
+  resubmits exactly the lost chunk tasks, and the top-k answer is
+  bit-identical to the serial oracle.  With retries disabled the same
+  crash surfaces as a typed, retriable :class:`ServiceUnavailable`.
+"""
+
+from __future__ import annotations
+
+import os
+from random import Random
+
+import pytest
+
+from repro.core.cloud import FederatedCloud
+from repro.core.parallel import PersistentWorkerPool
+from repro.core.roles import DataOwner, QueryClient, ResultShares
+from repro.db.datasets import synthetic_uniform
+from repro.db.encrypted_table import EncryptedTable
+from repro.db.knn import LinearScanKNN
+from repro.exceptions import ServiceUnavailable
+from repro.resilience import RetryPolicy
+from repro.service.sharding import ShardedCloud
+from repro.telemetry import metrics as telemetry_metrics
+from repro.transport.supervisor import LocalSupervisor
+
+KEY_BITS = int(os.environ.get("REPRO_DISTRIBUTED_BITS", "256"))
+
+N_RECORDS = 10
+DIMENSIONS = 2
+DISTANCE_BITS = 7
+QUERY = [3, 4]
+K = 2
+
+IO_DEADLINE = 5.0
+RETRY = RetryPolicy(max_attempts=6, base_delay_seconds=0.05, jitter=0.5)
+REQUEST_DEADLINE = 60.0
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_uniform(n_records=N_RECORDS, dimensions=DIMENSIONS,
+                             distance_bits=DISTANCE_BITS, seed=5)
+
+
+@pytest.fixture(scope="module")
+def owner(dataset):
+    return DataOwner(dataset, key_size=KEY_BITS, rng=Random(20140709))
+
+
+def counter_total(name: str) -> float:
+    entry = telemetry_metrics.get_registry().snapshot().get(name)
+    return sum(entry["values"].values()) if entry else 0.0
+
+
+def daemon_counter(remote, role: str, name: str,
+                   kind: str | None = None) -> float:
+    """Sum one counter family from a daemon's metrics snapshot."""
+    snapshot = remote.metrics()[role]["snapshot"]
+    entry = snapshot.get(name)
+    if not entry:
+        return 0.0
+    values = entry["values"]
+    if kind is None:
+        return sum(values.values())
+    return sum(value for key, value in values.items()
+               if kind in key.split(","))
+
+
+class TestDurableDaemonState:
+    def test_c2_sigkill_with_pending_delivery_replays_the_share(self, owner,
+                                                                dataset):
+        """SIGKILL C2 between share delivery and Bob's fetch; the restarted
+        daemon must serve the original attempt token from its journal."""
+        oracle = LinearScanKNN(dataset)
+        expected = [r.record.values for r in oracle.query(QUERY, K)]
+
+        with LocalSupervisor(io_deadline=IO_DEADLINE, state_dir=True) as sup:
+            remote = sup.provision_from_owner(
+                owner, seed=11, retry=RETRY,
+                request_deadline=REQUEST_DEADLINE, rng=Random(71))
+            client = QueryClient(owner.public_key, dataset.dimensions,
+                                 rng=Random(32))
+
+            # Run the query through C1 but do NOT fetch C2's share yet:
+            # the decrypted half now sits in C2's (durable) mailbox.
+            query_id = "dq-recover-1"
+            reply = remote.c1.request("transport.query", {
+                "mode": "secure", "k": K,
+                "query": list(client.encrypt_query(QUERY)),
+                "query_id": query_id,
+            })
+            queries_before = daemon_counter(remote, "c1",
+                                            "repro_queries_total")
+            assert queries_before >= 1
+
+            sup.kill("c2")
+            sup.restart_role("c2")
+
+            # The original attempt token, against the restarted C2.  The
+            # client socket died with the old process; the retry policy
+            # covers the reconnect.
+            payload = {"delivery_id": reply["delivery_id"], "timeout": 5.0,
+                       "attempt": query_id}
+            masked = remote.c2.request("transport.fetch_share", payload,
+                                       retry=RETRY)
+            # ...and the replay of that same token is bit-identical.
+            assert remote.c2.request("transport.fetch_share", payload,
+                                     retry=RETRY) == masked
+
+            shares = ResultShares(masks_from_c1=reply["masks"],
+                                  masked_values_from_c2=masked,
+                                  modulus=reply["modulus"],
+                                  delivery_id=reply["delivery_id"])
+            assert client.reconstruct(shares) == expected
+
+            # Proof of *recovery*, not re-execution: the restarted C2
+            # replayed journaled deliveries, and C1 never re-ran the query.
+            assert daemon_counter(remote, "c2",
+                                  "repro_recovered_deliveries_total",
+                                  kind="share") >= 1
+            assert daemon_counter(remote, "c1",
+                                  "repro_queries_total") == queries_before
+
+    def test_restarted_c2_self_provisions_from_its_manifest(self, owner,
+                                                            dataset):
+        """After the restart, C2 reports provisioned *without* any client
+        having re-shipped the key — the durable manifest did it."""
+        with LocalSupervisor(io_deadline=IO_DEADLINE, state_dir=True) as sup:
+            remote = sup.provision_from_owner(
+                owner, seed=13, retry=RETRY,
+                request_deadline=REQUEST_DEADLINE, rng=Random(73))
+            sup.kill("c2")
+            sup.restart_role("c2")
+
+            stats = remote.c2.request("transport.stats", None, retry=RETRY)
+            assert stats["provisioned"] is True
+            assert stats["durability"]["manifest"] is True
+
+            # Normal service continues end to end on the recovered state.
+            client = QueryClient(owner.public_key, dataset.dimensions,
+                                 rng=Random(33))
+            shares, _ = remote.query(client.encrypt_query(QUERY), K,
+                                     mode="secure")
+            oracle = LinearScanKNN(dataset)
+            expected = [r.record.values for r in oracle.query(QUERY, K)]
+            assert client.reconstruct(shares) == expected
+
+
+@pytest.fixture(scope="module")
+def shard_table():
+    return synthetic_uniform(n_records=18, dimensions=3, distance_bits=9,
+                             seed=55)
+
+
+def _deploy(keypair, table, seed):
+    cloud = FederatedCloud.deploy(keypair, rng=Random(seed))
+    cloud.c1.host_database(
+        EncryptedTable.encrypt_table(table, keypair.public_key,
+                                     rng=Random(seed + 1)))
+    return cloud
+
+
+class TestWorkerDeathMidScatter:
+    def test_killed_worker_is_respawned_and_topk_is_bit_identical(
+            self, small_keypair, shard_table, tmp_path, monkeypatch):
+        """One worker SIGKILLs itself on its first chunk task (breaking the
+        whole pool); the retry round must reproduce the serial answer."""
+        sentinel = tmp_path / "kill-one-worker"
+        sentinel.touch()
+        # CRITICAL ordering: the env var must be set before the pool's
+        # first map — the executor forks lazily at first submit and the
+        # children inherit the environment then.
+        monkeypatch.setenv("REPRO_CHAOS_WORKER_KILL", str(sentinel))
+
+        oracle = LinearScanKNN(shard_table)
+        query, k = [4, 4, 4], 3
+        retries_before = counter_total("repro_chunk_retries_total")
+
+        cloud = _deploy(small_keypair, shard_table, 300)
+        client = QueryClient(small_keypair.public_key, shard_table.dimensions,
+                             rng=Random(9))
+        with ShardedCloud(cloud, shards=2, workers=2,
+                          backend="process") as sharded:
+            shares = sharded.run(client.encrypt_query(query), k)
+            neighbors = client.reconstruct(shares)
+
+            assert neighbors == [r.record.values
+                                 for r in oracle.query(query, k)]
+            assert sharded.pool.respawns >= 1
+            assert not sentinel.exists()  # the kill switch actually fired
+        assert counter_total("repro_chunk_retries_total") > retries_before
+
+    def test_exhausted_retries_surface_as_service_unavailable(
+            self, small_keypair, shard_table, tmp_path, monkeypatch):
+        """With chunk retries disabled the same worker crash becomes a
+        typed, retriable failure instead of silent data loss."""
+        sentinel = tmp_path / "kill-no-retry"
+        sentinel.touch()
+        monkeypatch.setenv("REPRO_CHAOS_WORKER_KILL", str(sentinel))
+
+        cloud = _deploy(small_keypair, shard_table, 301)
+        client = QueryClient(small_keypair.public_key, shard_table.dimensions,
+                             rng=Random(10))
+        pool = PersistentWorkerPool(workers=2, backend="process",
+                                    task_retries=0)
+        try:
+            with ShardedCloud(cloud, shards=2, pool=pool) as sharded:
+                with pytest.raises(ServiceUnavailable) as excinfo:
+                    sharded.run(client.encrypt_query([7, 0, 2]), 1)
+            assert excinfo.value.retry_after_seconds is not None
+        finally:
+            pool.close()

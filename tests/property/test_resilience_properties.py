@@ -157,6 +157,36 @@ def test_reply_cache_capacity_is_respected(keys):
     assert len(cache) <= 8
 
 
+@given(schedule=st.lists(st.sampled_from(["a", "b", "c", "d", "e", "f"]),
+                         min_size=1, max_size=40),
+       capacity=st.integers(min_value=1, max_value=4))
+def test_completed_reply_is_replayed_or_evicted_never_recomputed(schedule,
+                                                                 capacity):
+    """The durability contract of the reply memo, under every schedule:
+    while a completed reply is still cached it is replayed verbatim — a
+    recompute can only ever follow a FIFO eviction, and the memo never
+    exceeds its capacity."""
+    cache = ReplyCache(capacity=capacity, name="prop-evict")
+    computes: dict[str, int] = {}
+    last: dict[str, tuple] = {}
+    for key in schedule:
+        was_cached = key in cache  # membership counts completed entries only
+
+        def compute(key=key):
+            computes[key] = computes.get(key, 0) + 1
+            return (key, computes[key])
+
+        result = cache.run(key, compute)
+        if was_cached:
+            # replayed: the recorded reply, bit-identical, no recompute
+            assert result == last[key]
+        else:
+            # evicted (or fresh): a recompute is expected and observable
+            assert result == (key, computes[key])
+        last[key] = result
+        assert len(cache) <= capacity
+
+
 def test_retried_fetch_after_timeout_still_single_use():
     """A fetch that timed out (share arrived late) then retried with the
     same token delivers exactly once."""

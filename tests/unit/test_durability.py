@@ -1,0 +1,369 @@
+"""Unit tests for crash-consistent persistence (repro.resilience.durability).
+
+Covers the two primitives — atomic CRC-checked snapshots and the
+append-only journal with torn-tail repair — plus their daemon-state
+consumers :class:`DurableReplyCache` and
+:class:`~repro.transport.daemon.DurableShareMailbox`, and the in-process
+(``raise`` mode) half of the crash-point harness.  The subprocess SIGKILL
+half lives in ``tests/integration/test_crash_points.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.exceptions import CorruptStateError
+from repro.resilience.durability import (
+    CRASH_POINTS,
+    CrashPointFired,
+    DurableReplyCache,
+    Journal,
+    arm_crash_point,
+    atomic_write_bytes,
+    crash_point,
+    disarm_crash_points,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.transport.daemon import DurableShareMailbox
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    disarm_crash_points()
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+class TestSnapshots:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_snapshot(path, "manifest", {"role": "c1", "n": [1, 2, 3]})
+        assert read_snapshot(path, "manifest") == {"role": "c1",
+                                                   "n": [1, 2, 3]}
+
+    def test_missing_file_reads_as_none(self, tmp_path):
+        assert read_snapshot(tmp_path / "absent.json", "manifest") is None
+
+    def test_overwrite_replaces_whole_document(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_snapshot(path, "manifest", {"v": 1})
+        write_snapshot(path, "manifest", {"v": 2})
+        assert read_snapshot(path, "manifest") == {"v": 2}
+
+    def test_wrong_kind_is_corrupt(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_snapshot(path, "manifest", {"v": 1})
+        with pytest.raises(CorruptStateError, match="other-kind"):
+            read_snapshot(path, "other-kind")
+
+    def test_truncated_file_is_corrupt_not_a_crash(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_snapshot(path, "manifest", {"v": 1})
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CorruptStateError, match="torn snapshot"):
+            read_snapshot(path, "manifest")
+
+    def test_bit_flip_fails_the_crc(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_snapshot(path, "manifest", {"role": "c1"})
+        document = json.loads(path.read_text())
+        document["payload"] = document["payload"].replace("c1", "c2")
+        path.write_text(json.dumps(document))
+        with pytest.raises(CorruptStateError, match="CRC"):
+            read_snapshot(path, "manifest")
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "state.json"
+        write_snapshot(path, "manifest", {"v": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["state.json"]
+
+
+# ---------------------------------------------------------------------------
+# Crash points (raise mode; kill mode is exercised via subprocesses)
+# ---------------------------------------------------------------------------
+
+class TestCrashPoints:
+    def test_unarmed_is_a_no_op(self):
+        crash_point("snapshot.pre_rename")  # nothing armed: returns
+
+    def test_armed_point_fires_once(self):
+        arm_crash_point("snapshot.pre_rename")
+        with pytest.raises(CrashPointFired, match="snapshot.pre_rename"):
+            crash_point("snapshot.pre_rename")
+        crash_point("snapshot.pre_rename")  # disarmed after firing
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="crash mode"):
+            arm_crash_point("snapshot.pre_rename", mode="segfault")
+
+    def test_fired_is_not_an_ordinary_exception(self):
+        # SIGKILL semantics: `except Exception` recovery must not catch it.
+        assert not issubclass(CrashPointFired, Exception)
+
+    @pytest.mark.parametrize("point", [p for p in CRASH_POINTS
+                                       if p.startswith("snapshot.")])
+    def test_crash_during_write_preserves_the_old_snapshot(self, tmp_path,
+                                                           point):
+        path = tmp_path / "state.json"
+        write_snapshot(path, "manifest", {"v": "old"})
+        arm_crash_point(point)
+        with pytest.raises(CrashPointFired):
+            write_snapshot(path, "manifest", {"v": "new"})
+        # Atomicity: the reader sees the complete old document.
+        assert read_snapshot(path, "manifest") == {"v": "old"}
+
+    def test_crash_after_rename_boundary_publishes_the_new_one(self, tmp_path):
+        # pre_rename is the last boundary; past it the rename is the commit
+        # point, so a non-crashing write publishes the new document whole.
+        path = tmp_path / "state.json"
+        write_snapshot(path, "manifest", {"v": "old"})
+        write_snapshot(path, "manifest", {"v": "new"})
+        assert read_snapshot(path, "manifest") == {"v": "new"}
+
+
+# ---------------------------------------------------------------------------
+# Journal
+# ---------------------------------------------------------------------------
+
+def open_journal(path, **kwargs):
+    journal = Journal(path, name="test", **kwargs)
+    records = journal.open()
+    return journal, records
+
+
+class TestJournal:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal, records = open_journal(path)
+        assert records == []
+        journal.append({"op": "put", "id": 1})
+        journal.append({"op": "take", "id": 1, "attempt": "t-1"})
+        journal.close()
+
+        reopened, records = open_journal(path)
+        assert records == [{"op": "put", "id": 1},
+                           {"op": "take", "id": 1, "attempt": "t-1"}]
+        assert reopened.records == 2
+        reopened.close()
+
+    def test_append_after_replay_continues_the_log(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal, _ = open_journal(path)
+        journal.append({"n": 1})
+        journal.close()
+        journal, _ = open_journal(path)
+        journal.append({"n": 2})
+        journal.close()
+        _, records = open_journal(path)
+        assert records == [{"n": 1}, {"n": 2}]
+
+    def test_torn_tail_is_truncated_and_survivors_replay(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal, _ = open_journal(path)
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        journal.close()
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-4])  # tear the final record mid-line
+
+        reopened, records = open_journal(path)
+        assert records == [{"n": 1}]
+        # the torn bytes are physically gone: a later append starts clean
+        reopened.append({"n": 3})
+        reopened.close()
+        _, records = open_journal(path)
+        assert records == [{"n": 1}, {"n": 3}]
+
+    def test_bad_crc_tail_is_discarded(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal, _ = open_journal(path)
+        journal.append({"n": 1})
+        journal.close()
+        body = json.dumps({"n": 2}, separators=(",", ":")).encode()
+        bad = format(zlib.crc32(body) ^ 0xFF, "08x").encode()
+        with open(path, "ab") as handle:
+            handle.write(bad + b" " + body + b"\n")
+        _, records = open_journal(path)
+        assert records == [{"n": 1}]
+
+    def test_intact_records_after_damage_raise_corrupt(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal, _ = open_journal(path)
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        journal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        # damage the FIRST record: an intact record follows it, which a
+        # single crash cannot produce — this is corruption, not a torn tail
+        path.write_bytes(b"deadbeef" + lines[0][8:] + lines[1])
+        with pytest.raises(CorruptStateError, match="corrupt"):
+            open_journal(path)
+
+    def test_rewrite_compacts_atomically(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal, _ = open_journal(path)
+        for n in range(10):
+            journal.append({"n": n})
+        journal.rewrite([{"n": 8}, {"n": 9}])
+        assert journal.records == 2
+        journal.append({"n": 10})
+        journal.close()
+        _, records = open_journal(path)
+        assert records == [{"n": 8}, {"n": 9}, {"n": 10}]
+
+    def test_crash_mid_compaction_keeps_the_full_log(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal, _ = open_journal(path)
+        journal.append({"n": 1})
+        journal.append({"n": 2})
+        arm_crash_point("snapshot.pre_rename")  # rewrite uses the snapshot path
+        with pytest.raises(CrashPointFired):
+            journal.rewrite([{"n": 2}])
+        _, records = open_journal(path)
+        assert records == [{"n": 1}, {"n": 2}]
+
+    def test_crash_pre_fsync_loses_at_most_the_last_append(self, tmp_path):
+        path = tmp_path / "ops.journal"
+        journal, _ = open_journal(path)
+        journal.append({"n": 1})
+        arm_crash_point("journal.pre_fsync")
+        with pytest.raises(CrashPointFired):
+            journal.append({"n": 2})
+        journal.close()
+        _, records = open_journal(path)
+        # the flushed-but-unfsynced record may or may not survive a real
+        # power cut; after a process crash the prefix must always replay
+        assert records[0] == {"n": 1}
+        assert len(records) <= 2
+
+
+# ---------------------------------------------------------------------------
+# DurableReplyCache
+# ---------------------------------------------------------------------------
+
+class TestDurableReplyCache:
+    def test_completed_reply_survives_reopen(self, tmp_path):
+        path = tmp_path / "replies.journal"
+        cache = DurableReplyCache(path, name="unit")
+        assert cache.run("q-1", lambda: {"answer": 7}) == {"answer": 7}
+        cache.close()
+
+        revived = DurableReplyCache(path, name="unit")
+        assert revived.recovered == 1
+        ran = []
+        assert revived.run("q-1", lambda: ran.append(1)) == {"answer": 7}
+        assert not ran  # zero re-execution
+        revived.close()
+
+    def test_clear_is_journaled(self, tmp_path):
+        path = tmp_path / "replies.journal"
+        cache = DurableReplyCache(path, name="unit")
+        cache.run("q-1", lambda: "old epoch")
+        cache.clear()
+        cache.close()
+        revived = DurableReplyCache(path, name="unit")
+        assert revived.recovered == 0
+        assert revived.run("q-1", lambda: "new epoch") == "new epoch"
+        revived.close()
+
+    def test_journal_compacts_to_live_entries(self, tmp_path):
+        path = tmp_path / "replies.journal"
+        cache = DurableReplyCache(path, name="unit", capacity=4,
+                                  compact_every=8)
+        for index in range(20):
+            cache.run(f"q-{index}", lambda index=index: index)
+        assert cache.journal_records <= 9  # bounded by compaction, not 20
+        cache.close()
+        revived = DurableReplyCache(path, name="unit", capacity=4)
+        assert revived.recovered <= 4
+        assert revived.run("q-19", lambda: "recomputed") == 19
+        revived.close()
+
+    def test_failed_journal_append_fails_the_query(self, tmp_path):
+        # A reply that could not be made durable must not be served from
+        # memory: the attempt fails and a retry re-runs the computation.
+        path = tmp_path / "replies.journal"
+        cache = DurableReplyCache(path, name="unit")
+        arm_crash_point("journal.pre_fsync")
+        with pytest.raises(CrashPointFired):
+            cache.run("q-1", lambda: "value")
+        assert cache.run("q-1", lambda: "retried") == "retried"
+        cache.close()
+
+
+# ---------------------------------------------------------------------------
+# DurableShareMailbox
+# ---------------------------------------------------------------------------
+
+class TestDurableShareMailbox:
+    def test_pending_delivery_survives_reopen(self, tmp_path):
+        path = tmp_path / "mailbox.journal"
+        mailbox = DurableShareMailbox(path)
+        mailbox.put(3, [[10, 11]])
+        mailbox.close()
+
+        revived = DurableShareMailbox(path)
+        assert revived.recovered == 1
+        assert revived.fetch(3, timeout=0.5, attempt="t-1") == [[10, 11]]
+        revived.close()
+
+    def test_attempt_memo_survives_reopen(self, tmp_path):
+        path = tmp_path / "mailbox.journal"
+        mailbox = DurableShareMailbox(path)
+        mailbox.put(3, [[10, 11]])
+        first = mailbox.fetch(3, timeout=0.5, attempt="t-1")
+        mailbox.close()
+
+        revived = DurableShareMailbox(path)
+        # the retried fetch (same attempt token) replays bit-identically
+        assert revived.fetch(3, timeout=0.5, attempt="t-1") == first
+        revived.close()
+
+    def test_epoch_adoption_is_journaled(self, tmp_path):
+        path = tmp_path / "mailbox.journal"
+        mailbox = DurableShareMailbox(path)
+        assert mailbox.adopt_epoch("epoch-a") is False  # first hello: wipe
+        mailbox.put(1, [[5]])
+        mailbox.close()
+
+        revived = DurableShareMailbox(path)
+        # same C1 process re-dials after a C2 restart: state is kept
+        assert revived.adopt_epoch("epoch-a") is True
+        assert revived.fetch(1, timeout=0.5, attempt="t") == [[5]]
+        # a *restarted* C1 presents a fresh epoch: delivery ids recycle,
+        # so everything must be wiped
+        assert revived.adopt_epoch("epoch-b") is False
+        assert len(revived) == 0
+        revived.close()
+
+    def test_clear_wipes_disk_state_too(self, tmp_path):
+        path = tmp_path / "mailbox.journal"
+        mailbox = DurableShareMailbox(path)
+        mailbox.put(1, [[5]])
+        mailbox.clear()
+        mailbox.close()
+        revived = DurableShareMailbox(path)
+        assert revived.recovered == 0
+        revived.close()
+
+    def test_journal_compacts(self, tmp_path):
+        path = tmp_path / "mailbox.journal"
+        mailbox = DurableShareMailbox(path, compact_every=6)
+        for delivery_id in range(12):
+            mailbox.put(delivery_id, [[delivery_id]])
+            mailbox.fetch(delivery_id, timeout=0.5,
+                          attempt=f"t-{delivery_id}")
+        assert mailbox.journal_records <= 2 * mailbox.DELIVERED_MEMO + 8
+        mailbox.close()
+        revived = DurableShareMailbox(path, compact_every=6)
+        # the newest memos still replay after compaction + reopen
+        assert revived.fetch(11, timeout=0.5, attempt="t-11") == [[11]]
+        revived.close()

@@ -101,6 +101,38 @@ class TestCacheValidation:
         with pytest.raises(ConfigurationError, match="unreadable"):
             engine.load_pools(cache)
 
+    def test_bit_flipped_cache_fails_the_crc(self, warm_engine, public_key,
+                                             tmp_path):
+        cache = tmp_path / "pools.json"
+        warm_engine.save_pools(cache)
+        data = json.loads(cache.read_text())
+        # flip one nibble of one stored obfuscation factor
+        factor = data["obfuscators"][0]
+        data["obfuscators"][0] = ("0" if factor[0] != "0" else "1") + factor[1:]
+        cache.write_text(json.dumps(data))
+        engine = PrecomputeEngine(public_key, rng=Random(9),
+                                  config=small_config())
+        # rejected with a typed error, never half-adopted or crashed on
+        with pytest.raises(ConfigurationError, match="CRC"):
+            engine.load_pools(cache)
+        assert sum(engine.remaining().values()) == 0
+
+    def test_legacy_cache_without_crc_still_loads(self, warm_engine,
+                                                  public_key, tmp_path):
+        cache = tmp_path / "pools.json"
+        saved = warm_engine.save_pools(cache)
+        data = json.loads(cache.read_text())
+        del data["crc"]  # a cache written before the CRC field existed
+        cache.write_text(json.dumps(data))
+        engine = PrecomputeEngine(public_key, rng=Random(10),
+                                  config=small_config())
+        assert engine.load_pools(cache) == saved
+
+    def test_save_leaves_no_temp_file(self, warm_engine, tmp_path):
+        cache = tmp_path / "pools.json"
+        warm_engine.save_pools(cache)
+        assert [p.name for p in tmp_path.iterdir()] == ["pools.json"]
+
     def test_sbd_masks_dropped_on_l_mismatch(self, warm_engine, public_key,
                                              tmp_path):
         cache = tmp_path / "pools.json"

@@ -271,6 +271,58 @@ class TestReplyCache:
         cache.clear()
         assert cache.run("q", lambda: "new epoch") == "new epoch"
 
+    def test_hammer_joins_and_evictions_never_run_a_key_concurrently(self):
+        """Stress the join + FIFO-eviction paths from many threads at once.
+
+        Eight workers fire replays at eight keys through a capacity-4 cache,
+        so joins (duplicate of an in-flight key) and evictions (completed
+        entries pushed out FIFO) interleave constantly.  The invariant: two
+        computations for the same key never overlap in time — a duplicate
+        either joins the in-flight original or, post-eviction, starts a new
+        computation strictly after the previous one finished.
+        """
+        cache = ReplyCache(capacity=4, name="hammer")
+        keys = [f"q{index}" for index in range(8)]
+        in_flight: dict[str, int] = {key: 0 for key in keys}
+        generations: dict[str, int] = {key: 0 for key in keys}
+        state_lock = threading.Lock()
+        violations: list[str] = []
+        errors: list[BaseException] = []
+
+        def compute(key: str):
+            with state_lock:
+                in_flight[key] += 1
+                if in_flight[key] > 1:
+                    violations.append(key)
+                generations[key] += 1
+                generation = generations[key]
+            time.sleep(0.001)  # widen the window so overlaps would show
+            with state_lock:
+                in_flight[key] -= 1
+            return (key, generation)
+
+        def worker(seed: int) -> None:
+            rng = Random(seed)
+            try:
+                for _ in range(40):
+                    key = rng.choice(keys)
+                    value = cache.run(key, lambda key=key: compute(key),
+                                      timeout=10.0)
+                    assert value[0] == key  # never another key's reply
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert not violations, (
+            f"concurrent computations observed for keys {set(violations)}")
+        assert len(cache) <= 4  # FIFO eviction kept the memo bounded
+
 
 # ---------------------------------------------------------------------------
 # ShareMailbox idempotency
