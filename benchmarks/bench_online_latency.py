@@ -43,6 +43,7 @@ from repro.analysis.cost_model import (OfflineOnlineCounts, sknn_basic_counts,
                                        sknn_basic_split_counts)
 from repro.analysis.reporting import format_table
 from repro.telemetry import tracing
+from repro.telemetry import profiling as tprofiling
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import DataOwner, QueryClient
 from repro.core.sknn_basic import SkNNBasic
@@ -72,6 +73,9 @@ RESILIENCE_OVERHEAD_GATE = 0.05
 #: swapping the reply memo for its durable variant (one CRC-framed,
 #: fsync-ed journal append per completed query) must also cost <= 5%.
 DURABILITY_OVERHEAD_GATE = 0.05
+#: arming the ~100 Hz sampling profiler plus the per-query cost ledger on
+#: the warm online path must also cost <= 5% wall clock.
+PROFILING_OVERHEAD_GATE = 0.05
 
 
 @pytest.fixture(scope="module")
@@ -215,6 +219,22 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
                     retry_policy, op="bench.durability", rng=retry_rng,
                     deadline=Deadline(60.0))
 
+            # Profiling overhead: the same warm path with the ~100 Hz
+            # sampling profiler armed and a per-query cost ledger
+            # attributing Paillier ops + wall time to protocol phases —
+            # the exact instrumentation a `--profile` daemon runs per
+            # query.  The profiler is always-on in the daemon, so its
+            # thread is started/stopped outside the timed window; the
+            # in-query cost under test is the sampling itself plus the
+            # ledger's snapshot/flush work.
+            profiler = tprofiling.SamplingProfiler()
+
+            def profiled_run():
+                ledger = tprofiling.CostLedger.for_cloud(cloud, party="C1")
+                with ledger.activate():
+                    protocol.run(encrypted_query, ONLINE_K)
+                ledger.finish()
+
             def timed(fn):
                 refill_all()
                 started = time.perf_counter()
@@ -227,23 +247,37 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
             # path happens to run last; the overhead gates then compare
             # best-of samples taken under the same conditions.
             samples = {"warm": [], "traced": [], "resilient": [],
-                       "durable": []}
+                       "durable": [], "profiled": []}
             for _ in range(REPEATS):
                 samples["warm"].append(timed(warm_run))
                 samples["traced"].append(timed(traced_run))
                 samples["resilient"].append(timed(resilient_run))
                 samples["durable"].append(timed(durable_run))
+                profiler.start()
+                samples["profiled"].append(timed(profiled_run))
+                profiler.stop()
+            # The profiling delta (a ~100 Hz sampler + ledger snapshots) is
+            # small relative to scheduler noise, so its gate gets twice the
+            # paired rounds to stabilize the median.
+            for _ in range(REPEATS):
+                samples["warm"].append(timed(warm_run))
+                profiler.start()
+                samples["profiled"].append(timed(profiled_run))
+                profiler.stop()
             durable_cache.close()
             warm_seconds = min(samples["warm"])
             traced_seconds = min(samples["traced"])
             resilient_seconds = min(samples["resilient"])
             durable_seconds = min(samples["durable"])
+            profiled_seconds = min(samples["profiled"])
             telemetry_overhead = _paired_overhead(samples["traced"],
                                                   samples["warm"])
             resilience_overhead = _paired_overhead(samples["resilient"],
                                                    samples["warm"])
             durability_overhead = _paired_overhead(samples["durable"],
                                                    samples["warm"])
+            profiling_overhead = _paired_overhead(samples["profiled"],
+                                                  samples["warm"])
 
             # Measured offline/online split over one windowed warm query:
             # the refill is the offline price, the reported run the online
@@ -259,14 +293,16 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         finally:
             cloud.attach_engine(None)
         return (inline_seconds, warm_seconds, traced_seconds,
-                resilient_seconds, durable_seconds, telemetry_overhead,
-                resilience_overhead, durability_overhead,
+                resilient_seconds, durable_seconds, profiled_seconds,
+                telemetry_overhead, resilience_overhead,
+                durability_overhead, profiling_overhead,
                 refill_seconds, inline_shares, warm_shares, stats,
                 measured_split)
 
     (inline_seconds, warm_seconds, traced_seconds, resilient_seconds,
-     durable_seconds, telemetry_overhead, resilience_overhead,
-     durability_overhead, refill_seconds, inline_shares,
+     durable_seconds, profiled_seconds, telemetry_overhead,
+     resilience_overhead, durability_overhead, profiling_overhead,
+     refill_seconds, inline_shares,
      warm_shares, stats, measured_split) = benchmark.pedantic(
         measure, rounds=1, iterations=1, warmup_rounds=0)
     speedup = inline_seconds / warm_seconds
@@ -303,6 +339,10 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         "path": "warm pools + durability",
         "online (ms)": durable_seconds * 1000,
         "offline (ms)": refill_seconds * 1000,
+    }, {
+        "path": "warm pools + profiling",
+        "online (ms)": profiled_seconds * 1000,
+        "offline (ms)": refill_seconds * 1000,
     }]
     text = (f"SkNN_b online latency (K={ONLINE_KEY_BITS}, n={ONLINE_N}, "
             f"m={ONLINE_M}, k={ONLINE_K}, backend={get_backend().name})\n"
@@ -313,7 +353,9 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
             + f"resilience overhead: {resilience_overhead * 100:+.2f}% "
             + f"(gate {RESILIENCE_OVERHEAD_GATE * 100:.0f}%)\n"
             + f"durability overhead: {durability_overhead * 100:+.2f}% "
-            + f"(gate {DURABILITY_OVERHEAD_GATE * 100:.0f}%)\n")
+            + f"(gate {DURABILITY_OVERHEAD_GATE * 100:.0f}%)\n"
+            + f"profiling overhead: {profiling_overhead * 100:+.2f}% "
+            + f"(gate {PROFILING_OVERHEAD_GATE * 100:.0f}%)\n")
     write_result(results_dir, f"online_latency_K{ONLINE_KEY_BITS}.txt", text)
     write_bench_json(results_dir, f"online_latency_K{ONLINE_KEY_BITS}", {
         "kind": "measured",
@@ -325,11 +367,13 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
             "traced_query_s": traced_seconds,
             "resilient_query_s": resilient_seconds,
             "durable_query_s": durable_seconds,
+            "profiled_query_s": profiled_seconds,
             "offline_refill_s": refill_seconds,
             "speedup": speedup,
             "telemetry_overhead": telemetry_overhead,
             "resilience_overhead": resilience_overhead,
             "durability_overhead": durability_overhead,
+            "profiling_overhead": profiling_overhead,
         },
         "model": {
             "inline_counts": inline_model.as_dict(),
@@ -344,6 +388,7 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         "telemetry_overhead": telemetry_overhead,
         "resilience_overhead": resilience_overhead,
         "durability_overhead": durability_overhead,
+        "profiling_overhead": profiling_overhead,
     })
 
     assert speedup >= MIN_SPEEDUP, (
@@ -362,3 +407,7 @@ def test_online_latency_warm_pools_vs_inline(benchmark, online_keypair,
         f"the durable reply journal ({durable_seconds:.3f}s) must stay "
         f"within {DURABILITY_OVERHEAD_GATE:.0%} of the bare warm run "
         f"({warm_seconds:.3f}s); got {durability_overhead:+.2%}")
+    assert profiling_overhead <= PROFILING_OVERHEAD_GATE, (
+        f"profiler + cost ledger ({profiled_seconds:.3f}s) must stay "
+        f"within {PROFILING_OVERHEAD_GATE:.0%} of the bare warm run "
+        f"({warm_seconds:.3f}s); got {profiling_overhead:+.2%}")

@@ -21,22 +21,24 @@ with n, m, k, l and K — while the measured runs pin down absolute constants.
 from __future__ import annotations
 
 import json
-import platform
 from pathlib import Path
 from random import Random
 
 import pytest
 
 from repro.analysis.calibration import Calibrator
+from repro.bench import BenchHistory, numeric_leaves, provenance_block
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import DataOwner, QueryClient
-from repro.crypto.backend import get_backend
 from repro.crypto.paillier import PaillierKeyPair, generate_keypair
 from repro.db.datasets import synthetic_uniform
 from repro.telemetry import get_registry
 
 #: Directory where every bench writes its paper-style result tables.
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Append-only benchmark-history trajectories (one JSONL per bench).
+HISTORY_DIR = Path(__file__).parent / "history"
 
 #: Key size used for the *measured* (reduced-scale) benchmark runs.
 MEASURED_KEY_BITS = 256
@@ -80,14 +82,20 @@ def write_bench_json(results_dir: Path, name: str, payload: dict) -> Path:
 
     Every bench emits one of these alongside its human-readable txt table so
     the performance trajectory is trackable across PRs (and diffable in CI
-    artifacts).  The crypto-backend name and interpreter version are stamped
-    automatically; ``payload`` carries the bench-specific params, wall-clock
-    numbers and operation counters.
+    artifacts).  The common provenance block (git sha, crypto backend,
+    interpreter, key size) is stamped automatically; ``payload`` carries the
+    bench-specific params, wall-clock numbers and operation counters.  The
+    numeric timings are additionally appended as one record to the
+    append-only ``benchmarks/history/<name>.jsonl`` trajectory, which
+    ``repro bench check`` gates against its rolling baseline.
     """
+    params = payload.get("params") or {}
+    key_size = params.get("key_size", MEASURED_KEY_BITS)
+    provenance = provenance_block(
+        key_size=key_size if isinstance(key_size, int) else None)
     record = {
         "bench": name,
-        "crypto_backend": get_backend().name,
-        "python": platform.python_version(),
+        "provenance": provenance,
         "telemetry": {
             family_name: family["values"]
             for family_name, family in get_registry().snapshot().items()
@@ -98,6 +106,14 @@ def write_bench_json(results_dir: Path, name: str, payload: dict) -> Path:
     path = results_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")
+    metrics = numeric_leaves(payload.get("timings") or {})
+    if metrics:
+        BenchHistory(HISTORY_DIR).append(name, {
+            "bench": name,
+            "provenance": provenance,
+            "params": params,
+            "metrics": metrics,
+        })
     return path
 
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI profiling smoke: cost attribution + a live /profile scrape.
+
+Exercises the continuous-profiling path end to end:
+
+1. run one serial SkNN_m query with the sampling profiler armed and a cost
+   ledger attributing Paillier ops + wall time to protocol phases; assert
+   the phase rows sum to the query wall time (within 1%) and write the
+   phase cost table plus the collapsed stacks to ``benchmarks/results/``,
+2. spawn the C1/C2 party daemons with ``--metrics-listen`` *and*
+   ``--profile``, run a distributed SkNN_m query while scraping C1's
+   ``/profile?seconds=N`` endpoint, and assert the capture contains a
+   protocol frame,
+3. assert the distributed report carries C2-attributed cost rows whose
+   operation counts match the stitched run stats,
+4. write the scraped collapsed stacks plus a JSON summary so CI uploads
+   them as artifacts.
+
+Exit code 0 on success; any assertion failure is a CI failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+from random import Random
+
+from repro.core.cloud import FederatedCloud
+from repro.core.roles import DataOwner, QueryClient
+from repro.core.sknn_secure import SkNNSecure
+from repro.crypto.paillier import generate_keypair
+from repro.db.datasets import synthetic_uniform
+from repro.telemetry.profiling import SamplingProfiler, format_cost_table
+from repro.transport.supervisor import LocalSupervisor
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+#: the serial phase rows must sum to the query wall time within this.
+SUM_TOLERANCE = 0.01
+
+
+def serial_profile() -> dict:
+    """One serial SkNN_m query under the profiler; returns summary fields."""
+    keypair = generate_keypair(256, Random(5150))
+    table = synthetic_uniform(n_records=8, dimensions=2, distance_bits=7,
+                              seed=5)
+    owner = DataOwner(table, keypair=keypair, rng=Random(1))
+    cloud = FederatedCloud.deploy(keypair, rng=Random(2))
+    cloud.c1.host_database(owner.encrypt_database())
+    client = QueryClient(keypair.public_key, 2, rng=Random(3))
+    protocol = SkNNSecure(cloud, distance_bits=7)
+
+    with SamplingProfiler() as profiler:
+        protocol.run_with_report(client.encrypt_query([3, 4]), 2,
+                                 distance_bits=7)
+        collapsed = profiler.collapsed()
+    report = protocol.last_report
+    rows = report.cost_breakdown
+    assert rows, "serial query produced no cost rows"
+    total = sum(row["seconds"] for row in rows)
+    wall = report.wall_time_seconds
+    assert abs(total - wall) <= SUM_TOLERANCE * wall, (
+        f"phase seconds {total:.4f} != wall {wall:.4f} within "
+        f"{SUM_TOLERANCE:.0%}")
+    assert {row["party"] for row in rows} == {"C1", "C2"}, (
+        "serial run must attribute phases to both parties")
+    assert collapsed.strip(), "profiler captured no stacks during the query"
+    assert "run_with_report" in collapsed or "sknn" in collapsed.lower(), (
+        "collapsed stacks contain no protocol frame")
+
+    table_text = format_cost_table(rows)
+    print("serial SkNN_m cost breakdown:")
+    print(table_text, end="")
+    (RESULTS_DIR / "profile_cost_table.txt").write_text(
+        table_text, encoding="utf-8")
+    (RESULTS_DIR / "profile_sample.collapsed").write_text(
+        collapsed, encoding="utf-8")
+    return {"serial_phase_rows": len(rows),
+            "serial_wall_s": wall,
+            "serial_phase_sum_s": total,
+            "serial_profile_samples": len(collapsed.splitlines())}
+
+
+def distributed_profile() -> dict:
+    """A distributed query while C1's /profile endpoint is being scraped."""
+    dataset = synthetic_uniform(n_records=8, dimensions=2, distance_bits=7,
+                                seed=9)
+    owner = DataOwner(dataset, key_size=256, rng=Random(20140709))
+
+    with LocalSupervisor(metrics=True, profile=True) as supervisor:
+        remote = supervisor.provision_from_owner(owner, seed=17)
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(18))
+        outcome: dict = {}
+
+        def run_query() -> None:
+            outcome["result"] = remote.query(
+                client.encrypt_query([3, 4]), 2, mode="secure")
+
+        worker = threading.Thread(target=run_query)
+        worker.start()
+        address = remote.stats()["c1"]["metrics_address"]
+        with urllib.request.urlopen(f"{address}/profile?seconds=2",
+                                    timeout=30) as response:
+            assert response.status == 200, (
+                f"/profile returned {response.status}")
+            collapsed = response.read().decode("utf-8")
+        worker.join(timeout=120)
+        assert "result" in outcome, "distributed query did not finish"
+        shares, report = outcome["result"]
+        neighbors = client.reconstruct(shares)
+        assert len(neighbors) == 2, "SkNN_m must return k records"
+
+        assert collapsed.strip(), "/profile capture is empty"
+        protocol_frames = [line for line in collapsed.splitlines()
+                           if "daemon" in line or "protocol" in line
+                           or "sknn" in line.lower()]
+        assert protocol_frames, (
+            "no protocol frame in the /profile capture taken during a query")
+        (RESULTS_DIR / "profile_c1.collapsed").write_text(
+            collapsed, encoding="utf-8")
+
+        rows = report.cost_breakdown
+        c2_rows = [row for row in rows if row["party"] == "C2"]
+        assert c2_rows, "distributed report carries no C2 cost rows"
+        c2_decryptions = sum(row["ops"].get("decryptions", 0)
+                             for row in c2_rows)
+        assert c2_decryptions == report.stats.c2_decryptions, (
+            f"C2 ledger decryptions {c2_decryptions} != stitched stats "
+            f"{report.stats.c2_decryptions}")
+        print(f"/profile capture: {len(collapsed.splitlines())} stacks, "
+              f"{len(protocol_frames)} protocol frames; "
+              f"{len(c2_rows)} C2 cost rows "
+              f"({c2_decryptions} decryptions)")
+        return {"profile_stacks": len(collapsed.splitlines()),
+                "protocol_frames": len(protocol_frames),
+                "c2_cost_rows": len(c2_rows),
+                "c2_ledger_decryptions": c2_decryptions}
+
+
+def main() -> int:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    summary = serial_profile()
+    summary.update(distributed_profile())
+    (RESULTS_DIR / "profile_smoke.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print("profile smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

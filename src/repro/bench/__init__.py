@@ -1,0 +1,37 @@
+"""Benchmark history: provenance-stamped trajectories and regression gates.
+
+The benchmarks under ``benchmarks/`` emit point-in-time ``BENCH_*.json``
+files that each PR overwrites, which makes regressions between the coarse
+CI gates invisible.  This package keeps the *trajectory*:
+
+* :mod:`repro.bench.provenance` — the common provenance block (git sha,
+  crypto backend, python version, key size) stamped into every record.
+* :mod:`repro.bench.history` — append-only ``benchmarks/history/*.jsonl``
+  files, noise-aware rolling baselines (median ± MAD over the last N
+  runs), ASCII trend reports, and the regression check.
+* :mod:`repro.bench.suite` — small deterministic registered benchmarks
+  (`repro bench run`) that extend the trajectory on every CI run.
+
+CLI: ``repro bench run|report|check``.
+"""
+
+from repro.bench.history import (
+    BenchHistory,
+    RegressionFinding,
+    check_history,
+    numeric_leaves,
+    render_trend,
+)
+from repro.bench.provenance import provenance_block
+from repro.bench.suite import REGISTRY, run_suite
+
+__all__ = [
+    "BenchHistory",
+    "REGISTRY",
+    "RegressionFinding",
+    "check_history",
+    "numeric_leaves",
+    "provenance_block",
+    "render_trend",
+    "run_suite",
+]

@@ -216,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "C1<->C2 peer channel; a dead peer surfaces as a "
                             "typed retriable error instead of a hung query "
                             "(default: 120; <=0 disables)")
+    party.add_argument("--profile", action="store_true",
+                       help="arm an always-on ~100 Hz sampling profiler; "
+                            "collapsed stacks are scrapeable at the metrics "
+                            "listener's /profile endpoint and via "
+                            "'repro stats --profile'")
 
     stats = subparsers.add_parser(
         "stats", help="pretty-print a running daemon's live statistics")
@@ -225,6 +230,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="refresh every N seconds until interrupted")
     stats.add_argument("--metrics", action="store_true",
                        help="also dump the raw Prometheus exposition text")
+    stats.add_argument("--profile", type=float, default=None,
+                       metavar="SECONDS",
+                       help="capture N seconds of sampling-profiler stacks "
+                            "from the daemon and print them collapsed "
+                            "(flamegraph.pl input format)")
+
+    bench = subparsers.add_parser(
+        "bench", help="run the benchmark-history suite and its regression "
+                      "gate (benchmarks/history/*.jsonl)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run", help="run registered benches and append provenance-stamped "
+                    "records to the history")
+    bench_run.add_argument("--quick", action="store_true",
+                           help="smallest problem sizes (CI default)")
+    bench_run.add_argument("--filter", default=None, metavar="NAME",
+                           help="only benches whose name contains NAME")
+    bench_run.add_argument("--history-dir", default="benchmarks/history",
+                           help="history directory (default: "
+                                "benchmarks/history)")
+    bench_report = bench_sub.add_parser(
+        "report", help="render ASCII trend reports from the history")
+    bench_report.add_argument("--bench", default=None,
+                              help="one benchmark (default: all)")
+    bench_report.add_argument("--last", type=int, default=30,
+                              help="runs shown per trend (default: 30)")
+    bench_report.add_argument("--history-dir", default="benchmarks/history")
+    bench_check = bench_sub.add_parser(
+        "check", help="fail (exit 1) if the latest run of any benchmark "
+                      "regressed beyond its median±MAD baseline")
+    bench_check.add_argument("--bench", default=None,
+                             help="one benchmark (default: all)")
+    bench_check.add_argument("--history-dir", default="benchmarks/history")
 
     subparsers.add_parser(
         "inventory", help="list every reproduced table/figure and its bench target")
@@ -372,7 +410,8 @@ def _run_party(args: argparse.Namespace) -> int:
                          io_deadline=io_deadline,
                          state_dir=args.state_dir,
                          state_fsync=not args.no_state_fsync,
-                         journal_compact_every=args.journal_compact_every)
+                         journal_compact_every=args.journal_compact_every,
+                         profile=args.profile)
     daemon.serve_forever()
     return 0
 
@@ -423,7 +462,33 @@ def _render_daemon_stats(stats: dict) -> str:
             lines.append(f"  {entry.get('protocol', '?')}: "
                          f"{entry.get('wall_time_seconds', 0):.3f}s "
                          f"trace={entry.get('trace_id', '-')[:16]}")
+    profiler = stats.get("profiler")
+    if profiler:
+        lines.append(f"profiler: running={profiler.get('running', False)}  "
+                     f"interval={profiler.get('interval', 0):g}s  "
+                     f"samples={profiler.get('samples', 0)}")
     return "\n".join(lines)
+
+
+def _render_histogram_quantiles(snapshot: dict) -> str:
+    """p50/p95/p99 table for every histogram family in a registry snapshot."""
+    rows = []
+    for name, family in sorted(snapshot.items()):
+        if family.get("type") != "histogram":
+            continue
+        for labels, values in sorted(family.get("values", {}).items()):
+            if not values.get("count"):
+                continue
+            rows.append({
+                "histogram": f"{name}{{{labels}}}" if labels else name,
+                "count": values["count"],
+                "p50": f"{values.get('p50', 0):.4g}",
+                "p95": f"{values.get('p95', 0):.4g}",
+                "p99": f"{values.get('p99', 0):.4g}",
+            })
+    if not rows:
+        return ""
+    return format_table(rows).rstrip("\n")
 
 
 def _run_stats(args: argparse.Namespace) -> int:
@@ -436,11 +501,23 @@ def _run_stats(args: argparse.Namespace) -> int:
 
     client = DaemonClient(parse_address(args.connect), WireCodec())
     try:
+        if args.profile is not None:
+            result = client.request("transport.profile",
+                                    {"seconds": args.profile})
+            if not result.get("armed"):
+                print("note: daemon has no armed profiler (--profile); "
+                      "sampled with an ephemeral one", file=sys.stderr)
+            print(result.get("collapsed", ""), end="")
+            return 0
         while True:
             stats = client.request("transport.stats", None)
             print(_render_daemon_stats(stats))
+            metrics = client.request("transport.metrics", None)
+            quantiles = _render_histogram_quantiles(
+                metrics.get("snapshot") or {})
+            if quantiles:
+                print(quantiles)
             if args.metrics:
-                metrics = client.request("transport.metrics", None)
                 print(metrics.get("prometheus", ""), end="")
             if args.watch is None:
                 return 0
@@ -563,6 +640,64 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0 if matches else 1
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    """``repro bench run|report|check`` — the benchmark-history workflow."""
+    from repro.bench import (
+        REGISTRY,
+        BenchHistory,
+        check_history,
+        render_trend,
+        run_suite,
+    )
+
+    history = BenchHistory(args.history_dir)
+
+    if args.bench_command == "run":
+        names = sorted(REGISTRY)
+        if args.filter:
+            names = [name for name in names if args.filter in name]
+            if not names:
+                print(f"no bench matches {args.filter!r}; available: "
+                      f"{', '.join(sorted(REGISTRY))}", file=sys.stderr)
+                return 2
+        for record in run_suite(names, quick=args.quick):
+            path = history.append(record["bench"], record)
+            metrics = record["metrics"]
+            timing = metrics.get("query_s", metrics.get("encrypt_batch_s"))
+            print(f"{record['bench']}: "
+                  + (f"{timing:.4f}s, " if timing is not None else "")
+                  + f"{len(metrics)} metrics -> {path}")
+        return 0
+
+    names = [args.bench] if args.bench else history.names()
+    if not names:
+        print(f"no history under {history.root} — run 'repro bench run' "
+              "first", file=sys.stderr)
+        return 2
+
+    if args.bench_command == "report":
+        for name in names:
+            print(render_trend(name, history.load(name), last=args.last),
+                  end="")
+        return 0
+
+    # check: exit nonzero iff any benchmark's latest run regressed.
+    failures = 0
+    for name in names:
+        records = history.load(name)
+        findings = check_history(name, records)
+        if findings:
+            failures += len(findings)
+            for finding in findings:
+                print(f"REGRESSION: {finding.describe()}")
+        else:
+            print(f"ok: {name} ({len(records)} runs)")
+    if failures:
+        print(f"{failures} regression(s) detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_inventory(_: argparse.Namespace) -> int:
     print(format_table(list(EXPERIMENT_INVENTORY)), end="")
     return 0
@@ -576,6 +711,7 @@ _HANDLERS = {
     "serve": _run_serve,
     "party": _run_party,
     "stats": _run_stats,
+    "bench": _run_bench,
     "inventory": _run_inventory,
 }
 

@@ -29,6 +29,7 @@ from repro.network.stats import ProtocolRunStats
 from repro.protocols.base import P2StepDispatcher
 from repro.protocols.ssed import SecureSquaredEuclideanDistance
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import profiling as _profiling
 from repro.telemetry import tracing as _tracing
 
 __all__ = ["SkNNProtocol", "SkNNRunReport", "RunStatsRecorder"]
@@ -102,6 +103,11 @@ class SkNNRunReport:
     wall_time_seconds: float
     stats: ProtocolRunStats
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: cost-ledger rollup rows ``{"phase", "party", "seconds", "ops"}``
+    #: attributing Paillier op counts and wall time to each protocol phase;
+    #: C2 daemon rows are stitched in when the query ran distributed (their
+    #: seconds overlap C1's wait time rather than adding to the wall clock).
+    cost_breakdown: list[dict[str, Any]] = field(default_factory=list)
     #: stitched distributed trace: ``{"trace_id": ..., "spans": [...]}``
     #: with spans from both clouds when the query ran distributed.
     trace: dict[str, Any] | None = None
@@ -133,6 +139,7 @@ class SkNNRunReport:
             "wall_time_seconds": self.wall_time_seconds,
             "stats": self.stats.as_payload(),
             "phase_seconds": dict(self.phase_seconds),
+            "cost_breakdown": [dict(row) for row in self.cost_breakdown],
             "trace": self.trace,
         }
 
@@ -142,6 +149,7 @@ class SkNNRunReport:
         fields = dict(data)
         fields["stats"] = ProtocolRunStats.from_payload(fields["stats"])
         fields.setdefault("trace", None)
+        fields.setdefault("cost_breakdown", [])
         return cls(**fields)
 
 
@@ -242,8 +250,9 @@ class SkNNProtocol(P2StepDispatcher):
         reappear in the delivered result records.
         """
         width = len(encrypted_query)
-        with _tracing.span(f"{self.name}.distance_scan",
-                           records=len(self.encrypted_table)):
+        with _profiling.cost_scope("scan"), \
+                _tracing.span(f"{self.name}.distance_scan",
+                              records=len(self.encrypted_table)):
             return self._ssed.run_many(
                 list(encrypted_query),
                 [list(record.ciphertexts[:width])
@@ -276,8 +285,9 @@ class SkNNProtocol(P2StepDispatcher):
         ``mask_encryptor`` hook (pooled obfuscators) > fresh batch
         encryption.
         """
-        with _tracing.span(f"{self.name}.deliver",
-                           records=len(encrypted_records)):
+        with _profiling.cost_scope("deliver"), \
+                _tracing.span(f"{self.name}.deliver",
+                              records=len(encrypted_records)):
             return self._deliver_records_traced(encrypted_records)
 
     def _deliver_records_traced(
@@ -343,20 +353,25 @@ class SkNNProtocol(P2StepDispatcher):
         in the C2 daemon's spans) this joins it instead.
         """
         recorder = RunStatsRecorder(self.cloud)
+        ledger = _profiling.CostLedger.for_cloud(self.cloud, party="C1")
         owns_trace = _tracing.current_wire_context() is None
         started = time.perf_counter()
 
         if owns_trace:
             with _tracing.trace(f"query.{self.name}", party="C1",
                                 k=k, n=len(self.encrypted_table)) as root:
-                shares = self.run(encrypted_query, k)
+                with ledger.activate():
+                    shares = self.run(encrypted_query, k)
             trace_id = root.trace_id
         else:
-            shares = self.run(encrypted_query, k)
+            with ledger.activate():
+                shares = self.run(encrypted_query, k)
             trace_id = None
 
         elapsed = time.perf_counter() - started
         stats = recorder.finish(self.name, elapsed)
+        cost_rows = ledger.finish()
+        _profiling.record_phase_metrics(cost_rows)
         registry = _metrics.get_registry()
         registry.counter(
             "repro_queries_total", "SkNN queries executed, by protocol.",
@@ -373,6 +388,8 @@ class SkNNProtocol(P2StepDispatcher):
             distance_bits=distance_bits,
             wall_time_seconds=elapsed,
             stats=stats,
+            phase_seconds=_profiling.phase_seconds_of(cost_rows),
+            cost_breakdown=cost_rows,
             trace=(_tracing.trace_payload(
                 trace_id, _tracing.get_tracer().take(trace_id))
                 if trace_id is not None else None),

@@ -25,6 +25,7 @@ from typing import Sequence
 from repro.core.roles import ResultShares
 from repro.core.sknn_base import SkNNProtocol
 from repro.crypto.paillier import Ciphertext
+from repro.telemetry import profiling as _profiling
 
 __all__ = ["SkNNBasic"]
 
@@ -54,18 +55,20 @@ class SkNNBasic(SkNNProtocol):
         # Step 2: C1 and C2 jointly compute E(d_i) for every record.
         encrypted_distances = self._compute_encrypted_distances(encrypted_query)
 
-        # Step 2(c): C1 sends the (index, E(d_i), k) triple list to C2.
-        indexed = list(enumerate(encrypted_distances))
-        c1.send([k, indexed], tag="SkNNb.encrypted_distances")
+        with _profiling.cost_scope("select"):
+            # Step 2(c): C1 sends the (index, E(d_i), k) triple list to C2.
+            indexed = list(enumerate(encrypted_distances))
+            c1.send([k, indexed], tag="SkNNb.encrypted_distances")
 
-        # Step 3: C2 decrypts all distances and returns the top-k index list.
-        self.p2_step("SkNNb.encrypted_distances")
+            # Step 3: C2 decrypts all distances, returns the top-k index list.
+            self.p2_step("SkNNb.encrypted_distances")
 
-        # Step 4: C1 selects the encrypted records named by the index list.
-        delta = c1.receive(expected_tag="SkNNb.topk_indices")
-        selected_records = [
-            list(self.encrypted_table.record_at(index).ciphertexts) for index in delta
-        ]
+            # Step 4: C1 selects the encrypted records named by the index list.
+            delta = c1.receive(expected_tag="SkNNb.topk_indices")
+            selected_records = [
+                list(self.encrypted_table.record_at(index).ciphertexts)
+                for index in delta
+            ]
 
         # Steps 4-6: mask, decrypt, and hand both shares to Bob.
         return self._deliver_records(selected_records)

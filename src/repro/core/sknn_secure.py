@@ -43,6 +43,7 @@ from repro.protocols.sbd import SecureBitDecomposition
 from repro.protocols.sbor import SecureBitOr
 from repro.protocols.sm import SecureMultiplication
 from repro.protocols.sminn import SecureMinimumOfN
+from repro.telemetry import profiling as _profiling
 
 __all__ = ["SkNNSecure"]
 
@@ -106,46 +107,54 @@ class SkNNSecure(SkNNProtocol):
         # Step 2: E(d_i) via one batched SSED scan, then [d_i] via one batched
         # SBD pass over every record's distance.
         encrypted_distances = self._compute_encrypted_distances(encrypted_query)
-        distance_bits = self._sbd.run_batch(encrypted_distances)
+        with _profiling.cost_scope("decompose"):
+            distance_bits = self._sbd.run_batch(encrypted_distances)
 
         encrypted_results: list[list[Ciphertext]] = []
         for iteration in range(k):
-            # Step 3(a): [d_min] of the current (possibly updated) distances.
-            min_bits = self._sminn.run(distance_bits)
+            with _profiling.cost_scope("select"):
+                # Step 3(a): [d_min] of the current (possibly updated)
+                # distances.
+                min_bits = self._sminn.run(distance_bits)
 
-            # Step 3(b): C1 recomposes E(d_min) and, after the first
-            # iteration, re-derives every E(d_i) from its bit vector.
-            enc_dmin = recompose_from_encrypted_bits(min_bits)
-            if iteration > 0 and self.reexpand_each_iteration:
-                encrypted_distances = [
-                    recompose_from_encrypted_bits(bits) for bits in distance_bits
-                ]
+                # Step 3(b): C1 recomposes E(d_min) and, after the first
+                # iteration, re-derives every E(d_i) from its bit vector.
+                enc_dmin = recompose_from_encrypted_bits(min_bits)
+                if iteration > 0 and self.reexpand_each_iteration:
+                    encrypted_distances = [
+                        recompose_from_encrypted_bits(bits)
+                        for bits in distance_bits
+                    ]
 
-            # tau_i = E(r_i * (d_min - d_i)), permuted before leaving C1.
-            pk = self.public_key
-            differences = pk.add_batch(
-                [enc_dmin] * n, pk.scalar_mul_batch(encrypted_distances, -1))
-            randomized = pk.scalar_mul_batch(
-                differences, [c1.random_nonzero() for _ in range(n)])
-            permutation = list(range(n))
-            c1.rng.shuffle(permutation)
-            beta = [randomized[j] for j in permutation]
-            c1.send(beta, tag="SkNNm.randomized_differences")
+                # tau_i = E(r_i * (d_min - d_i)), permuted before leaving C1.
+                pk = self.public_key
+                differences = pk.add_batch(
+                    [enc_dmin] * n,
+                    pk.scalar_mul_batch(encrypted_distances, -1))
+                randomized = pk.scalar_mul_batch(
+                    differences, [c1.random_nonzero() for _ in range(n)])
+                permutation = list(range(n))
+                c1.rng.shuffle(permutation)
+                beta = [randomized[j] for j in permutation]
+                c1.send(beta, tag="SkNNm.randomized_differences")
 
-            # Step 3(c): C2 marks the zero entry with an encrypted 1.
-            self.p2_step("SkNNm.randomized_differences")
+                # Step 3(c): C2 marks the zero entry with an encrypted 1.
+                self.p2_step("SkNNm.randomized_differences")
 
-            # Step 3(d): C1 un-permutes U into V and extracts the record.
-            received_u = c1.receive(expected_tag="SkNNm.indicator")
-            indicator_v: list[Ciphertext | None] = [None] * n
-            for position, original_index in enumerate(permutation):
-                indicator_v[original_index] = received_u[position]
-            extracted = self._extract_record(indicator_v)
+                # Step 3(d): C1 un-permutes U into V.
+                received_u = c1.receive(expected_tag="SkNNm.indicator")
+                indicator_v: list[Ciphertext | None] = [None] * n
+                for position, original_index in enumerate(permutation):
+                    indicator_v[original_index] = received_u[position]
+            with _profiling.cost_scope("extract"):
+                extracted = self._extract_record(indicator_v)
             encrypted_results.append(extracted)
 
             # Step 3(e): obliviously set the chosen record's distance to max.
             if iteration < k - 1:
-                distance_bits = self._eliminate_selected(indicator_v, distance_bits)
+                with _profiling.cost_scope("eliminate"):
+                    distance_bits = self._eliminate_selected(
+                        indicator_v, distance_bits)
 
         # Steps 4-6 of Algorithm 5: deliver the k encrypted records to Bob.
         return self._deliver_records(encrypted_results)

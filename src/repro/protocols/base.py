@@ -28,6 +28,7 @@ from repro.exceptions import ProtocolError
 from repro.network.party import DecryptorParty, EvaluatorParty, TwoPartySetting
 from repro.network.stats import ProtocolRunStats
 from repro.telemetry import metrics as _metrics
+from repro.telemetry import profiling as _profiling
 from repro.telemetry import tracing as _tracing
 
 __all__ = ["P2StepDispatcher", "TwoPartyProtocol", "ProtocolResult",
@@ -106,12 +107,18 @@ class P2StepDispatcher:
         return None
 
     def dispatch_p2(self, tag: str) -> Any:
-        """Execute the P2 handler registered for ``tag`` unconditionally."""
+        """Execute the P2 handler registered for ``tag`` unconditionally.
+
+        The handler body is C2's work, so when a cost ledger is armed the
+        step runs under a ``party="C2"`` scope — this is what gives the
+        serial runtime (both parties in-process) its C2-attributed phases.
+        """
         method_name = self.P2_STEPS.get(tag)
         if method_name is None:
             raise ProtocolError(
                 f"{self.name}: no P2 step registered for tag {tag!r}")
-        return getattr(self, method_name)()
+        with _profiling.cost_scope(tag.split(".", 1)[0], party="C2"):
+            return getattr(self, method_name)()
 
     def collect_p2_handlers(self) -> "dict[str, Any]":
         """All P2 handlers of this protocol and its sub-protocols, by tag.
@@ -279,10 +286,13 @@ class TwoPartyProtocol(P2StepDispatcher):
         Always increments ``repro_protocol_rounds_total{protocol,operation}``
         and returns a trace span named ``<name>.<operation>`` — a shared
         no-op object when no query trace is active, so instrumenting hot
-        paths unconditionally is free.
+        paths unconditionally is free.  When a cost ledger is armed the
+        span is paired with a ``cost_scope(self.name)``, attributing the
+        round's counter deltas and wall time to this sub-protocol.
         """
         record_round(self.name, operation)
-        return _tracing.span(f"{self.name}.{operation}", **attributes)
+        span = _tracing.span(f"{self.name}.{operation}", **attributes)
+        return _profiling.wrap_span(span, self.name)
 
     def run_instrumented(self, *args: Any, **kwargs: Any) -> ProtocolResult:
         """Run the protocol and collect operation/traffic statistics.

@@ -38,21 +38,31 @@ from repro.telemetry.tracing import (
 )
 from repro.telemetry.logs import SlowQueryLog, configure_json_logging
 from repro.telemetry.httpd import MetricsHTTPServer
+from repro.telemetry.profiling import (
+    CostLedger,
+    SamplingProfiler,
+    cost_scope,
+    record_phase_metrics,
+)
 
 __all__ = [
+    "CostLedger",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "MetricsHTTPServer",
+    "SamplingProfiler",
     "SlowQueryLog",
     "Span",
     "Tracer",
     "configure_json_logging",
+    "cost_scope",
     "current_wire_context",
     "get_registry",
     "get_tracer",
     "new_trace_id",
+    "record_phase_metrics",
     "reset_registry",
     "span",
 ]

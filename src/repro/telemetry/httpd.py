@@ -8,6 +8,14 @@ side port:
 * ``GET /stats``   — JSON: the registry snapshot plus any extra
   provider-supplied sections (daemon stats, slow-query log).
 * ``GET /healthz`` — liveness probe, returns ``ok``.
+* ``GET /profile?seconds=N`` — collapsed stacks from the sampling profiler
+  over an N-second window (flamegraph.pl input format); uses the armed
+  profiler when the owner has one, else an ephemeral sampler.
+
+Unknown paths get a 404 with a JSON error body.  The registry is resolved
+per request (not bound at construction) so a ``reset_registry()`` — e.g.
+test isolation inside the same process — never leaves the listener serving
+a stale, half-cleared snapshot.
 
 Built on :class:`http.server.ThreadingHTTPServer`; no dependencies, no
 access logging noise, daemon threads only — closing the owner tears the
@@ -19,7 +27,8 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Mapping
+from typing import Any, Callable, Mapping
+from urllib.parse import parse_qs
 
 from repro.telemetry.metrics import MetricsRegistry, get_registry
 
@@ -44,7 +53,7 @@ class _Handler(BaseHTTPRequestHandler):
         return None
 
     def do_GET(self) -> None:
-        path = self.path.split("?", 1)[0]
+        path, _, query = self.path.partition("?")
         owner: MetricsHTTPServer = self.server.owner  # type: ignore[attr-defined]
         if path == "/metrics":
             body = owner.registry.render_prometheus().encode("utf-8")
@@ -55,8 +64,23 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(200, "application/json", body)
         elif path == "/healthz":
             self._reply(200, "text/plain", b"ok\n")
+        elif path == "/profile":
+            params = parse_qs(query)
+            try:
+                seconds = float(params.get("seconds", ["1.0"])[0])
+            except ValueError:
+                self._reply(400, "application/json", json.dumps(
+                    {"error": "seconds must be a number",
+                     "path": self.path}).encode("utf-8") + b"\n")
+                return
+            body = owner.profile_document(seconds).encode("utf-8")
+            self._reply(200, "text/plain; charset=utf-8", body)
         else:
-            self._reply(404, "text/plain", b"not found\n")
+            body = json.dumps({
+                "error": "not found", "path": path,
+                "endpoints": ["/metrics", "/stats", "/healthz", "/profile"],
+            }).encode("utf-8") + b"\n"
+            self._reply(404, "application/json", body)
 
     def _reply(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
@@ -71,21 +95,34 @@ class MetricsHTTPServer:
 
     Args:
         listen: ``HOST:PORT`` (port 0 for ephemeral).
-        registry: metrics registry to expose (default: process-wide).
+        registry: metrics registry to expose; when omitted the *current*
+            process-wide registry is resolved at request time, so scrapes
+            straddling a ``reset_registry()`` see a consistent fresh
+            registry instead of the discarded one.
         extra_stats: optional callback contributing additional JSON
             sections to ``/stats`` (e.g. the daemon's transport stats).
+        profiler: optional armed :class:`SamplingProfiler` backing
+            ``/profile``; without one each scrape runs an ephemeral
+            sampler for its window.
     """
 
     def __init__(self, listen: str = "127.0.0.1:0",
                  registry: MetricsRegistry | None = None,
-                 extra_stats: Callable[[], Mapping] | None = None) -> None:
+                 extra_stats: Callable[[], Mapping] | None = None,
+                 profiler: Any | None = None) -> None:
         host, port = parse_listen_address(listen)
-        self.registry = registry if registry is not None else get_registry()
+        self._registry = registry
+        self.profiler = profiler
         self._extra_stats = extra_stats
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.owner = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry to serve — resolved per access, never stale."""
+        return self._registry if self._registry is not None else get_registry()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -105,6 +142,10 @@ class MetricsHTTPServer:
             except Exception as exc:  # stats must never take the page down
                 document["stats_error"] = repr(exc)
         return document
+
+    def profile_document(self, seconds: float) -> str:
+        from repro.telemetry.profiling import profile_window
+        return profile_window(self.profiler, seconds)["collapsed"]
 
     def start(self) -> "MetricsHTTPServer":
         if self._thread is None:

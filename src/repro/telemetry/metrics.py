@@ -29,6 +29,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
     "get_registry",
     "reset_registry",
 ]
@@ -232,6 +233,33 @@ class _HistogramChild:
             return list(self.counts), self.total, self.count
 
 
+def bucket_quantile(buckets: Sequence[float], counts: Sequence[int],
+                    count: int, q: float) -> float:
+    """Estimate the ``q`` quantile from cumulative histogram buckets.
+
+    Linear interpolation within the containing bucket, the same estimate
+    Prometheus' ``histogram_quantile`` produces: the first bucket
+    interpolates from 0, and observations landing in the ``+Inf`` bucket
+    report the highest finite bound (the best available lower bound).
+    """
+    if count <= 0:
+        return 0.0
+    target = q * count
+    bounds = list(buckets) + [float("inf")]
+    cumulative = 0.0
+    lower = 0.0
+    for bound, bucket_count in zip(bounds, counts):
+        if bucket_count > 0 and cumulative + bucket_count >= target:
+            if bound == float("inf"):
+                return lower
+            fraction = (target - cumulative) / bucket_count
+            return lower + (bound - lower) * fraction
+        cumulative += bucket_count
+        if bound != float("inf"):
+            lower = bound
+    return lower
+
+
 class Histogram(_Family):
     """Distribution of observations (query latency, batch seconds)."""
 
@@ -269,10 +297,13 @@ class Histogram(_Family):
     def snapshot(self) -> dict:
         out = {}
         for values, child in self._items():
-            _, total, count = child.state()
+            counts, total, count = child.state()
             out[",".join(values) or ""] = {
                 "count": count, "sum": total,
                 "mean": (total / count) if count else 0.0,
+                "p50": bucket_quantile(self.buckets, counts, count, 0.50),
+                "p95": bucket_quantile(self.buckets, counts, count, 0.95),
+                "p99": bucket_quantile(self.buckets, counts, count, 0.99),
             }
         return out
 

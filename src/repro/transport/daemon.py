@@ -66,6 +66,7 @@ from repro.resilience.idempotency import ReplyCache
 from repro.resilience.policy import is_retriable
 from repro.telemetry import MetricsHTTPServer, SlowQueryLog
 from repro.telemetry import metrics as telemetry_metrics
+from repro.telemetry import profiling as telemetry_profiling
 from repro.telemetry import tracing as telemetry_tracing
 from repro.transport.channel import TcpChannel
 from repro.transport.framing import deadline_at, recv_frame, send_frame
@@ -393,7 +394,8 @@ class PartyDaemon:
                  io_deadline: float | None = DEFAULT_IO_DEADLINE,
                  state_dir: str | Path | None = None,
                  state_fsync: bool = True,
-                 journal_compact_every: int = 512) -> None:
+                 journal_compact_every: int = 512,
+                 profile: bool = False) -> None:
         if role not in ("c1", "c2"):
             raise ConfigurationError(f"unknown party role {role!r}")
         self.role = role
@@ -426,9 +428,16 @@ class PartyDaemon:
             self._reply_cache = ReplyCache(name=f"{role}-query")
         self._metrics_server: MetricsHTTPServer | None = None
         self.slow_log = SlowQueryLog(threshold_seconds=slow_query_seconds)
-        # C2: per-trace counter snapshots for the telemetry.collect window.
-        self._trace_counters: dict[str, tuple[dict, dict]] = {}
-        self._trace_counters_lock = threading.Lock()
+        #: always-on sampling profiler (``--profile``); ``/profile`` and
+        #: ``transport.profile`` fall back to an ephemeral sampler when off.
+        self.profiler = (telemetry_profiling.SamplingProfiler()
+                         if profile else None)
+        # C2: per-trace cost ledgers for the telemetry.collect window.  The
+        # ledger's construction-time snapshot *is* the counter-delta window
+        # opened by telemetry.trace_begin, so the shipped counters and the
+        # per-phase rows can never disagree.
+        self._trace_ledgers: dict[str, telemetry_profiling.CostLedger] = {}
+        self._trace_ledgers_lock = threading.Lock()
 
         self.codec = WireCodec()
         self.engine: PrecomputeEngine | None = None
@@ -556,9 +565,14 @@ class PartyDaemon:
             self._recover_state()
         if self._listener is None:
             self.bind()
+        if self.profiler is not None:
+            self.profiler.start()
+            logger.info("%s daemon sampling profiler armed (%.0f Hz)",
+                        self.party_name, 1.0 / self.profiler.interval)
         if self.metrics_listen is not None and self._metrics_server is None:
             self._metrics_server = MetricsHTTPServer(
-                self.metrics_listen, extra_stats=self._handle_stats).start()
+                self.metrics_listen, extra_stats=self._handle_stats,
+                profiler=self.profiler).start()
             logger.info("%s daemon metrics at %s/metrics",
                         self.party_name, self._metrics_server.url)
         telemetry_metrics.get_registry().add_collector(self._collect_metrics)
@@ -648,6 +662,8 @@ class PartyDaemon:
         self._stop.set()
         telemetry_metrics.get_registry().remove_collector(
             self._collect_metrics)
+        if self.profiler is not None:
+            self.profiler.stop()
         if self._metrics_server is not None:
             self._metrics_server.close()
             self._metrics_server = None
@@ -812,10 +828,19 @@ class PartyDaemon:
             # The envelope's trace context parents this handler's span
             # under the C1-side span that sent the frame.
             trace_context = channel.next_trace()
+            ledger = self._ledger_for(trace_context)
             try:
                 with tracer.remote_span(f"p2.{tag}", trace_context,
                                         party="C2"):
-                    handler()
+                    if ledger is not None:
+                        # Activate per dispatch: ops between frames (e.g.
+                        # the background pool producer) still count, but
+                        # C2's idle wait time never does.
+                        with ledger.activate(), telemetry_profiling.cost_scope(
+                                tag.split(".", 1)[0], party="C2"):
+                            handler()
+                    else:
+                        handler()
                 steps.inc(tag=tag)
             except ReproError as exc:
                 logger.warning("P2 step %s failed: %s", tag, exc)
@@ -828,51 +853,61 @@ class PartyDaemon:
                     break  # the peer that caused the failure is gone
         logger.info("cloud peer from %s disconnected", connection.address)
 
+    def _ledger_for(self, trace_context: Any
+                    ) -> "telemetry_profiling.CostLedger | None":
+        """The per-trace cost ledger for a frame's trace context, if open."""
+        if not trace_context:
+            return None
+        with self._trace_ledgers_lock:
+            return self._trace_ledgers.get(str(trace_context[0]))
+
     def _handle_peer_telemetry(self, tag: str, channel: TcpChannel) -> None:
         """C2's side of the per-query telemetry exchange.
 
-        ``telemetry.trace_begin`` (payload: trace id) snapshots this
-        party's operation counters, opening the delta window for one query.
-        ``telemetry.collect`` (payload: trace id) closes the window and
-        replies with the counter deltas plus every finished span of that
-        trace, which C1 stitches into its ``SkNNRunReport``.
+        ``telemetry.trace_begin`` (payload: trace id) opens the delta
+        window for one query by constructing a per-trace
+        :class:`~repro.telemetry.profiling.CostLedger` over this party's
+        operation counters.  ``telemetry.collect`` (payload: trace id)
+        closes the window and replies with the counter deltas, every
+        finished span of that trace, and the ledger's per-phase cost rows,
+        which C1 stitches into its ``SkNNRunReport``.  The counters are
+        derived *from* the ledger, so the shipped totals always equal the
+        sum of the per-phase rows.
         """
         payload = channel.receive("C2")
         trace_id = str(payload)
         if tag == "telemetry.trace_begin":
             assert self._private_key is not None
-            snapshot = (self._private_key.public_key.counter.snapshot(),
-                        self._private_key.counter.snapshot())
-            with self._trace_counters_lock:
+            extras = ({"pool_hits": self.engine.pool_hit_total}
+                      if self.engine is not None else None)
+            ledger = telemetry_profiling.CostLedger(
+                sources=(self._private_key.public_key.counter,
+                         self._private_key.counter),
+                extras=extras, party="C2")
+            with self._trace_ledgers_lock:
                 # One C1 peer runs one query at a time; the bound guards
                 # against a leaky client that never collects.
-                while len(self._trace_counters) >= 16:
-                    self._trace_counters.pop(next(iter(self._trace_counters)))
-                self._trace_counters[trace_id] = snapshot
+                while len(self._trace_ledgers) >= 16:
+                    self._trace_ledgers.pop(next(iter(self._trace_ledgers)))
+                self._trace_ledgers[trace_id] = ledger
             return
         if tag != "telemetry.collect":
             raise ChannelError(f"unknown telemetry frame {tag!r}")
-        with self._trace_counters_lock:
-            window = self._trace_counters.pop(trace_id, None)
+        with self._trace_ledgers_lock:
+            ledger = self._trace_ledgers.pop(trace_id, None)
         counters: dict[str, int] = {}
-        if window is not None and self._private_key is not None:
-            pk_before, sk_before = window
-            pk_after = self._private_key.public_key.counter.snapshot()
-            sk_after = self._private_key.counter.snapshot()
-            counters = {
-                "encryptions":
-                    pk_after["encryptions"] - pk_before["encryptions"],
-                "exponentiations":
-                    pk_after["exponentiations"] - pk_before["exponentiations"],
-                "homomorphic_additions":
-                    pk_after["homomorphic_additions"]
-                    - pk_before["homomorphic_additions"],
-                "decryptions":
-                    sk_after["decryptions"] - sk_before["decryptions"],
-            }
+        cost_rows: list[dict[str, Any]] = []
+        if ledger is not None:
+            cost_rows = ledger.finish()
+            telemetry_profiling.record_phase_metrics(cost_rows)
+            totals = ledger.total_ops()
+            counters = {op: int(totals.get(op, 0))
+                        for op in ("encryptions", "exponentiations",
+                                   "homomorphic_additions", "decryptions")}
         spans = [span.as_payload()
                  for span in telemetry_tracing.get_tracer().take(trace_id)]
-        channel.send("C2", {"counters": counters, "spans": spans},
+        channel.send("C2", {"counters": counters, "spans": spans,
+                            "cost": cost_rows},
                      tag="telemetry.collect")
 
     def _build_p2_registry(
@@ -944,6 +979,14 @@ class PartyDaemon:
             return {"role": self.role,
                     "prometheus": registry.render_prometheus(),
                     "snapshot": registry.snapshot()}
+        if tag == "transport.profile":
+            seconds = 1.0
+            if isinstance(payload, dict) and "seconds" in payload:
+                seconds = float(payload["seconds"])
+            result = telemetry_profiling.profile_window(
+                self.profiler, seconds, max_seconds=30.0)
+            result["role"] = self.role
+            return result
         if self.role == "c2" and tag == "transport.fetch_share":
             return self.mailbox.fetch(
                 payload["delivery_id"],
@@ -995,6 +1038,12 @@ class PartyDaemon:
             }
         if self._metrics_server is not None:
             stats["metrics_address"] = self._metrics_server.url
+        if self.profiler is not None:
+            stats["profiler"] = {
+                "running": self.profiler.running,
+                "interval": self.profiler.interval,
+                "samples": self.profiler.samples,
+            }
         if self.engine is not None:
             stats["engine"] = self.engine.stats()
         if self._peer_channel is not None:
@@ -1247,6 +1296,10 @@ class PartyDaemon:
                 stats.extra["c2_homomorphic_additions"] = (
                     stats.extra.get("c2_homomorphic_additions", 0) + additions)
             spans.extend(remote.get("spans") or [])
+            # C2's per-phase cost rows join C1's.  Their seconds measure
+            # C2's busy time, which overlaps C1's wait time — only the C1
+            # rows sum to the report's wall clock.
+            report.cost_breakdown.extend(remote.get("cost") or [])
         report.trace = telemetry_tracing.trace_payload(trace_id, spans)
 
     def _peer_failure(self, exc: ChannelError) -> PeerUnavailable:

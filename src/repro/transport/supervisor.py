@@ -61,6 +61,9 @@ class LocalSupervisor:
         metrics: start each daemon with ``--metrics-listen 127.0.0.1:0``
             (an ephemeral Prometheus/stats HTTP listener, discoverable via
             ``transport.stats`` → ``metrics_address``).
+        profile: start each daemon with ``--profile`` (the always-on
+            sampling profiler; scrape collapsed stacks at ``/profile`` on
+            the metrics listener or via ``transport.profile``).
         python: interpreter for the subprocesses (defaults to this one).
         io_deadline: forwarded to each daemon as ``--io-deadline`` (bound
             on mid-protocol peer-channel operations); ``None`` keeps the
@@ -76,10 +79,12 @@ class LocalSupervisor:
                  metrics: bool = False,
                  python: str | None = None,
                  io_deadline: float | None = None,
-                 state_dir: bool | str | Path = False) -> None:
+                 state_dir: bool | str | Path = False,
+                 profile: bool = False) -> None:
         self._python = python or sys.executable
         self._pool_cache = pool_cache
         self._metrics = metrics
+        self._profile = profile
         self._io_deadline = io_deadline
         self._state_dir = state_dir
         self._tempdir: tempfile.TemporaryDirectory | None = None
@@ -132,6 +137,8 @@ class LocalSupervisor:
             command += ["--state-dir", str(self._role_state_dir(role))]
         if self._metrics:
             command += ["--metrics-listen", "127.0.0.1:0"]
+        if self._profile:
+            command += ["--profile"]
         if self._io_deadline is not None:
             command += ["--io-deadline", str(self._io_deadline)]
         environment = dict(os.environ)

@@ -369,3 +369,92 @@ class TestMetricsHTTPServer:
             for thread in threads:
                 thread.join()
         assert results == [200] * 8
+
+
+class TestHistogramQuantiles:
+    def test_bucket_quantile_interpolates_within_buckets(self):
+        from repro.telemetry.metrics import bucket_quantile
+
+        buckets = (1.0, 2.0, 4.0)
+        # 10 observations in (0,1], 10 in (1,2], none beyond.
+        counts = [10, 10, 0, 0]
+        assert bucket_quantile(buckets, counts, 20, 0.50) == pytest.approx(1.0)
+        assert bucket_quantile(buckets, counts, 20, 0.25) == pytest.approx(0.5)
+        assert bucket_quantile(buckets, counts, 20, 0.75) == pytest.approx(1.5)
+
+    def test_bucket_quantile_edge_cases(self):
+        from repro.telemetry.metrics import bucket_quantile
+
+        buckets = (1.0, 2.0)
+        assert bucket_quantile(buckets, [0, 0, 0], 0, 0.5) == 0.0
+        # Every observation beyond the last finite bound clamps to it.
+        assert bucket_quantile(buckets, [0, 0, 5], 5, 0.99) == 2.0
+
+    def test_histogram_snapshot_includes_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.05, 0.5, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        values = hist.snapshot()[""]
+        assert set(values) >= {"count", "sum", "mean", "p50", "p95", "p99"}
+        assert 0.1 < values["p50"] <= 1.0
+        assert 1.0 < values["p99"] <= 10.0
+
+
+class TestHTTPServerHardening:
+    def test_404_carries_json_error_body(self):
+        registry = MetricsRegistry()
+        with MetricsHTTPServer("127.0.0.1:0", registry=registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/nope")
+            assert excinfo.value.code == 404
+            document = json.loads(excinfo.value.read().decode("utf-8"))
+            assert document["error"] == "not found"
+            assert document["path"] == "/nope"
+            assert "/metrics" in document["endpoints"]
+
+    def test_profile_endpoint_serves_collapsed_stacks(self):
+        registry = MetricsRegistry()
+        with MetricsHTTPServer("127.0.0.1:0", registry=registry) as server:
+            # No armed profiler: the endpoint samples with an ephemeral one.
+            status, body = _get(server.url + "/profile?seconds=0.1")
+            assert status == 200
+            for line in body.strip().splitlines():
+                stack, _, count = line.rpartition(" ")
+                assert stack and int(count) > 0
+
+    def test_profile_endpoint_rejects_bad_seconds(self):
+        registry = MetricsRegistry()
+        with MetricsHTTPServer("127.0.0.1:0", registry=registry) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/profile?seconds=bogus")
+            assert excinfo.value.code == 400
+
+    def test_scrapes_survive_concurrent_registry_reset(self):
+        from repro.telemetry.metrics import get_registry, reset_registry
+
+        reset_registry()
+        get_registry().counter("reset_race_total", "").inc()
+        statuses: list[int] = []
+        # registry=None tracks the *global* registry per request.
+        with MetricsHTTPServer("127.0.0.1:0") as server:
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    reset_registry()
+                    get_registry().counter("reset_race_total", "").inc()
+
+            resetter = threading.Thread(target=hammer)
+            resetter.start()
+            try:
+                for _ in range(20):
+                    status, _ = _get(server.url + "/metrics")
+                    statuses.append(status)
+                    status, _ = _get(server.url + "/stats")
+                    statuses.append(status)
+            finally:
+                stop.set()
+                resetter.join()
+        reset_registry()
+        assert statuses == [200] * 40
