@@ -17,6 +17,13 @@ without the randomness pool) over the *same* table and the same query set,
 writes the comparison table to ``benchmarks/results/``, and asserts the full
 service configuration beats the serial baseline.
 
+The distributed rows measure the *cross-machine* data plane: real shard
+daemon subprocesses scatter-gathered by a coordinator C1 against one C2,
+first one query at a time and then with concurrent in-flight queries
+pipelined over the coordinator's pooled C1↔C2 connections.  Those rows are
+informational (no hard assert — subprocess startup dominates at smoke
+scale); their answers are still checked bit-identical to the oracle.
+
 Set ``REPRO_BENCH_QUICK=1`` for a reduced smoke workload (used by CI).
 """
 
@@ -24,16 +31,19 @@ from __future__ import annotations
 
 import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 from random import Random
 
 from benchmarks.conftest import (deploy_measured_system, write_bench_json,
                                  write_result)
 from repro.analysis.reporting import format_table
+from repro.core.roles import DataOwner, QueryClient
 from repro.core.sknn_basic import SkNNBasic
 from repro.crypto.randomness_pool import RandomnessPool
 from repro.db.knn import LinearScanKNN
 from repro.service.scheduler import QueryServer
 from repro.service.sharding import ShardedCloud
+from repro.transport.supervisor import LocalSupervisor
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
 
@@ -97,6 +107,61 @@ def _service_queries_per_second(cloud, queries, shards, workers, backend,
     return len(queries) / elapsed
 
 
+def _distributed_rows(measured_keypair, table, queries, oracle) -> list[dict]:
+    """Queries/sec through real shard-daemon subprocesses, serial vs pipelined.
+
+    One supervisor (2 C1 shard daemons + coordinator + C2, pooled peer
+    connections) serves both measurements; the pipelined row issues every
+    query concurrently from its own client connection, so the in-flight
+    queries overlap on the daemons' multiplexed C1↔C2 links.
+    """
+    owner = DataOwner(table, keypair=measured_keypair, rng=Random(705))
+    client = QueryClient(measured_keypair.public_key, table.dimensions,
+                         rng=Random(707))
+    encrypted = [client.encrypt_query(query) for query in queries]
+    expected = [[tuple(r.record.values) for r in oracle.query(query, BENCH_K)]
+                for query in queries]
+    rows = []
+    with LocalSupervisor(shards=2, peer_connections=BENCH_QUERIES,
+                         io_deadline=120.0) as supervisor:
+        remote = supervisor.provision_from_owner(owner, seed=706)
+        clones = [remote] + [remote.clone()
+                             for _ in range(len(queries) - 1)]
+
+        def run(index: int, concurrency_slot: int) -> list:
+            shares, _ = clones[concurrency_slot].query(
+                encrypted[index], BENCH_K, mode="basic")
+            return [tuple(values) for values in client.reconstruct(shares)]
+
+        try:
+            started = time.perf_counter()
+            serial_answers = [run(index, 0) for index in range(len(queries))]
+            serial_elapsed = time.perf_counter() - started
+
+            with ThreadPoolExecutor(max_workers=len(queries)) as pool:
+                started = time.perf_counter()
+                futures = [pool.submit(run, index, index)
+                           for index in range(len(queries))]
+                pipelined_answers = [future.result() for future in futures]
+                pipelined_elapsed = time.perf_counter() - started
+        finally:
+            for clone in clones[1:]:
+                clone.close()
+    assert serial_answers == expected, "distributed answers diverged"
+    assert pipelined_answers == expected, "pipelined answers diverged"
+    rows.append({
+        "configuration": "distributed 2-shard daemons",
+        "shards": 2, "workers": 1, "batch": 1, "pool": 0,
+        "queries/s": len(queries) / serial_elapsed,
+    })
+    rows.append({
+        "configuration": "distributed 2-shard pipelined",
+        "shards": 2, "workers": len(queries), "batch": 1, "pool": 0,
+        "queries/s": len(queries) / pipelined_elapsed,
+    })
+    return rows
+
+
 def test_service_throughput_vs_seed_serial(benchmark, measured_keypair,
                                            results_dir):
     """The full service config must out-serve the seed's serial path."""
@@ -117,6 +182,8 @@ def test_service_throughput_vs_seed_serial(benchmark, measured_keypair,
                 "queries/s": _service_queries_per_second(
                     cloud, queries, shards, workers, backend, batch, pool),
             })
+        rows.extend(_distributed_rows(measured_keypair, table, queries,
+                                      oracle))
         return rows
 
     rows = benchmark.pedantic(run_grid, rounds=1, iterations=1,
@@ -138,7 +205,7 @@ def test_service_throughput_vs_seed_serial(benchmark, measured_keypair,
     })
 
     serial_qps = rows[0]["queries/s"]
-    full_service_qps = rows[-1]["queries/s"]
+    full_service_qps = rows[len(SERVICE_CONFIGS)]["queries/s"]
     assert full_service_qps > serial_qps, (
         f"service path ({full_service_qps:.2f} q/s) did not beat the seed "
         f"serial path ({serial_qps:.2f} q/s)")

@@ -154,6 +154,45 @@ def bench_sknn_secure(quick: bool) -> dict[str, Any]:
         n_records=n, distance_bits=7, k=2)
 
 
+@register("service_throughput",
+          "sharded scatter-gather serving throughput (2 shards, batched)")
+def bench_service_throughput(quick: bool) -> dict[str, Any]:
+    from repro.service.scheduler import QueryServer
+    from repro.service.sharding import ShardedCloud
+
+    n = 12 if quick else 24
+    n_queries = 2 if quick else 4
+    dimensions, distance_bits, k = 2, 7, 2
+    keypair, cloud, client = _deploy(n, dimensions, distance_bits)
+    rng = Random(7)
+    queries = [[rng.randrange(0, 1 << (distance_bits // 2))
+                for _ in range(dimensions)] for _ in range(n_queries)]
+
+    sharded = ShardedCloud(cloud, shards=2, workers=2, backend="thread")
+    server = QueryServer(sharded, batch_size=n_queries, rng=Random(11))
+    session = server.open_session("bench")
+    try:
+        start = time.perf_counter()
+        pending = [session.submit(query, k) for query in queries]
+        server.flush()
+        answers = [item.result(timeout=600) for item in pending]
+        wall_s = time.perf_counter() - start
+    finally:
+        server.close()
+    if any(len(answer.neighbors) != k for answer in answers):
+        raise RuntimeError("service bench returned a malformed answer")
+    return _record(
+        "service_throughput",
+        {"key_size": KEY_BITS, "n_records": n, "dimensions": dimensions,
+         "distance_bits": distance_bits, "k": k, "queries": n_queries,
+         "shards": 2, "quick": quick},
+        {
+            "wall_s": wall_s,
+            "queries_per_second": n_queries / wall_s if wall_s else 0.0,
+        },
+    )
+
+
 def run_suite(names: Iterable[str] | None = None,
               quick: bool = False) -> list[dict[str, Any]]:
     """Run the selected (default: all) benches, returning history records."""

@@ -221,6 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "collapsed stacks are scrapeable at the metrics "
                             "listener's /profile endpoint and via "
                             "'repro stats --profile'")
+    party.add_argument("--peer-connections", type=int, default=1,
+                       metavar="N",
+                       help="size of a C1 daemon's pool of persistent "
+                            "multiplexed connections to C2; concurrent "
+                            "queries pipeline across the pool (default: 1)")
+    party.add_argument("--shard-index", type=int, default=None, metavar="I",
+                       help="run this C1 daemon as shard I of a horizontally "
+                            "partitioned table (holds one slice, answers "
+                            "transport.scan from a coordinator)")
+    party.add_argument("--shard-count", type=int, default=None, metavar="N",
+                       help="total number of shard daemons in the deployment "
+                            "(required with --shard-index)")
 
     stats = subparsers.add_parser(
         "stats", help="pretty-print a running daemon's live statistics")
@@ -411,7 +423,10 @@ def _run_party(args: argparse.Namespace) -> int:
                          state_dir=args.state_dir,
                          state_fsync=not args.no_state_fsync,
                          journal_compact_every=args.journal_compact_every,
-                         profile=args.profile)
+                         profile=args.profile,
+                         peer_connections=args.peer_connections,
+                         shard_index=args.shard_index,
+                         shard_count=args.shard_count)
     daemon.serve_forever()
     return 0
 
@@ -420,7 +435,16 @@ def _render_daemon_stats(stats: dict) -> str:
     """Human-readable rendering of one daemon's ``transport.stats`` payload."""
     lines = [f"role: {stats.get('role', '?')}  "
              f"provisioned: {stats.get('provisioned', False)}  "
-             f"pending shares: {stats.get('pending_shares', 0)}"]
+             f"pending shares: {stats.get('pending_shares', 0)}  "
+             f"inflight queries: {stats.get('inflight_queries', 0)}"]
+    shard = stats.get("shard")
+    if shard:
+        lines.append(f"shard: {shard['index']}/{shard['count']} "
+                     f"(records from global index {shard['start_index']})")
+    if stats.get("shards"):
+        lines.append(f"coordinating shards: {', '.join(stats['shards'])}")
+    if stats.get("pending_scans"):
+        lines.append(f"pending shard scans: {stats['pending_scans']}")
     if stats.get("metrics_address"):
         lines.append(f"metrics: {stats['metrics_address']}/metrics")
     resilience = stats.get("resilience")
@@ -439,6 +463,18 @@ def _render_daemon_stats(stats: dict) -> str:
         lines.append(f"peer link: {traffic['messages']} messages, "
                      f"{traffic['ciphertexts']} ciphertexts, "
                      f"{traffic['bytes_transferred']} bytes")
+    connections = stats.get("peer_connections")
+    if connections:
+        target = stats.get("peer_connections_target")
+        lines.append("peer connections"
+                     + (f" (target {target})" if target else "") + ":")
+        rows = [{"conn": entry["index"],
+                 "alive": entry["alive"],
+                 "contexts": entry["active_contexts"],
+                 "messages": entry["messages"],
+                 "bytes": entry["bytes_transferred"]}
+                for entry in connections]
+        lines.append(format_table(rows).rstrip("\n"))
     by_tag = stats.get("traffic_by_tag")
     if by_tag:
         rows = [{"tag": tag, "messages": counts["messages"],

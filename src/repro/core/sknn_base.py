@@ -22,6 +22,7 @@ from typing import Any, Sequence
 
 from repro.core.cloud import FederatedCloud
 from repro.core.roles import ResultShares
+from repro.crypto import paillier as _paillier
 from repro.crypto.paillier import Ciphertext
 from repro.db.encrypted_table import EncryptedTable
 from repro.exceptions import QueryError
@@ -52,32 +53,50 @@ class RunStatsRecorder:
     use (e.g. sessions encrypting queries while a batch executes) the deltas
     attribute any overlapping client-side operations to the cloud side —
     they are exact in single-threaded runs and approximate under concurrency.
+
+    Exception: when the executing thread has an active *counting scope*
+    (see :func:`repro.crypto.paillier.counting_scope` — a C1 daemon wraps
+    every pipelined query handler in one), the scope counter is the sole
+    source: it tees exactly this thread's operations off the shared key
+    counters, so per-query deltas stay exact even with N queries in flight.
     """
 
     def __init__(self, cloud: FederatedCloud) -> None:
         self.cloud = cloud
-        self._pk_before = cloud.c1.public_key.counter.snapshot()
-        self._sk_before = cloud.c2.private_key.counter.snapshot()
+        self._scope = _paillier.active_counting_scope()
+        if self._scope is not None:
+            self._scope_before = self._scope.snapshot()
+        else:
+            self._pk_before = cloud.c1.public_key.counter.snapshot()
+            self._sk_before = cloud.c2.private_key.counter.snapshot()
         self._traffic_before = cloud.channel.total_traffic().snapshot()
 
     def finish(self, protocol: str, elapsed: float) -> ProtocolRunStats:
         """Diff the counters against the construction-time snapshot."""
-        pk_after = self.cloud.c1.public_key.counter.snapshot()
-        sk_after = self.cloud.c2.private_key.counter.snapshot()
+        if self._scope is not None:
+            scope_after = self._scope.snapshot()
+            pk_after = scope_after
+            sk_after = scope_after
+            pk_before = sk_before = self._scope_before
+        else:
+            pk_after = self.cloud.c1.public_key.counter.snapshot()
+            sk_after = self.cloud.c2.private_key.counter.snapshot()
+            pk_before = self._pk_before
+            sk_before = self._sk_before
         traffic_after = self.cloud.channel.total_traffic().snapshot()
         return ProtocolRunStats(
             protocol=protocol,
             wall_time_seconds=elapsed,
-            c1_encryptions=pk_after["encryptions"] - self._pk_before["encryptions"],
+            c1_encryptions=pk_after["encryptions"] - pk_before["encryptions"],
             c1_exponentiations=(
-                pk_after["exponentiations"] - self._pk_before["exponentiations"]
+                pk_after["exponentiations"] - pk_before["exponentiations"]
             ),
             c1_homomorphic_additions=(
                 pk_after["homomorphic_additions"]
-                - self._pk_before["homomorphic_additions"]
+                - pk_before["homomorphic_additions"]
             ),
             c2_decryptions=(
-                sk_after["decryptions"] - self._sk_before["decryptions"]
+                sk_after["decryptions"] - sk_before["decryptions"]
             ),
             messages=traffic_after["messages"] - self._traffic_before["messages"],
             ciphertexts_exchanged=(

@@ -27,9 +27,10 @@ Implementation notes
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from random import Random
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import used for annotations only
     from repro.crypto.randomness_pool import RandomnessPool
@@ -50,12 +51,50 @@ __all__ = [
     "PaillierKeyPair",
     "Ciphertext",
     "generate_keypair",
+    "counting_scope",
+    "active_counting_scope",
     "DEFAULT_KEY_SIZE",
 ]
 
 #: Default modulus size (bits).  The paper evaluates K = 512 and K = 1024;
 #: tests use smaller keys for speed and benchmarks choose explicitly.
 DEFAULT_KEY_SIZE = 512
+
+#: the four counted operation kinds, in report order
+_COUNTED_OPS = ("encryptions", "decryptions", "exponentiations",
+                "homomorphic_additions")
+
+# Thread-local counting scope: while a scope is active on a thread, every
+# counter *increment* performed on that thread (through any key object) is
+# additionally teed into the scope's counter.  This is how a daemon serving
+# several pipelined queries on worker threads keeps per-query operation
+# counts exact: the shared root-key counters keep their cumulative totals,
+# and each query's thread-scoped counter sees exactly its own work —
+# including pool consumption, which is charged to the root key at consume
+# time deep inside the precompute engine.
+_COUNTING_SCOPE = threading.local()
+
+
+def active_counting_scope() -> "OperationCounter | None":
+    """The :class:`OperationCounter` scoped to this thread, or ``None``."""
+    return getattr(_COUNTING_SCOPE, "counter", None)
+
+
+@contextmanager
+def counting_scope(counter: "OperationCounter") -> Iterator["OperationCounter"]:
+    """Tee this thread's crypto-operation increments into ``counter``.
+
+    Scopes nest by shadowing: the innermost scope on a thread receives the
+    deltas (exactly once — there is no cascading), and the previous scope is
+    restored on exit.  Only positive deltas are teed, so a ``reset()`` on a
+    root counter never subtracts from a scope.
+    """
+    previous = getattr(_COUNTING_SCOPE, "counter", None)
+    _COUNTING_SCOPE.counter = counter
+    try:
+        yield counter
+    finally:
+        _COUNTING_SCOPE.counter = previous
 
 
 @dataclass
@@ -65,12 +104,28 @@ class OperationCounter:
     The paper reports protocol complexity in terms of *encryptions*,
     *decryptions* and *exponentiations* (Section 4.4).  A counter instance is
     attached to each key object, and protocol-level statistics aggregate them.
+    Increments additionally land in the thread's active
+    :func:`counting_scope`, which is how per-query statistics stay exact when
+    several queries share one key on different threads.
     """
 
     encryptions: int = 0
     decryptions: int = 0
     exponentiations: int = 0
     homomorphic_additions: int = 0
+
+    def __setattr__(self, name: str, value: int) -> None:
+        # Tee positive deltas of established count fields into the active
+        # thread scope.  First assignment (during __init__) has no previous
+        # value in __dict__ and is deliberately not teed, so constructing a
+        # merged/snapshot counter inside a scope does not double-count.
+        if name in self.__dict__:
+            scope = getattr(_COUNTING_SCOPE, "counter", None)
+            if scope is not None and scope is not self:
+                delta = value - self.__dict__[name]
+                if delta > 0:
+                    scope.__dict__[name] = scope.__dict__.get(name, 0) + delta
+        self.__dict__[name] = value
 
     def reset(self) -> None:
         """Zero all counters."""

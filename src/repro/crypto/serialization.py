@@ -228,49 +228,63 @@ def payload_from_jsonable(data: Any,
 
 def message_envelope_to_bytes(sender: str, recipient: str, tag: str,
                               payload: Any,
-                              trace: Any = None) -> bytes:
+                              trace: Any = None,
+                              context: str | None = None) -> bytes:
     """Encode one channel message as compact UTF-8 JSON bytes.
 
     The envelope is the four-element array ``[sender, recipient, tag,
     encoded-payload]``; when a distributed trace is active a fifth element
     ``[trace_id, span_id]`` rides along so the receiving daemon can stitch
-    its spans into the originating query's trace.  This is the exact byte
-    sequence the TCP transport frames, and the in-memory channel sizes its
-    accounting with it.
+    its spans into the originating query's trace.  A sixth element — the
+    query-context id — appears when the frame belongs to one of several
+    pipelined in-flight queries multiplexed over a single peer connection
+    (the fifth element is ``null`` when a context rides without a trace).
+    This is the exact byte sequence the TCP transport frames, and the
+    in-memory channel sizes its accounting with it.
     """
     envelope = [sender, recipient, tag, payload_to_jsonable(payload)]
     if trace is not None:
         envelope.append([str(part) for part in trace])
+    if context is not None:
+        if trace is None:
+            envelope.append(None)
+        envelope.append(str(context))
     return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
 
 
 def message_envelope_from_bytes(
     body: bytes, public_key: PaillierPublicKey | None
-) -> tuple[str, str, str, Any, list[str] | None]:
+) -> tuple[str, str, str, Any, list[str] | None, str | None]:
     """Decode :func:`message_envelope_to_bytes` output.
 
     Returns:
-        ``(sender, recipient, tag, payload, trace)`` where ``trace`` is
-        the optional ``[trace_id, span_id]`` context (``None`` when the
+        ``(sender, recipient, tag, payload, trace, context)`` where
+        ``trace`` is the optional ``[trace_id, span_id]`` pair and
+        ``context`` the optional query-context id (both ``None`` when the
         envelope carried the plain four-element form).
     """
     try:
         envelope = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SerializationError(f"undecodable message envelope: {exc}") from exc
-    if (not isinstance(envelope, list) or len(envelope) not in (4, 5)
+    if (not isinstance(envelope, list) or len(envelope) not in (4, 5, 6)
             or not all(isinstance(part, str) for part in envelope[:3])):
         raise SerializationError("malformed message envelope")
     trace: list[str] | None = None
-    if len(envelope) == 5:
-        context = envelope[4]
-        if (not isinstance(context, list) or len(context) != 2
-                or not all(isinstance(part, str) for part in context)):
+    if len(envelope) >= 5 and envelope[4] is not None:
+        trace_part = envelope[4]
+        if (not isinstance(trace_part, list) or len(trace_part) != 2
+                or not all(isinstance(part, str) for part in trace_part)):
             raise SerializationError("malformed trace context in envelope")
-        trace = context
+        trace = trace_part
+    context: str | None = None
+    if len(envelope) == 6 and envelope[5] is not None:
+        if not isinstance(envelope[5], str):
+            raise SerializationError("malformed query context in envelope")
+        context = envelope[5]
     sender, recipient, tag, payload = envelope[:4]
     return (sender, recipient, tag,
-            payload_from_jsonable(payload, public_key), trace)
+            payload_from_jsonable(payload, public_key), trace, context)
 
 
 def dumps(data: dict[str, Any]) -> str:

@@ -56,6 +56,9 @@ class Message:
             (possibly nested) list/tuple of those.
         trace: optional ``(trace_id, span_id)`` distributed-tracing context
             stamped on the envelope while a query trace is active.
+        context: optional query-context id stamped on frames that belong to
+            one of several pipelined in-flight queries sharing a connection
+            (``None`` on the in-memory channel and plain TCP channels).
     """
 
     sender: str
@@ -63,6 +66,7 @@ class Message:
     tag: str
     payload: Any
     trace: tuple[str, str] | None = None
+    context: str | None = None
 
 
 def _count_payload(payload: Any) -> tuple[int, int]:
@@ -100,7 +104,7 @@ def message_wire_size(message: Message) -> int:
     try:
         body = message_envelope_to_bytes(
             message.sender, message.recipient, message.tag, message.payload,
-            trace=message.trace)
+            trace=message.trace, context=message.context)
     except SerializationError as exc:
         raise ChannelError(str(exc)) from exc
     return FRAME_HEADER_BYTES + len(body)

@@ -201,13 +201,28 @@ class CostLedger:
         counters) are local; on a C1 daemon the remote private key carries
         an always-zero counter, so only C1-local work is ledgered here and
         C2's rows arrive through the ``telemetry.collect`` exchange.
+
+        When the calling thread has an active *counting scope* (a daemon
+        running pipelined queries wraps each query thread in one, see
+        :func:`repro.crypto.paillier.counting_scope`), the scope counter is
+        the sole source: the shared key counters mix every in-flight
+        query's operations, while the scope tees off exactly this thread's.
         """
-        sources: list[Any] = []
-        for key in (getattr(getattr(cloud, "c1", None), "public_key", None),
-                    getattr(getattr(cloud, "c2", None), "private_key", None)):
-            counter = getattr(key, "counter", None) if key is not None else None
-            if counter is not None and counter not in sources:
-                sources.append(counter)
+        from repro.crypto import paillier as _paillier
+
+        scope = _paillier.active_counting_scope()
+        if scope is not None:
+            sources: list[Any] = [scope]
+        else:
+            sources = []
+            for key in (getattr(getattr(cloud, "c1", None), "public_key",
+                                None),
+                        getattr(getattr(cloud, "c2", None), "private_key",
+                                None)):
+                counter = (getattr(key, "counter", None)
+                           if key is not None else None)
+                if counter is not None and counter not in sources:
+                    sources.append(counter)
 
         def pool_hits() -> int:
             total = 0

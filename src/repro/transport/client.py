@@ -27,6 +27,7 @@ from typing import Any, Sequence
 
 from repro.core.roles import ResultShares
 from repro.core.sknn_base import SkNNRunReport
+from repro.core.sknn_shard import shard_table
 from repro.crypto.paillier import Ciphertext, PaillierKeyPair
 from repro.crypto.serialization import private_key_to_dict
 from repro.db.encrypted_table import EncryptedTable
@@ -231,10 +232,15 @@ class RemoteCloud:
                  fetch_timeout: float = DEFAULT_FETCH_TIMEOUT,
                  retry: RetryPolicy | None = None,
                  request_deadline: float | None = None,
-                 rng: Random | None = None) -> None:
+                 rng: Random | None = None,
+                 shard_addresses: Sequence[tuple[str, int]] | None = None
+                 ) -> None:
         self.codec = WireCodec()
         self.c1_address = c1_address
         self.c2_address = c2_address
+        self.shard_addresses = ([(host, int(port))
+                                 for host, port in shard_addresses]
+                                if shard_addresses else None)
         self.fetch_timeout = fetch_timeout
         self.retry = retry if retry is not None else RetryPolicy()
         self.request_deadline = request_deadline
@@ -245,6 +251,12 @@ class RemoteCloud:
         self.c2 = DaemonClient(c2_address, self.codec,
                                request_deadline=request_deadline,
                                rng=self._rng)
+        #: control connections to the shard C1 daemons (provision/stats
+        #: only — queries go through the coordinator, which scatters).
+        self.shards = [DaemonClient(address, self.codec,
+                                    request_deadline=request_deadline,
+                                    rng=self._rng)
+                       for address in (self.shard_addresses or [])]
         #: populated by :meth:`provision` (or :meth:`adopt_public_key`)
         self.table_size: int | None = None
         self.dimensions: int | None = None
@@ -273,6 +285,12 @@ class RemoteCloud:
         :class:`~repro.crypto.precompute.PrecomputeEngine` sized for that
         many queries (C1 evaluator pools, C2 decryptor pools) — the offline
         work happens in the daemons, where the pools live.
+
+        With ``shard_addresses`` configured, each shard daemon receives its
+        horizontal slice of the table (sliced with the same ``divmod``
+        arithmetic as the in-process sharded store) plus its global start
+        index, and the coordinator C1 additionally learns the shard
+        addresses so queries scatter the distance scan across machines.
         """
         if encrypted_table.public_key != keypair.public_key:
             raise ConfigurationError(
@@ -298,12 +316,38 @@ class RemoteCloud:
             "precompute": (dict(load, sbd_bit_length=distance_bits)
                            if precompute_queries > 0 else None),
         }
+        shard_payloads: list[dict[str, Any]] = []
+        if self.shard_addresses:
+            c1_payload["shards"] = [[host, port]
+                                    for host, port in self.shard_addresses]
+            shard_count = len(self.shard_addresses)
+            for index in range(shard_count):
+                slice_table, start_index = shard_table(
+                    encrypted_table, index, shard_count)
+                shard_payloads.append({
+                    "encrypted_table": slice_table.to_dict(),
+                    "distance_bits": distance_bits,
+                    "c2_address": [self.c2_address[0], self.c2_address[1]],
+                    "seed": seed + 2 + index if seed is not None else None,
+                    "shard_index": index,
+                    "shard_count": shard_count,
+                    "start_index": start_index,
+                    "precompute": None,  # shards run only the SSED scan
+                })
         c2_reply = self.c2.request("transport.provision", c2_payload)
         # Only now can ciphertexts travel on these connections.
         self.codec.public_key = keypair.public_key
+        shard_replies = [
+            client.request("transport.provision", payload)
+            for client, payload in zip(self.shards, shard_payloads)
+        ]
         c1_reply = self.c1.request("transport.provision", c1_payload)
-        self._provision_payloads = {"c1": c1_payload, "c2": c2_payload}
-        return {"c1": c1_reply, "c2": c2_reply}
+        self._provision_payloads = {"c1": c1_payload, "c2": c2_payload,
+                                    "shards": shard_payloads}
+        reply = {"c1": c1_reply, "c2": c2_reply}
+        if shard_replies:
+            reply["shards"] = shard_replies
+        return reply
 
     def ensure_provisioned(self) -> None:
         """Re-provision any daemon that lost its state (e.g. restarted).
@@ -318,6 +362,10 @@ class RemoteCloud:
         if not self.c2.request("transport.ping", None).get("provisioned"):
             self.c2.request("transport.provision",
                             self._provision_payloads["c2"])
+        for client, payload in zip(self.shards,
+                                   self._provision_payloads.get("shards", [])):
+            if not client.request("transport.ping", None).get("provisioned"):
+                client.request("transport.provision", payload)
         if not self.c1.request("transport.ping", None).get("provisioned"):
             self.c1.request("transport.provision",
                             self._provision_payloads["c1"])
@@ -336,7 +384,8 @@ class RemoteCloud:
         other = RemoteCloud(self.c1_address, self.c2_address,
                             fetch_timeout=self.fetch_timeout,
                             retry=self.retry,
-                            request_deadline=self.request_deadline)
+                            request_deadline=self.request_deadline,
+                            shard_addresses=self.shard_addresses)
         other.codec.public_key = self.codec.public_key
         other.table_size = self.table_size
         other.dimensions = self.dimensions
@@ -480,9 +529,13 @@ class RemoteCloud:
 
     # -- maintenance -----------------------------------------------------------
     def stats(self) -> dict[str, Any]:
-        """Both daemons' introspection payloads."""
-        return {"c1": self.c1.request("transport.stats", None),
-                "c2": self.c2.request("transport.stats", None)}
+        """Every daemon's introspection payload."""
+        stats = {"c1": self.c1.request("transport.stats", None),
+                 "c2": self.c2.request("transport.stats", None)}
+        if self.shards:
+            stats["shards"] = [client.request("transport.stats", None)
+                               for client in self.shards]
+        return stats
 
     def metrics(self) -> dict[str, Any]:
         """Both daemons' metric registries (Prometheus text + snapshot)."""
@@ -490,8 +543,8 @@ class RemoteCloud:
                 "c2": self.c2.request("transport.metrics", None)}
 
     def shutdown_daemons(self) -> None:
-        """Ask both daemons to exit (best effort)."""
-        for client in (self.c1, self.c2):
+        """Ask every daemon to exit (best effort)."""
+        for client in (*self.shards, self.c1, self.c2):
             try:
                 client.request("transport.shutdown", None)
             except ChannelError:
@@ -501,6 +554,8 @@ class RemoteCloud:
         """Close the control connections (daemons keep running)."""
         self.c1.close()
         self.c2.close()
+        for client in self.shards:
+            client.close()
 
 
 class RemoteProtocol:

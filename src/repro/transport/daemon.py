@@ -42,7 +42,16 @@ from typing import Any, Callable
 from repro.core.cloud import CloudC1, CloudC2, FederatedCloud
 from repro.core.sknn_basic import SkNNBasic
 from repro.core.sknn_secure import SkNNSecure
-from repro.crypto.paillier import Ciphertext, OperationCounter
+from repro.core.sknn_shard import (
+    ScanRegistry,
+    ShardCoordinatorProtocol,
+    ShardScanProtocol,
+)
+from repro.crypto.paillier import (
+    Ciphertext,
+    OperationCounter,
+    counting_scope,
+)
 from repro.crypto.precompute import PrecomputeConfig, PrecomputeEngine
 from repro.crypto.serialization import (
     payload_from_jsonable,
@@ -68,8 +77,8 @@ from repro.telemetry import MetricsHTTPServer, SlowQueryLog
 from repro.telemetry import metrics as telemetry_metrics
 from repro.telemetry import profiling as telemetry_profiling
 from repro.telemetry import tracing as telemetry_tracing
-from repro.transport.channel import TcpChannel
 from repro.transport.framing import deadline_at, recv_frame, send_frame
+from repro.transport.mux import MuxChannel, MuxConnection, PeerPool
 from repro.transport.wire import WireCodec
 
 __all__ = ["PartyDaemon", "ShareMailbox", "DurableShareMailbox",
@@ -395,11 +404,32 @@ class PartyDaemon:
                  state_dir: str | Path | None = None,
                  state_fsync: bool = True,
                  journal_compact_every: int = 512,
-                 profile: bool = False) -> None:
+                 profile: bool = False,
+                 peer_connections: int = 1,
+                 shard_index: int | None = None,
+                 shard_count: int | None = None) -> None:
         if role not in ("c1", "c2"):
             raise ConfigurationError(f"unknown party role {role!r}")
+        if shard_index is not None and role != "c1":
+            raise ConfigurationError("only C1 daemons can be shards")
+        if (shard_index is None) != (shard_count is None):
+            raise ConfigurationError(
+                "--shard-index and --shard-count go together")
+        if shard_index is not None and not (
+                0 <= shard_index < (shard_count or 0)):
+            raise ConfigurationError(
+                f"shard_index {shard_index} out of range for "
+                f"{shard_count} shards")
         self.role = role
         self.party_name = role.upper()
+        #: how many persistent multiplexed connections the C1 side keeps to
+        #: C2 — pipelining comes from per-query contexts either way, extra
+        #: connections spread the socket-level send serialization.
+        self.peer_connections = max(int(peer_connections), 1)
+        #: shard identity of a C1 shard daemon (``None`` on a plain C1 or
+        #: coordinator); the provision payload must agree.
+        self.shard_index = shard_index
+        self.shard_count = shard_count
         self.host = host
         self.port = port
         self.port_file = Path(port_file) if port_file is not None else None
@@ -412,8 +442,11 @@ class PartyDaemon:
         self._started_at = time.monotonic()
         #: this process's delivery-id epoch (C1 only): sent in the cloud
         #: hello so C2 wipes its mailbox exactly when the id counter
-        #: restarted, not on every reconnect of the same process.
-        self.epoch = uuid.uuid4().hex if role == "c1" else None
+        #: restarted, not on every reconnect of the same process.  Shard
+        #: daemons never mint delivery ids, so they carry no epoch and
+        #: their hellos leave the coordinator's mailbox alone.
+        self.epoch = (uuid.uuid4().hex
+                      if role == "c1" and shard_index is None else None)
         if self.state_dir is not None:
             self.state_dir.mkdir(parents=True, exist_ok=True)
         # Idempotent replay of completed transport.query/query_batch
@@ -453,15 +486,24 @@ class PartyDaemon:
 
         # C2 state
         self._private_key = None
+        #: rendezvous of shard candidate filings across peer connections
+        self._scan_registry = ScanRegistry(
+            timeout=io_deadline if io_deadline is not None else 120.0)
+        #: accepted cloud-peer connections (C2), for stats and shutdown
+        self._peer_links: list[MuxConnection] = []
         # C1 state
-        self._cloud: FederatedCloud | None = None
-        self._protocols: dict[str, Any] = {}
-        self._peer_channel: TcpChannel | None = None
+        self._peer_pool: PeerPool | None = None
         # Provisioned inputs kept so a failed peer link can be re-dialled
         # and the protocol stack rebuilt without a client re-provision.
         self._table: EncryptedTable | None = None
         self._c2_address: tuple[str, int] | None = None
-        self._query_lock = threading.Lock()
+        #: coordinator mode: addresses of the C1 shard daemons to scatter to
+        self._shard_addresses: list[tuple[str, int]] | None = None
+        #: shard mode: this slice's global start index (from provisioning)
+        self._start_index = 0
+        self._rng_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
@@ -617,14 +659,44 @@ class PartyDaemon:
             hits.set(sum(stats.get("misses", {}).values())
                      + stats.get("obfuscator_misses", 0),
                      role=role, outcome="miss")
-        if self._peer_channel is not None:
-            traffic = self._peer_channel.total_traffic()
+        links = self._peer_connections_snapshot()
+        if links:
+            traffic = self._peer_traffic_total(links)
             wire = registry.gauge(
                 "repro_wire", "Cloud-to-cloud traffic on the peer link.",
                 ("role", "unit"))
             wire.set(traffic.bytes_transferred, role=role, unit="bytes")
             wire.set(traffic.messages, role=role, unit="messages")
             wire.set(traffic.ciphertexts, role=role, unit="ciphertexts")
+        registry.gauge(
+            "repro_inflight_queries",
+            "Queries currently executing on this daemon.",
+            ("role",)).set(self._inflight_count(), role=role)
+
+    # -- peer-link introspection ----------------------------------------------
+    def _peer_connections_snapshot(self) -> list[MuxConnection]:
+        """Every live multiplexed peer connection this daemon holds."""
+        if self.role == "c1":
+            pool = self._peer_pool
+            return pool.connections() if pool is not None else []
+        with self._state_lock:
+            return list(self._peer_links)
+
+    @staticmethod
+    def _peer_traffic_total(links: list[MuxConnection]):
+        """Merged traffic across every peer connection."""
+        total = links[0].total_traffic()
+        for link in links[1:]:
+            total = total.merged_with(link.total_traffic())
+        return total
+
+    def _inflight_count(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def _track_inflight(self, delta: int) -> None:
+        with self._inflight_lock:
+            self._inflight += delta
 
     def serve_forever(self, install_signal_handlers: bool = True) -> None:
         """Run until SIGTERM/SIGINT or a ``transport.shutdown`` request.
@@ -681,8 +753,10 @@ class PartyDaemon:
                                 self.party_name, saved, self.pool_cache)
                 except OSError as exc:  # pragma: no cover - disk trouble
                     logger.warning("could not save pool cache: %s", exc)
-        if self._peer_channel is not None:
-            self._peer_channel.close()
+        if self._peer_pool is not None:
+            self._peer_pool.close()
+        for link in self._peer_connections_snapshot():
+            link.close()
         self.mailbox.close()
         if isinstance(self._reply_cache, DurableReplyCache):
             self._reply_cache.close()
@@ -785,73 +859,122 @@ class PartyDaemon:
     # -- the C1<->C2 protocol link (C2 side) ----------------------------------
     def _serve_cloud_peer(self, connection: _Connection,
                           epoch: str | None = None) -> None:
-        """Dispatch protocol frames from C1 to the registered P2 handlers."""
+        """Demultiplex one peer socket into per-query dispatch workers.
+
+        The connection thread becomes the socket's reader: every frame is
+        routed by its context id to a :class:`MuxChannel`, and each new
+        context spawns a worker thread running the P2 dispatch loop over
+        that channel alone — N pipelined queries from C1 execute their C2
+        steps concurrently.  Frames without a context (a pre-pipelining
+        C1) land on the ``None`` context and are served identically.
+        """
         if self.role != "c2" or self._private_key is None:
             raise ChannelError("C2 is not provisioned yet")
-        channel = TcpChannel(connection.sock, self.codec, "C2", "C1",
-                             io_deadline=self.io_deadline)
-        self._peer_channel = channel
+        workers: list[threading.Thread] = []
+        workers_lock = threading.Lock()
+
+        def on_new_context(channel: MuxChannel) -> None:
+            worker = threading.Thread(
+                target=self._serve_peer_context, args=(channel,),
+                name=f"sknn-c2-ctx-{channel.context}", daemon=True)
+            with workers_lock:
+                workers.append(worker)
+            worker.start()
+
+        mux = MuxConnection(connection.sock, self.codec, "C2", "C1",
+                            io_deadline=self.io_deadline,
+                            on_new_context=on_new_context)
+        with self._state_lock:
+            self._peer_links.append(mux)
         # Delivery ids are minted per C1 *process*: a peer hello carrying a
-        # new (or no) epoch means the id counter started over, so stale
-        # shares must never be fetchable under a recycled id.  The same
-        # epoch re-dialling — a dropped link, or this daemon restarting
-        # under a durable mailbox — keeps pending shares fetchable.
-        if not self.mailbox.adopt_epoch(epoch):
+        # new epoch means the id counter started over, so stale shares must
+        # never be fetchable under a recycled id.  The same epoch
+        # re-dialling — a dropped link, another connection of the same
+        # C1's pool, or this daemon restarting under a durable mailbox —
+        # keeps pending shares fetchable.  Shard daemons carry no epoch
+        # (they never deliver) and leave the mailbox alone.
+        if epoch is not None and not self.mailbox.adopt_epoch(epoch):
             logger.info("C2 reset its mailbox for C1 epoch %s", epoch)
-        registry, cloud = self._build_p2_registry(channel)
-        logger.info("cloud peer connected from %s (%d handlers)",
-                    connection.address, len(registry))
+        logger.info("cloud peer connected from %s", connection.address)
+        try:
+            mux.serve()  # runs until the socket dies or shutdown closes it
+        finally:
+            with self._state_lock:
+                if mux in self._peer_links:
+                    self._peer_links.remove(mux)
+            with workers_lock:
+                pending = list(workers)
+            for worker in pending:
+                worker.join(timeout=5.0)
+        logger.info("cloud peer from %s disconnected", connection.address)
+
+    def _serve_peer_context(self, channel: MuxChannel) -> None:
+        """Dispatch one query context's frames to the P2 step handlers.
+
+        Runs on its own worker thread inside a *counting scope*: every
+        Paillier operation this thread performs tees into a private
+        counter, so the per-query telemetry exchange reports exact C2
+        deltas even with other contexts decrypting concurrently.
+        """
+        scope = OperationCounter()
+        registry, _cloud = self._build_p2_registry(channel)
         tracer = telemetry_tracing.get_tracer()
         steps = telemetry_metrics.get_registry().counter(
             "repro_p2_steps_total",
             "Protocol frames dispatched to P2 step handlers.", ("tag",))
-        while not self._stop.is_set():
-            try:
-                tag = channel.next_tag()
-            except ChannelError:
-                break  # peer went away
-            if tag.startswith("telemetry."):
-                # Control frames from C1's telemetry layer: counter-delta
-                # windows and span collection — never routed to protocol
-                # handlers.
+        with counting_scope(scope):
+            while not self._stop.is_set():
                 try:
-                    self._handle_peer_telemetry(tag, channel)
-                except ReproError as exc:
-                    logger.warning("telemetry frame %s failed: %s", tag, exc)
-                continue
-            handler = registry.get(tag)
-            if handler is None:
-                channel.receive("C2")  # consume the unroutable frame
-                channel.send("C2", f"no P2 step registered for tag {tag!r}",
-                             tag="transport.error")
-                continue
-            # The envelope's trace context parents this handler's span
-            # under the C1-side span that sent the frame.
-            trace_context = channel.next_trace()
-            ledger = self._ledger_for(trace_context)
-            try:
-                with tracer.remote_span(f"p2.{tag}", trace_context,
-                                        party="C2"):
-                    if ledger is not None:
-                        # Activate per dispatch: ops between frames (e.g.
-                        # the background pool producer) still count, but
-                        # C2's idle wait time never does.
-                        with ledger.activate(), telemetry_profiling.cost_scope(
-                                tag.split(".", 1)[0], party="C2"):
-                            handler()
-                    else:
-                        handler()
-                steps.inc(tag=tag)
-            except ReproError as exc:
-                logger.warning("P2 step %s failed: %s", tag, exc)
-                # Unblock the C1 driver instead of leaving it waiting on a
-                # reply frame that will never come.
-                try:
-                    channel.send("C2", f"P2 step {tag!r} failed: {exc}",
-                                 tag="transport.error")
+                    tag = channel.next_tag()
                 except ChannelError:
-                    break  # the peer that caused the failure is gone
-        logger.info("cloud peer from %s disconnected", connection.address)
+                    break  # context closed or connection died
+                if tag.startswith("telemetry."):
+                    # Control frames from C1's telemetry layer: counter-
+                    # delta windows and span collection — never routed to
+                    # protocol handlers.
+                    try:
+                        self._handle_peer_telemetry(tag, channel, scope)
+                    except ReproError as exc:
+                        logger.warning("telemetry frame %s failed: %s",
+                                       tag, exc)
+                    continue
+                handler = registry.get(tag)
+                if handler is None:
+                    channel.receive("C2")  # consume the unroutable frame
+                    try:
+                        channel.send(
+                            "C2", f"no P2 step registered for tag {tag!r}",
+                            tag="transport.error")
+                    except ChannelError:
+                        break
+                    continue
+                # The envelope's trace context parents this handler's span
+                # under the C1-side span that sent the frame.
+                trace_context = channel.next_trace()
+                ledger = self._ledger_for(trace_context)
+                try:
+                    with tracer.remote_span(f"p2.{tag}", trace_context,
+                                            party="C2"):
+                        if ledger is not None:
+                            # Activate per dispatch: C2's idle wait time
+                            # between frames never counts.
+                            with ledger.activate(), \
+                                    telemetry_profiling.cost_scope(
+                                        tag.split(".", 1)[0], party="C2"):
+                                handler()
+                        else:
+                            handler()
+                    steps.inc(tag=tag)
+                except ReproError as exc:
+                    logger.warning("P2 step %s failed: %s", tag, exc)
+                    # Unblock the C1 driver instead of leaving it waiting
+                    # on a reply frame that will never come.
+                    try:
+                        channel.send("C2",
+                                     f"P2 step {tag!r} failed: {exc}",
+                                     tag="transport.error")
+                    except ChannelError:
+                        break  # the peer that caused the failure is gone
 
     def _ledger_for(self, trace_context: Any
                     ) -> "telemetry_profiling.CostLedger | None":
@@ -861,13 +984,17 @@ class PartyDaemon:
         with self._trace_ledgers_lock:
             return self._trace_ledgers.get(str(trace_context[0]))
 
-    def _handle_peer_telemetry(self, tag: str, channel: TcpChannel) -> None:
+    def _handle_peer_telemetry(self, tag: str, channel: MuxChannel,
+                               scope: OperationCounter | None = None) -> None:
         """C2's side of the per-query telemetry exchange.
 
         ``telemetry.trace_begin`` (payload: trace id) opens the delta
         window for one query by constructing a per-trace
-        :class:`~repro.telemetry.profiling.CostLedger` over this party's
-        operation counters.  ``telemetry.collect`` (payload: trace id)
+        :class:`~repro.telemetry.profiling.CostLedger`.  With pipelined
+        queries the ledger sources the dispatching context's *counting
+        scope* — the thread-private counter every P2 handler on this
+        worker tees into — so concurrent queries never bleed into each
+        other's windows.  ``telemetry.collect`` (payload: trace id)
         closes the window and replies with the counter deltas, every
         finished span of that trace, and the ledger's per-phase cost rows,
         which C1 stitches into its ``SkNNRunReport``.  The counters are
@@ -880,14 +1007,15 @@ class PartyDaemon:
             assert self._private_key is not None
             extras = ({"pool_hits": self.engine.pool_hit_total}
                       if self.engine is not None else None)
+            sources = ((scope,) if scope is not None else
+                       (self._private_key.public_key.counter,
+                        self._private_key.counter))
             ledger = telemetry_profiling.CostLedger(
-                sources=(self._private_key.public_key.counter,
-                         self._private_key.counter),
-                extras=extras, party="C2")
+                sources=sources, extras=extras, party="C2")
             with self._trace_ledgers_lock:
-                # One C1 peer runs one query at a time; the bound guards
-                # against a leaky client that never collects.
-                while len(self._trace_ledgers) >= 16:
+                # Bound on windows opened but never collected (a leaky or
+                # crashed C1); sized for a deep pipeline of live queries.
+                while len(self._trace_ledgers) >= 64:
                     self._trace_ledgers.pop(next(iter(self._trace_ledgers)))
                 self._trace_ledgers[trace_id] = ledger
             return
@@ -911,7 +1039,7 @@ class PartyDaemon:
                      tag="telemetry.collect")
 
     def _build_p2_registry(
-        self, channel: TcpChannel
+        self, channel: MuxChannel
     ) -> tuple[dict[str, Callable[[], Any]], FederatedCloud]:
         """Construct C2's protocol stack over ``channel`` and index its steps."""
         assert self._private_key is not None
@@ -922,7 +1050,13 @@ class PartyDaemon:
         cloud = FederatedCloud(c1=c1_stub, c2=c2, channel=channel)
         if self.engine is not None:
             cloud.attach_engine(None, self.engine)
-        protocols: list[Any] = [SkNNBasic(cloud)]
+        protocols: list[Any] = [
+            SkNNBasic(cloud),
+            # Shard filing/gather steps rendezvous through the daemon-wide
+            # registry, so shards filing on other connections meet the
+            # coordinator's gather here.
+            ShardScanProtocol(cloud, registry=self._scan_registry),
+        ]
         if self.distance_bits is not None:
             protocols.append(SkNNSecure(cloud,
                                         distance_bits=self.distance_bits))
@@ -934,7 +1068,10 @@ class PartyDaemon:
     def _derive_rng(self) -> Random | None:
         if self.rng is None:
             return None
-        return Random(self.rng.getrandbits(63))
+        # Concurrent contexts derive their stream rngs from the shared
+        # provision seed; the lock keeps getrandbits itself race-free.
+        with self._rng_lock:
+            return Random(self.rng.getrandbits(63))
 
     # -- client control protocol ----------------------------------------------
     def _serve_client(self, connection: _Connection) -> None:
@@ -1006,22 +1143,43 @@ class PartyDaemon:
                 payload.get("batch_id"),
                 lambda: self._handle_query_batch(payload),
                 timeout=self.io_deadline)
+        if self.role == "c1" and tag == "transport.scan":
+            # Shard daemons: the scan id keys the replay memo, so a
+            # coordinator retrying a scatter whose reply was lost gets the
+            # memoized result instead of double-filing with C2.
+            return self._reply_cache.run(
+                payload.get("scan_id"),
+                lambda: self._handle_scan(payload),
+                timeout=self.io_deadline)
         raise ChannelError(
             f"unsupported control tag {tag!r} for role {self.role!r}")
 
     def _handle_stats(self) -> dict[str, Any]:
+        links = self._peer_connections_snapshot()
         stats: dict[str, Any] = {
             "role": self.role,
             "provisioned": self._provisioned(),
             "pending_shares": len(self.mailbox),
+            "inflight_queries": self._inflight_count(),
             "resilience": {
                 "uptime_seconds": time.monotonic() - self._started_at,
                 "io_deadline": self.io_deadline,
                 "reply_cache_entries": len(self._reply_cache),
-                "peer_connected": self._peer_channel is not None,
+                "peer_connected": any(link.alive for link in links),
                 "events": self._resilience_events(),
             },
         }
+        if self.role == "c1":
+            stats["peer_connections_target"] = self.peer_connections
+        if self.shard_index is not None:
+            stats["shard"] = {"index": self.shard_index,
+                              "count": self.shard_count,
+                              "start_index": self._start_index}
+        if self._shard_addresses is not None:
+            stats["shards"] = [f"{host}:{port}"
+                               for host, port in self._shard_addresses]
+        if self.role == "c2":
+            stats["pending_scans"] = self._scan_registry.pending()
         if self.state_dir is not None:
             stats["durability"] = {
                 "state_dir": str(self.state_dir),
@@ -1046,10 +1204,15 @@ class PartyDaemon:
             }
         if self.engine is not None:
             stats["engine"] = self.engine.stats()
-        if self._peer_channel is not None:
-            traffic = self._peer_channel.total_traffic()
+        if links:
+            traffic = self._peer_traffic_total(links)
             stats["traffic"] = traffic.snapshot()
             stats["traffic_by_tag"] = traffic.per_tag_snapshot()
+            stats["peer_connections"] = [
+                dict(link.total_traffic().snapshot(),
+                     index=index, alive=link.alive,
+                     active_contexts=link.active_contexts())
+                for index, link in enumerate(links)]
         slow = self.slow_log.snapshot()
         if slow["total_slow"]:
             stats["slow_queries"] = slow
@@ -1122,25 +1285,55 @@ class PartyDaemon:
     def _provision_c1(self, payload: dict[str, Any],
                       dial_peer: bool = True) -> dict[str, Any]:
         table = EncryptedTable.from_dict(payload["encrypted_table"])
-        self.codec.public_key = table.public_key
         host, port = payload["c2_address"]
+        shard_index = payload.get("shard_index")
+        shard_count = payload.get("shard_count")
+        if self.shard_index is not None:
+            if (shard_index, shard_count) != (self.shard_index,
+                                              self.shard_count):
+                raise ConfigurationError(
+                    f"provision payload is for shard "
+                    f"{shard_index}/{shard_count}, this daemon was started "
+                    f"as shard {self.shard_index}/{self.shard_count}")
+        elif shard_index is not None:
+            raise ConfigurationError(
+                "shard provision sent to a C1 daemon started without "
+                "--shard-index/--shard-count")
+        self.codec.public_key = table.public_key
         self._table = table
         self._c2_address = (host, int(port))
-        self._reset_peer()
+        self._start_index = int(payload.get("start_index", 0))
+        shards = payload.get("shards")
+        self._shard_addresses = ([(shard_host, int(shard_port))
+                                  for shard_host, shard_port in shards]
+                                 if shards else None)
+        with self._state_lock:
+            pool, self._peer_pool = self._peer_pool, None
+        if pool is not None:
+            pool.close()  # new provisioning epoch: drop the old peer links
         precompute = payload.get("precompute")
         loaded = self._build_engine(
             PrecomputeConfig.for_query_load(**precompute)
             if precompute else None)
         if dial_peer:
-            self._rebuild_c1_stack()
-        logger.info("C1 provisioned (%d records, %d dims, peer %s:%d%s)",
+            self._ensure_pool().ensure()
+        logger.info("C1%s provisioned (%d records, %d dims, peer %s:%d%s%s)",
+                    "" if self.shard_index is None
+                    else f" shard {self.shard_index}/{self.shard_count}",
                     len(table), table.dimensions, host, port,
-                    "" if dial_peer else "; peer dial deferred")
-        return {"role": "c1", "pool_items_loaded": loaded}
+                    "" if dial_peer else "; peer dial deferred",
+                    "" if not self._shard_addresses
+                    else f"; coordinating {len(self._shard_addresses)} shards")
+        reply = {"role": "c1", "pool_items_loaded": loaded}
+        if self.shard_index is not None:
+            reply["shard_index"] = self.shard_index
+        if self._shard_addresses is not None:
+            reply["shards"] = len(self._shard_addresses)
+        return reply
 
     # -- C1 peer link management ------------------------------------------------
-    def _connect_peer(self) -> TcpChannel:
-        """Dial C2 and complete the cloud-peer hello.
+    def _dial_peer_connection(self) -> MuxConnection:
+        """Dial C2, complete the cloud-peer hello, start the reader.
 
         Every failure — refused connection, silence, a rejection frame
         (e.g. a restarted C2 that has not been re-provisioned yet) — maps
@@ -1172,54 +1365,64 @@ class PartyDaemon:
             except OSError:
                 pass
             raise
-        return TcpChannel(peer_sock, self.codec, "C1", "C2",
-                          io_deadline=self.io_deadline)
+        connection = MuxConnection(peer_sock, self.codec, "C1", "C2",
+                                   io_deadline=self.io_deadline)
+        connection.start_reader()
+        return connection
 
-    def _rebuild_c1_stack(self) -> None:
-        """(Re)dial C2 and rebuild the protocol stack over the new channel.
+    def _ensure_pool(self) -> PeerPool:
+        """The peer connection pool, created on first use."""
+        with self._state_lock:
+            if self._peer_pool is None:
+                if self._table is None:
+                    raise ConfigurationError("C1 is not provisioned yet")
+                self._peer_pool = PeerPool(self._dial_peer_connection,
+                                           size=self.peer_connections,
+                                           role=self.role)
+            return self._peer_pool
 
-        The encrypted table and the precompute engine survive a rebuild —
-        only the channel-bound objects (cloud pair, protocol drivers) are
-        reconstructed, so a reconnect is cheap and the warm pools are kept.
+    def _build_query_protocol(self, channel: MuxChannel, mode: str,
+                              scatter: Callable[..., Any] | None = None,
+                              scan_id: str | None = None) -> Any:
+        """A fresh protocol stack for one query over a leased context.
+
+        The heavyweight state (encrypted table, precompute engine, warm
+        pools) is shared and thread-safe; only the channel-bound wrappers
+        (cloud pair, protocol driver) are built per query, so concurrent
+        queries never share mutable protocol state.
         """
         assert self._table is not None
         table = self._table
-        channel = self._connect_peer()
-        self._peer_channel = channel
         c1 = CloudC1(table.public_key, channel, rng=self._derive_rng())
         c1.host_database(table)
         c2_stub = DecryptorParty(
             "C2", RemotePrivateKey(table.public_key), channel,
             rng=self._derive_rng())
-        self._cloud = FederatedCloud(c1=c1, c2=c2_stub, channel=channel)
+        cloud = FederatedCloud(c1=c1, c2=c2_stub, channel=channel)
         if self.engine is not None:
-            self._cloud.attach_engine(self.engine, None)
-        self._protocols = {"basic": SkNNBasic(self._cloud)}
-        if self.distance_bits is not None:
-            self._protocols["secure"] = SkNNSecure(
-                self._cloud, distance_bits=self.distance_bits)
-
-    def _reset_peer(self) -> None:
-        """Tear down the peer link and everything bound to its channel."""
-        if self._peer_channel is not None:
-            self._peer_channel.close()
-        self._peer_channel = None
-        self._cloud = None
-        self._protocols = {}
-
-    def _ensure_peer(self) -> None:
-        """Re-dial C2 if the peer link was torn down by an earlier failure."""
-        if self.role != "c1" or self._table is None:
-            return
-        if self._peer_channel is not None:
-            return
-        self._rebuild_c1_stack()
-        telemetry_metrics.get_registry().counter(
-            "repro_reconnects_total",
-            "Peer/daemon connections re-established after a failure.",
-            ("role",)).inc(role=self.role)
-        logger.info("C1 re-established the peer link to C2 at %s:%d",
-                    *self._c2_address)
+            cloud.attach_engine(self.engine, None)
+        if self.shard_index is not None:
+            return ShardScanProtocol(cloud, shard_index=self.shard_index,
+                                     shard_count=self.shard_count or 1,
+                                     start_index=self._start_index)
+        if self._shard_addresses is not None:
+            if mode != "basic":
+                raise ConfigurationError(
+                    "sharded deployments serve mode 'basic' only (SkNN_m's "
+                    "SMIN_n tournament does not shard across daemons)")
+            assert scatter is not None and scan_id is not None
+            return ShardCoordinatorProtocol(
+                cloud, shard_count=len(self._shard_addresses),
+                scatter=scatter, scan_id=scan_id)
+        if mode == "basic":
+            return SkNNBasic(cloud)
+        if mode == "secure":
+            if self.distance_bits is None:
+                raise ConfigurationError(
+                    "mode 'secure' needs distance_bits (provision l)")
+            return SkNNSecure(cloud, distance_bits=self.distance_bits)
+        raise ConfigurationError(
+            f"mode {mode!r} is unavailable on this daemon")
 
     def _build_engine(self, config: PrecomputeConfig | None) -> int:
         """Build/warm this party's engine; reload the pool cache first."""
@@ -1240,50 +1443,35 @@ class PartyDaemon:
         return loaded
 
     # -- query execution (C1) --------------------------------------------------
-    def _require_cloud(self) -> FederatedCloud:
-        if self._cloud is None:
-            raise ConfigurationError("C1 is not provisioned yet")
-        return self._cloud
-
-    def _protocol_for(self, mode: str) -> Any:
-        self._require_cloud()
-        protocol = self._protocols.get(mode)
-        if protocol is None:
-            raise ConfigurationError(
-                f"mode {mode!r} is unavailable on this daemon "
-                f"(have: {sorted(self._protocols)})")
-        return protocol
-
-    def _peer_trace_begin(self, trace_id: str) -> None:
+    def _peer_trace_begin(self, channel: MuxChannel, trace_id: str) -> None:
         """Open C2's counter-delta window for one query.
 
         Sent *before* ``run_with_report`` constructs its
         :class:`RunStatsRecorder`, so the telemetry frames never count
         toward the query's traffic deltas."""
-        if self._peer_channel is not None:
-            self._peer_channel.send("C1", trace_id,
-                                    tag="telemetry.trace_begin")
+        channel.send("C1", trace_id, tag="telemetry.trace_begin")
 
-    def _peer_collect(self, trace_id: str) -> dict[str, Any] | None:
+    def _peer_collect(self, channel: MuxChannel,
+                      trace_id: str) -> dict[str, Any] | None:
         """Close the window: fetch C2's counter deltas and finished spans."""
-        if self._peer_channel is None:
-            return None
-        self._peer_channel.send("C1", trace_id, tag="telemetry.collect")
-        reply = self._peer_channel.receive(
-            "C1", expected_tag="telemetry.collect")
+        channel.send("C1", trace_id, tag="telemetry.collect")
+        reply = channel.receive("C1", expected_tag="telemetry.collect")
         return reply if isinstance(reply, dict) else None
 
     def _stitch_report(self, report, trace_id: str,
-                       remote: dict[str, Any] | None) -> None:
+                       remote: dict[str, Any] | None,
+                       extra_spans: list[Any] | tuple = ()) -> None:
         """Merge C2's per-query telemetry into C1's run report.
 
         The recorder on this daemon only sees local counters (the remote
         key's counter is always zero), so the C2 columns of the report are
         filled from the deltas C2 measured over the same query window —
         distributed reports then match a serial run's totals.  The local
-        and remote spans merge into one ``report.trace`` timeline.
+        and remote spans (plus any shard daemons' spans) merge into one
+        ``report.trace`` timeline.
         """
         spans: list[Any] = list(telemetry_tracing.get_tracer().take(trace_id))
+        spans.extend(extra_spans)
         if remote is not None:
             counters = remote.get("counters") or {}
             stats = report.stats
@@ -1302,46 +1490,232 @@ class PartyDaemon:
             report.cost_breakdown.extend(remote.get("cost") or [])
         report.trace = telemetry_tracing.trace_payload(trace_id, spans)
 
-    def _peer_failure(self, exc: ChannelError) -> PeerUnavailable:
+    def _stitch_shards(self, report, shard_replies: list[Any]) -> None:
+        """Merge the shard daemons' per-scan telemetry into the report.
+
+        Each shard's C1 counters and peer traffic join the report's C1
+        columns (the coordinator's own recorder never saw them); the
+        shards' cost rows ride along under ``party="C1-shard{i}"`` — and
+        the per-shard C2 windows under ``party="C2"`` — so only the
+        coordinator's own C1 rows are expected to sum to wall time.
+        """
+        stats = report.stats
+        for reply in shard_replies:
+            if not isinstance(reply, dict):
+                continue
+            self._stitch_shard_stats(stats, reply)
+            report.cost_breakdown.extend(reply.get("cost") or [])
+            remote = reply.get("c2") or {}
+            report.cost_breakdown.extend(remote.get("cost") or [])
+            records = reply.get("records_scanned")
+            if records is not None:
+                stats.extra["shard_records_scanned"] = (
+                    stats.extra.get("shard_records_scanned", 0)
+                    + int(records))
+
+    @staticmethod
+    def _stitch_shard_stats(stats, reply: dict[str, Any]) -> None:
+        """Add one shard scan's counters and traffic to a stats object."""
+        c1 = reply.get("c1_counters") or {}
+        stats.c1_encryptions += int(c1.get("encryptions", 0))
+        stats.c1_exponentiations += int(c1.get("exponentiations", 0))
+        stats.c1_homomorphic_additions += int(
+            c1.get("homomorphic_additions", 0))
+        traffic = reply.get("traffic") or {}
+        stats.messages += int(traffic.get("messages", 0))
+        stats.ciphertexts_exchanged += int(traffic.get("ciphertexts", 0))
+        stats.bytes_transferred += int(traffic.get("bytes_transferred", 0))
+        remote = reply.get("c2") or {}
+        counters = remote.get("counters") or {}
+        stats.c2_encryptions += int(counters.get("encryptions", 0))
+        stats.c2_exponentiations += int(counters.get("exponentiations", 0))
+        stats.c2_decryptions += int(counters.get("decryptions", 0))
+
+    def _peer_failure(self, channel: MuxChannel,
+                      exc: ChannelError) -> ChannelError:
         """Convert a mid-query channel failure into a retriable error.
 
-        Any channel error mid-protocol leaves the peer link desynchronised
-        (frames consumed out of step), so the link is torn down; the next
-        query — typically the client's retry of this one — re-dials through
-        :meth:`_ensure_peer` and runs on a fresh channel.
+        A context-level failure (receive deadline, context torn down)
+        poisons only this query's channel; the shared connection keeps
+        carrying the other in-flight queries.  A connection-level failure
+        additionally discards the dead connection from the pool, so the
+        next lease re-dials instead of reusing a desynchronised socket.
         """
-        self._reset_peer()
-        if isinstance(exc, PeerUnavailable):
+        pool = self._peer_pool
+        if pool is not None and not channel.connection.alive:
+            pool.discard(channel.connection)
+        if isinstance(exc, (PeerUnavailable, DeadlineExceeded)):
             return exc
         return PeerUnavailable(f"peer link to C2 failed mid-query: {exc}")
 
-    def _handle_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+    def _scatter_to_shards(self, scan_id: str, query: list[Ciphertext],
+                           k: int) -> list[dict[str, Any]]:
+        """Fan the distance scan out to every shard daemon, in parallel.
+
+        Each shard is asked over its own short-lived control connection (a
+        per-query client: the control protocol is request/reply, so a
+        shared client would serialize concurrent queries).  The first
+        failure wins: a dead shard daemon surfaces as the typed retriable
+        error its client raised, failing only this query.
+        """
+        from repro.transport.client import DaemonClient
+
+        addresses = self._shard_addresses or []
+        replies: list[dict[str, Any] | None] = [None] * len(addresses)
+        failures: list[BaseException] = []
+
+        def run(index: int, address: tuple[str, int]) -> None:
+            try:
+                client = DaemonClient(address, self.codec,
+                                      connect_timeout=10.0,
+                                      request_deadline=self.io_deadline)
+                try:
+                    replies[index] = client.request(
+                        "transport.scan",
+                        {"scan_id": scan_id, "query": query, "k": k},
+                        timeout=self.io_deadline)
+                finally:
+                    client.close()
+            except BaseException as exc:  # re-raised on the query thread
+                failures.append(exc)
+
+        threads = [threading.Thread(target=run, args=(index, address),
+                                    name=f"sknn-scatter-{index}", daemon=True)
+                   for index, address in enumerate(addresses)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            failure = failures[0]
+            if isinstance(failure, ReproError):
+                raise failure
+            raise PeerUnavailable(
+                f"shard scatter failed: {failure}") from failure
+        return [reply for reply in replies if isinstance(reply, dict)]
+
+    def _handle_scan(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Shard daemon: run this slice's distance phase for one scan.
+
+        The reply bundles everything the coordinator needs to stitch a
+        complete report: this shard's exact C1 counter deltas (thread
+        scope), its peer-link traffic, its cost rows
+        (``party="C1-shard{i}"``), the C2 window its scan consumed, and
+        its spans.
+        """
+        if self.shard_index is None:
+            raise ConfigurationError(
+                "transport.scan is only served by shard daemons "
+                "(start with --shard-index/--shard-count)")
         query: list[Ciphertext] = payload["query"]
         k: int = payload["k"]
-        # One query at a time: the single C2 channel is shared protocol
-        # state, exactly like the in-memory runtime's serve lock.
-        with self._query_lock:
-            self._ensure_peer()
-            protocol = self._protocol_for(payload.get("mode", "basic"))
-            try:
-                # Root the trace here (run_with_report joins it) so the
-                # daemon can stitch C2's spans and counter deltas into the
-                # report.
-                with telemetry_tracing.trace(f"query.{protocol.name}",
-                                             party="C1", k=k) as root:
-                    trace_id = root.trace_id
-                    self._peer_trace_begin(trace_id)
-                    shares = protocol.run_with_report(
-                        query, k, distance_bits=self.distance_bits)
-                report = protocol.last_report
-                remote = self._peer_collect(trace_id)
-            except ChannelError as exc:
-                raise self._peer_failure(exc) from exc
-            if report is not None:
-                self._stitch_report(report, trace_id, remote)
-                self.slow_log.observe(report.wall_time_seconds,
-                                      protocol=protocol.name,
-                                      trace_id=trace_id, k=k)
+        scan_id = str(payload["scan_id"])
+        scope = OperationCounter()
+        ledger = telemetry_profiling.CostLedger(
+            sources=(scope,), party=f"C1-shard{self.shard_index}")
+        self._track_inflight(1)
+        try:
+            with counting_scope(scope):
+                channel = self._ensure_pool().lease()
+                try:
+                    with telemetry_tracing.trace(
+                            f"shard{self.shard_index}.scan",
+                            party=self.party_name, scan=scan_id) as root:
+                        trace_id = root.trace_id
+                        self._peer_trace_begin(channel, trace_id)
+                        # The leased context is exclusively this scan's:
+                        # resetting after the telemetry frame makes its
+                        # totals exactly the scan's protocol traffic.
+                        channel.reset_accounting()
+                        protocol = self._build_query_protocol(channel,
+                                                              "basic")
+                        started = time.perf_counter()
+                        with ledger.activate():
+                            records = protocol.run_scan(query, k, scan_id)
+                        elapsed = time.perf_counter() - started
+                        traffic = channel.total_traffic().snapshot()
+                    remote = self._peer_collect(channel, trace_id)
+                except ChannelError as exc:
+                    raise self._peer_failure(channel, exc) from exc
+                finally:
+                    channel.release()
+        finally:
+            self._track_inflight(-1)
+        spans = [span.as_payload()
+                 for span in telemetry_tracing.get_tracer().take(trace_id)]
+        self.slow_log.observe(elapsed, protocol="SkNNb-shard",
+                              trace_id=trace_id, scan_id=scan_id)
+        return {
+            "scan_id": scan_id,
+            "shard_index": self.shard_index,
+            "records_scanned": records,
+            "wall_time_seconds": elapsed,
+            "c1_counters": scope.snapshot(),
+            "traffic": traffic,
+            "c2": remote,
+            "cost": ledger.finish(),
+            "spans": spans,
+        }
+
+    def _handle_query(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Run one query on a freshly leased peer context.
+
+        No query lock: every query leases its own context channel from
+        the pool and builds its own protocol stack, so N in-flight
+        queries pipeline over the shared connections.  The counting scope
+        makes this thread's Paillier operations (and, through its own
+        scoped window, C2's) attributable to exactly this query no matter
+        how many others are concurrently in flight.
+        """
+        if self.shard_index is not None:
+            raise ConfigurationError(
+                "shard daemons serve transport.scan only; send queries to "
+                "the coordinator C1")
+        query: list[Ciphertext] = payload["query"]
+        k: int = payload["k"]
+        mode = payload.get("mode", "basic")
+        scan_id = uuid.uuid4().hex
+        shard_replies: list[dict[str, Any]] = []
+
+        def scatter(sid: str, shard_query: list[Ciphertext],
+                    shard_k: int) -> None:
+            shard_replies.extend(
+                self._scatter_to_shards(sid, shard_query, shard_k))
+
+        scope = OperationCounter()
+        self._track_inflight(1)
+        try:
+            with counting_scope(scope):
+                channel = self._ensure_pool().lease()
+                try:
+                    protocol = self._build_query_protocol(
+                        channel, mode, scatter=scatter, scan_id=scan_id)
+                    # Root the trace here (run_with_report joins it) so
+                    # the daemon can stitch C2's spans and counter deltas
+                    # into the report.
+                    with telemetry_tracing.trace(f"query.{protocol.name}",
+                                                 party="C1", k=k) as root:
+                        trace_id = root.trace_id
+                        self._peer_trace_begin(channel, trace_id)
+                        shares = protocol.run_with_report(
+                            query, k, distance_bits=self.distance_bits)
+                    report = protocol.last_report
+                    remote = self._peer_collect(channel, trace_id)
+                except ChannelError as exc:
+                    raise self._peer_failure(channel, exc) from exc
+                finally:
+                    channel.release()
+        finally:
+            self._track_inflight(-1)
+        if report is not None:
+            shard_spans = [span for reply in shard_replies
+                           for span in (reply.get("spans") or [])]
+            self._stitch_report(report, trace_id, remote,
+                                extra_spans=shard_spans)
+            self._stitch_shards(report, shard_replies)
+            self.slow_log.observe(report.wall_time_seconds,
+                                  protocol=protocol.name,
+                                  trace_id=trace_id, k=k)
         return {
             "masks": shares.masks_from_c1,
             "modulus": shares.modulus,
@@ -1350,50 +1724,86 @@ class PartyDaemon:
         }
 
     def _handle_query_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """Serve a scheduler batch: every query of the batch under one lock
-        hold, so a distributed :class:`~repro.service.scheduler.QueryServer`
-        gets the same batch semantics as the sharded in-process store."""
+        """Serve a scheduler batch over one leased context.
+
+        The batch's queries run back-to-back on a single context — the
+        batch semantics a distributed
+        :class:`~repro.service.scheduler.QueryServer` expects — while
+        other pipelined queries keep flowing on sibling contexts.
+        """
         from repro.core.sknn_base import RunStatsRecorder
 
+        if self.shard_index is not None:
+            raise ConfigurationError(
+                "shard daemons serve transport.scan only; send batches to "
+                "the coordinator C1")
         queries = payload["queries"]
         ks = payload["ks"]
         if len(queries) != len(ks):
             raise ConfigurationError("batch queries and ks differ in length")
+        mode = payload.get("mode", "basic")
+        shard_replies: list[dict[str, Any]] = []
+
+        def scatter(sid: str, shard_query: list[Ciphertext],
+                    shard_k: int) -> None:
+            shard_replies.extend(
+                self._scatter_to_shards(sid, shard_query, shard_k))
+
         results = []
-        with self._query_lock:
-            self._ensure_peer()
-            protocol = self._protocol_for(payload.get("mode", "basic"))
-            try:
-                with telemetry_tracing.trace(
-                        f"batch.{protocol.name}", party="C1",
-                        queries=len(queries)) as root:
-                    trace_id = root.trace_id
-                    self._peer_trace_begin(trace_id)
-                    recorder = RunStatsRecorder(self._require_cloud())
-                    started = time.perf_counter()
-                    for query, k in zip(queries, ks):
-                        shares = protocol.run(query, k)
-                        results.append({
-                            "masks": shares.masks_from_c1,
-                            "delivery_id": shares.delivery_id,
-                        })
-                    elapsed = time.perf_counter() - started
-                    stats = recorder.finish(f"{protocol.name}-distributed",
-                                            elapsed)
-                remote = self._peer_collect(trace_id)
-            except ChannelError as exc:
-                raise self._peer_failure(exc) from exc
-            spans: list[Any] = list(
-                telemetry_tracing.get_tracer().take(trace_id))
-            if remote is not None:
-                counters = remote.get("counters") or {}
-                stats.c2_encryptions += int(counters.get("encryptions", 0))
-                stats.c2_exponentiations += int(
-                    counters.get("exponentiations", 0))
-                stats.c2_decryptions += int(counters.get("decryptions", 0))
-                spans.extend(remote.get("spans") or [])
-            self.slow_log.observe(elapsed, protocol=f"{protocol.name}-batch",
-                                  trace_id=trace_id, queries=len(queries))
+        scope = OperationCounter()
+        self._track_inflight(1)
+        try:
+            with counting_scope(scope):
+                channel = self._ensure_pool().lease()
+                try:
+                    protocol = self._build_query_protocol(
+                        channel, mode, scatter=scatter,
+                        scan_id=uuid.uuid4().hex)
+                    with telemetry_tracing.trace(
+                            f"batch.{protocol.name}", party="C1",
+                            queries=len(queries)) as root:
+                        trace_id = root.trace_id
+                        self._peer_trace_begin(channel, trace_id)
+                        recorder = RunStatsRecorder(protocol.cloud)
+                        started = time.perf_counter()
+                        for index, (query, k) in enumerate(
+                                zip(queries, ks)):
+                            if index and self._shard_addresses is not None:
+                                # A coordinator protocol is bound to one
+                                # scan id; mint a fresh one per query.
+                                protocol = self._build_query_protocol(
+                                    channel, mode, scatter=scatter,
+                                    scan_id=uuid.uuid4().hex)
+                            shares = protocol.run(query, k)
+                            results.append({
+                                "masks": shares.masks_from_c1,
+                                "delivery_id": shares.delivery_id,
+                            })
+                        elapsed = time.perf_counter() - started
+                        stats = recorder.finish(
+                            f"{protocol.name}-distributed", elapsed)
+                    remote = self._peer_collect(channel, trace_id)
+                except ChannelError as exc:
+                    raise self._peer_failure(channel, exc) from exc
+                finally:
+                    channel.release()
+        finally:
+            self._track_inflight(-1)
+        spans: list[Any] = list(
+            telemetry_tracing.get_tracer().take(trace_id))
+        if remote is not None:
+            counters = remote.get("counters") or {}
+            stats.c2_encryptions += int(counters.get("encryptions", 0))
+            stats.c2_exponentiations += int(
+                counters.get("exponentiations", 0))
+            stats.c2_decryptions += int(counters.get("decryptions", 0))
+            spans.extend(remote.get("spans") or [])
+        for reply in shard_replies:
+            if isinstance(reply, dict):
+                self._stitch_shard_stats(stats, reply)
+                spans.extend(reply.get("spans") or [])
+        self.slow_log.observe(elapsed, protocol=f"{protocol.name}-batch",
+                              trace_id=trace_id, queries=len(queries))
         return {
             "results": results,
             "modulus": self.codec.public_key.n,

@@ -73,6 +73,14 @@ class LocalSupervisor:
             mailbox/reply journals and the provision manifest survive a
             crash — a restarted role then serves fetch/replay traffic
             without re-provisioning.
+        shards: additionally spawn this many C1 *shard daemons* (logical
+            names ``c1-shard0`` … ``c1-shardN-1``, started with ``--role c1
+            --shard-index i --shard-count N``); :meth:`connect` then hands
+            out shard-aware clients whose :meth:`RemoteCloud.provision`
+            slices the table across them.
+        peer_connections: forwarded to every C1-role daemon as
+            ``--peer-connections`` (size of its pipelined C1↔C2 connection
+            pool); ``None`` keeps the daemon default of 1.
     """
 
     def __init__(self, pool_cache: bool | str | Path = False,
@@ -80,13 +88,17 @@ class LocalSupervisor:
                  python: str | None = None,
                  io_deadline: float | None = None,
                  state_dir: bool | str | Path = False,
-                 profile: bool = False) -> None:
+                 profile: bool = False,
+                 shards: int = 0,
+                 peer_connections: int | None = None) -> None:
         self._python = python or sys.executable
         self._pool_cache = pool_cache
         self._metrics = metrics
         self._profile = profile
         self._io_deadline = io_deadline
         self._state_dir = state_dir
+        self.shard_count = int(shards)
+        self._peer_connections = peer_connections
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self._processes: dict[str, subprocess.Popen] = {}
         self.addresses: dict[str, tuple[str, int]] = {}
@@ -94,7 +106,31 @@ class LocalSupervisor:
         self._monitor_thread: threading.Thread | None = None
         self._monitor_stop = threading.Event()
         self._restart_lock = threading.Lock()
-        self.restarts: dict[str, int] = {"c1": 0, "c2": 0}
+        self.restarts: dict[str, int] = {name: 0
+                                         for name in self.role_names()}
+
+    def role_names(self) -> list[str]:
+        """Every logical daemon this supervisor owns, in start order.
+
+        C2 first (the party C1 peers dial), then the shard daemons, then
+        the coordinator C1.  Logical names key ``addresses``, ``restarts``,
+        port/log/state files and :meth:`restart_role`.
+        """
+        return (["c2"]
+                + [f"c1-shard{index}" for index in range(self.shard_count)]
+                + ["c1"])
+
+    def _role_args(self, name: str) -> list[str]:
+        """CLI arguments that turn a logical name into a daemon role."""
+        if name == "c2":
+            return ["--role", "c2"]
+        args = ["--role", "c1"]
+        if name.startswith("c1-shard"):
+            args += ["--shard-index", name[len("c1-shard"):],
+                     "--shard-count", str(self.shard_count)]
+        if self._peer_connections is not None:
+            args += ["--peer-connections", str(self._peer_connections)]
+        return args
 
     # -- lifecycle ------------------------------------------------------------
     def _scratch(self) -> Path:
@@ -126,7 +162,7 @@ class LocalSupervisor:
         port_file.unlink(missing_ok=True)
         command = [
             self._python, "-m", "repro", "party",
-            "--role", role,
+            *self._role_args(role),
             "--listen", listen,
             "--port-file", str(port_file),
         ]
@@ -151,14 +187,14 @@ class LocalSupervisor:
         self._processes[role] = process
 
     def start(self) -> "LocalSupervisor":
-        """Spawn both daemons and wait until they are accepting connections
-        *and* answering their control plane (hello + ping)."""
+        """Spawn every daemon and wait until each is accepting connections
+        *and* answering its control plane (hello + ping)."""
         if self._processes:
             return self
         if self._tempdir is None:
             self._tempdir = tempfile.TemporaryDirectory(
                 prefix="repro-transport-")
-        for role in ("c2", "c1"):
+        for role in self.role_names():
             self._spawn(role, "127.0.0.1:0")
             self.addresses[role] = self._wait_for_port(
                 role, self._scratch() / f"{role}.port")
@@ -253,7 +289,7 @@ class LocalSupervisor:
                 raise ConfigurationError(
                     f"restarted {role} daemon never became healthy: {exc}\n"
                     f"{self._tail_log(role)}") from exc
-            self.restarts[role] += 1
+            self.restarts[role] = self.restarts.get(role, 0) + 1
             telemetry_metrics.get_registry().counter(
                 "repro_daemon_restarts_total",
                 "Party daemons restarted by a supervisor.",
@@ -297,14 +333,20 @@ class LocalSupervisor:
 
     # -- provisioning / clients ------------------------------------------------
     def connect(self, **client_options: Any) -> RemoteCloud:
-        """Open a fresh client connection pair to the daemons.
+        """Open a fresh client connection set to the daemons.
 
         ``client_options`` (``retry``, ``request_deadline``, ``rng``,
-        ``fetch_timeout``) pass through to :class:`RemoteCloud`.
+        ``fetch_timeout``) pass through to :class:`RemoteCloud`.  With
+        shard daemons configured, the client learns their addresses so
+        provisioning slices the table across them.
         """
         if not self.addresses:
             self.start()
+        shard_addresses = ([self.addresses[f"c1-shard{index}"]
+                            for index in range(self.shard_count)]
+                           or None)
         return RemoteCloud(self.addresses["c1"], self.addresses["c2"],
+                           shard_addresses=shard_addresses,
                            **client_options)
 
     def provision_from_owner(self, owner: DataOwner,

@@ -37,17 +37,19 @@ class WireCodec:
         try:
             return message_envelope_to_bytes(
                 message.sender, message.recipient, message.tag,
-                message.payload, trace=message.trace)
+                message.payload, trace=message.trace,
+                context=message.context)
         except SerializationError as exc:
             raise ChannelError(str(exc)) from exc
 
     def decode_message(self, body: bytes) -> Message:
         """Decode :meth:`encode_message` output."""
         try:
-            sender, recipient, tag, payload, trace = (
+            sender, recipient, tag, payload, trace, context = (
                 message_envelope_from_bytes(body, self.public_key))
         except SerializationError as exc:
             raise ChannelError(str(exc)) from exc
         return Message(sender=sender, recipient=recipient, tag=tag,
                        payload=payload,
-                       trace=tuple(trace) if trace else None)
+                       trace=tuple(trace) if trace else None,
+                       context=context)

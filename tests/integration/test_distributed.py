@@ -259,6 +259,89 @@ class TestSystemIntegration:
             remote.close()
 
 
+class TestConcurrentPipelinedQueries:
+    """N in-flight queries overlap on the multiplexed peer link.
+
+    The acceptance bar for the pipelined data plane: concurrency must not
+    perturb a single query's observable result — answers stay bit-identical
+    and the stitched per-query C2 operation counters and cost-ledger rows
+    stay *exact*, because each query's C2 work runs in its own context
+    worker under a thread-scoped counter.
+    """
+
+    def test_concurrent_queries_stay_exact(self, owner, dataset, remote):
+        from concurrent.futures import ThreadPoolExecutor
+
+        client = QueryClient(owner.public_key, dataset.dimensions,
+                             rng=Random(41))
+        oracle = LinearScanKNN(dataset)
+        expected = {tuple(query): [r.record.values for r in oracle.query(
+            list(query), K)] for query in QUERIES}
+
+        # Solo baselines: the exact counters of uncontended runs.
+        solo = {}
+        for query in QUERIES:
+            _, report = remote.query(client.encrypt_query(list(query)), K,
+                                     mode="basic")
+            solo[tuple(query)] = report.stats
+
+        # Two concurrent in-flight queries per distinct query point, each
+        # on its own client connection (the daemon pipelines them over the
+        # shared peer link).  Queries are encrypted up front: QueryClient's
+        # rng is not a shared-state concern we want in this test.
+        jobs = [(tuple(query), client.encrypt_query(list(query)))
+                for query in QUERIES for _ in range(2)]
+        clones = [remote.clone() for _ in jobs]
+
+        def run(index):
+            query, encrypted = jobs[index]
+            shares, report = clones[index].query(encrypted, K, mode="basic")
+            return query, client.reconstruct(shares), report
+
+        try:
+            with ThreadPoolExecutor(max_workers=len(jobs)) as pool:
+                results = list(pool.map(run, range(len(jobs))))
+        finally:
+            for clone in clones:
+                clone.close()
+
+        assert len(results) == len(jobs)
+        for query, neighbors, report in results:
+            assert neighbors == expected[query], (
+                "a concurrent in-flight query returned a wrong answer")
+            baseline = solo[query]
+            stats = report.stats
+            # Exactness under concurrency: same counters as the solo run.
+            assert stats.c2_decryptions == baseline.c2_decryptions
+            assert stats.c2_encryptions == baseline.c2_encryptions
+            assert stats.messages == baseline.messages
+            assert stats.ciphertexts_exchanged == \
+                baseline.ciphertexts_exchanged
+            # ... and the stitched C2 cost rows agree with those counters.
+            totals: dict[str, float] = {}
+            for row in report.cost_breakdown:
+                if row["party"] == "C2":
+                    for op, count in row["ops"].items():
+                        totals[op] = totals.get(op, 0) + count
+            assert totals.get("decryptions", 0) == stats.c2_decryptions
+            assert totals.get("encryptions", 0) == stats.c2_encryptions
+
+    def test_stats_expose_pipelining_introspection(self, remote):
+        """/stats carries the inflight gauge and per-connection rows."""
+        stats = remote.stats()
+        for payload in stats.values():
+            assert payload["inflight_queries"] == 0  # nothing running now
+        c1 = stats["c1"]
+        assert c1["peer_connections_target"] >= 1
+        rows = c1["peer_connections"]
+        assert rows and all({"index", "alive", "active_contexts",
+                             "messages", "bytes_transferred"}
+                            <= set(row) for row in rows)
+        assert any(row["alive"] for row in rows)
+        snapshot = remote.metrics()["c1"]["snapshot"]
+        assert "repro_inflight_queries" in snapshot
+
+
 class TestRestartWithPoolCache:
     def test_restarted_party_starts_hot(self, tmp_path, dataset):
         """--pool-cache: a restarted daemon pair reloads its warmed pools."""

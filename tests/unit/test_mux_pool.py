@@ -1,0 +1,125 @@
+"""Failure domains of the pooled, multiplexed peer link.
+
+The pipelining claim comes with a blast-radius claim: with N pooled
+connections carrying M in-flight query contexts, killing one connection
+must fail exactly the contexts routed over it — with typed retriable
+errors — while contexts on the surviving connections complete normally,
+and the pool heals on the next lease.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.exceptions import ChannelError, DeadlineExceeded, PeerUnavailable
+from repro.telemetry import metrics as _metrics
+from repro.transport.mux import MuxConnection, PeerPool
+from repro.transport.wire import WireCodec
+
+ECHO_TAG = "pool.echo"
+
+
+class _EchoPeer:
+    """A C2-side mux endpoint that echoes every context's frames back."""
+
+    def __init__(self) -> None:
+        self.codec = WireCodec()
+        self.server_sides: list[MuxConnection] = []
+
+    def dial(self) -> MuxConnection:
+        sock_client, sock_server = socket.socketpair()
+
+        def echo(channel) -> None:
+            def run() -> None:
+                try:
+                    while True:
+                        payload = channel.receive("C2")
+                        channel.send("C2", payload, tag=ECHO_TAG)
+                except (PeerUnavailable, ChannelError, DeadlineExceeded):
+                    return  # the context (or its connection) went away
+            threading.Thread(target=run, daemon=True).start()
+
+        server = MuxConnection(sock_server, self.codec, "C2", "C1",
+                               io_deadline=30.0, on_new_context=echo)
+        server.start_reader()
+        self.server_sides.append(server)
+        client = MuxConnection(sock_client, self.codec, "C1", "C2",
+                               io_deadline=30.0)
+        client.start_reader()
+        return client
+
+    def close(self) -> None:
+        for connection in self.server_sides:
+            connection.close()
+
+
+@pytest.fixture()
+def peer():
+    endpoint = _EchoPeer()
+    yield endpoint
+    endpoint.close()
+
+
+def test_one_dropped_connection_fails_only_its_contexts(peer):
+    pool = PeerPool(peer.dial, size=2)
+    try:
+        channels = [pool.lease() for _ in range(4)]
+        # Least-loaded routing spreads 4 contexts over both connections.
+        by_connection: dict[int, list] = {}
+        for channel in channels:
+            by_connection.setdefault(id(channel.connection), []).append(
+                channel)
+        assert len(by_connection) == 2
+        assert sorted(len(group) for group in by_connection.values()) == [2, 2]
+
+        for index, channel in enumerate(channels):
+            channel.send("C1", {"q": index}, tag="pool.req")
+            assert channel.receive("C1",
+                                   expected_tag=ECHO_TAG) == {"q": index}
+
+        # Chaos: one connection dies mid-flight.
+        doomed, survivor = list(by_connection.values())
+        doomed[0].connection.fail(
+            PeerUnavailable("injected: peer connection dropped"))
+
+        for channel in doomed:
+            with pytest.raises((PeerUnavailable, ChannelError)):
+                channel.send("C1", {"q": "dead"}, tag="pool.req")
+
+        # ... while queries on the surviving connection complete normally.
+        for index, channel in enumerate(survivor):
+            channel.send("C1", {"again": index}, tag="pool.req")
+            assert channel.receive("C1",
+                                   expected_tag=ECHO_TAG) == {"again": index}
+    finally:
+        pool.close()
+
+
+def test_pool_heals_on_next_lease_and_counts_reconnects(peer):
+    registry = _metrics.get_registry()
+    counter = registry.counter(
+        "repro_reconnects_total",
+        "Peer/daemon connections re-established after a failure.", ("role",))
+    before = counter.labels(role="c1").value
+
+    pool = PeerPool(peer.dial, size=2, role="c1")
+    try:
+        first = pool.lease()
+        first.send("C1", "warm", tag="pool.req")
+        assert first.receive("C1", expected_tag=ECHO_TAG) == "warm"
+
+        dead = first.connection
+        dead.fail(PeerUnavailable("injected: peer connection dropped"))
+
+        healed = pool.lease()
+        assert healed.connection is not dead
+        assert healed.connection.alive
+        healed.send("C1", "back", tag="pool.req")
+        assert healed.receive("C1", expected_tag=ECHO_TAG) == "back"
+        assert len([c for c in pool.connections() if c.alive]) == 2
+        assert counter.labels(role="c1").value == before + 1
+    finally:
+        pool.close()
